@@ -1,0 +1,120 @@
+// Command repro regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	repro -figure 8                  # one figure at interactive scale
+//	repro -figure all -paper         # everything at paper scale
+//	repro -figure 6 -chart           # ASCII chart
+//	repro -figure 13 -csv            # CSV rows
+//	repro -figure 13 -real-data f    # use an actual reference trace
+//	repro -list                      # show available figures
+//
+// Each figure prints the same series the paper plots; EXPERIMENTS.md records
+// a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"stochstream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and executes; separated from main for testing.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	var (
+		figure     = fs.String("figure", "", "figure id (6..19, a1, a2) or \"all\"")
+		list       = fs.Bool("list", false, "list available figures")
+		runs       = fs.Int("runs", 0, "runs per data point (0 = default; paper uses 50)")
+		length     = fs.Int("len", 0, "stream length per run (0 = default 5000)")
+		cache      = fs.Int("cache", 0, "cache size for fixed-cache figures (0 = default 10)")
+		seed       = fs.Uint64("seed", 1, "base seed")
+		flowExpect = fs.Bool("flowexpect", false, "include FlowExpect in figure 8 (slow)")
+		feRuns     = fs.Int("flowexpect-runs", 0, "FlowExpect runs (0 = default)")
+		feLen      = fs.Int("flowexpect-len", 0, "FlowExpect stream length (0 = default)")
+		lookahead  = fs.Int("lookahead", 0, "FlowExpect look-ahead for figure 8 (0 = default 5)")
+		paper      = fs.Bool("paper", false, "use the paper's full scale (50 runs, FlowExpect on)")
+		asCSV      = fs.Bool("csv", false, "emit CSV instead of a text table")
+		asChart    = fs.Bool("chart", false, "render an ASCII chart instead of a text table")
+		realTrace  = fs.String("real-data", "", "reference trace file for the REAL figures (one value per line or CSV; e.g. the Melbourne temperatures)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, "available figures:")
+		for _, id := range stochstream.FigureIDs() {
+			fmt.Fprintln(stdout, "  ", id)
+		}
+		return nil
+	}
+	if *figure == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -figure")
+	}
+
+	opts := stochstream.DefaultExperimentOptions()
+	if *paper {
+		opts = stochstream.PaperScaleOptions()
+	}
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+	if *length > 0 {
+		opts.Length = *length
+	}
+	if *cache > 0 {
+		opts.Cache = *cache
+	}
+	opts.Seed = *seed
+	if *flowExpect {
+		opts.FlowExpect = true
+	}
+	if *feRuns > 0 {
+		opts.FlowExpectRuns = *feRuns
+	}
+	if *feLen > 0 {
+		opts.FlowExpectLength = *feLen
+	}
+	if *lookahead > 0 {
+		opts.Lookahead = *lookahead
+	}
+	opts.RealTracePath = *realTrace
+
+	ids := []string{*figure}
+	if *figure == "all" {
+		ids = stochstream.FigureIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		fig, err := stochstream.GenerateFigure(id, opts)
+		if err != nil {
+			return err
+		}
+		switch {
+		case *asCSV:
+			if err := fig.WriteCSV(stdout); err != nil {
+				return err
+			}
+		case *asChart:
+			fig.Chart(stdout, 72, 20)
+			fmt.Fprintln(stdout)
+		default:
+			fig.Render(stdout)
+			fmt.Fprintf(stdout, "  [figure %s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

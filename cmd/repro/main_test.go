@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"6", "19", "a1", "a2"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list missing %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunMissingFigure(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing -figure should error")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-figure", "999"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown figure should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+func TestRunFigure7AllFormats(t *testing.T) {
+	var table, csvOut, chart bytes.Buffer
+	if err := run([]string{"-figure", "7"}, &table); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "TOWER") || !strings.Contains(table.String(), "regenerated") {
+		t.Fatalf("table output:\n%s", table.String())
+	}
+	if err := run([]string{"-figure", "7", "-csv"}, &csvOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csvOut.String(), "value,TOWER,ROOF,FLOOR") {
+		t.Fatalf("csv header: %q", strings.SplitN(csvOut.String(), "\n", 2)[0])
+	}
+	if err := run([]string{"-figure", "7", "-chart"}, &chart); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chart.String(), "o=TOWER") {
+		t.Fatalf("chart output:\n%s", chart.String())
+	}
+}
+
+func TestRunFigure6WithFlags(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-figure", "6", "-cache", "5", "-seed", "3", "-runs", "1", "-len", "100"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "drift=4") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunRealDataFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		sb.WriteString("1981-01-01,")
+		sb.WriteString([]string{"14.5", "15.2", "16.8", "13.9", "17.4"}[i%5])
+		sb.WriteString("\n")
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-figure", "13", "-real-data", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "user trace") {
+		t.Fatalf("title should mention the trace:\n%s", buf.String())
+	}
+	// Missing file propagates as an error.
+	if err := run([]string{"-figure", "13", "-real-data", filepath.Join(dir, "missing")}, &buf); err == nil {
+		t.Fatal("missing trace file should error")
+	}
+}

@@ -1,0 +1,126 @@
+package stochstream_test
+
+import (
+	"fmt"
+
+	"stochstream"
+)
+
+// Joining two trending streams with HEEB and comparing against the offline
+// optimum.
+func ExampleRunJoin() {
+	r := &stochstream.LinearTrend{Slope: 1, Intercept: -1, Noise: stochstream.BoundedNormal(1, 10)}
+	s := &stochstream.LinearTrend{Slope: 1, Intercept: 0, Noise: stochstream.BoundedNormal(2, 15)}
+	rng := stochstream.NewRNG(42)
+	rVals := r.Generate(rng, 2000)
+	sVals := s.Generate(rng, 2000)
+
+	cfg := stochstream.JoinConfig{
+		CacheSize: 10,
+		Warmup:    -1,
+		Procs:     [2]stochstream.Process{r, s},
+	}
+	heeb := stochstream.NewHEEB(stochstream.HEEBOptions{LifetimeEstimate: 3})
+	res := stochstream.RunJoin(rVals, sVals, heeb, cfg, 1)
+	opt := stochstream.OptOfflineJoin(rVals, sVals, 10, 0)
+	optJoins := opt.CountAfter(cfg.EffectiveWarmup() - 1)
+	fmt.Printf("HEEB achieves at least 95%% of OPT: %v\n", res.Joins*100 >= optJoins*95)
+	// Output:
+	// HEEB achieves at least 95% of OPT: true
+}
+
+// Computing ECBs and testing dominance (Theorem 3's optimality condition).
+func ExampleDominates() {
+	partner := &stochstream.Stationary{P: stochstream.NewTable(0, []float64{1, 3})}
+	h := stochstream.NewHistory(0)
+	hot := stochstream.JoinECB(partner, h, 1, 10)  // p = 0.75 per step
+	cold := stochstream.JoinECB(partner, h, 0, 10) // p = 0.25 per step
+	fmt.Println(stochstream.Dominates(hot, cold))
+	fmt.Println(stochstream.Dominates(cold, hot))
+	// Output:
+	// true
+	// false
+}
+
+// Caching with the offline-optimal LFD as a yardstick.
+func ExampleRunCache() {
+	refs := []int{1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5}
+	res := stochstream.RunCache(refs, &stochstream.LFD{}, stochstream.CacheConfig{Capacity: 3}, 1)
+	fmt.Println("misses:", res.Misses)
+	// Output:
+	// misses: 7
+}
+
+// Detecting a stream's model class from observations.
+func ExampleDetectModel() {
+	truth := &stochstream.LinearTrend{Slope: 2, Intercept: 0, Noise: stochstream.BoundedNormal(1.5, 8)}
+	series := truth.Generate(stochstream.NewRNG(7), 500)
+	rep, err := stochstream.DetectModel(series)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(rep.Kind)
+	// Output:
+	// linear-trend
+}
+
+// The Section 2 reduction from caching to joining (Theorem 1).
+func ExampleReduceCachingToJoining() {
+	refs := []int{7, 8, 7}
+	r, s := stochstream.ReduceCachingToJoining(refs)
+	// The supply tuple emitted at the first reference of 7 is exactly the
+	// encoded pair matching 7's next occurrence.
+	fmt.Println(s[0] == r[2])
+	// Output:
+	// true
+}
+
+// A multi-way join: one hub stream joined by two spokes sharing a cache.
+func ExampleRunMultiJoin() {
+	mk := func() stochstream.Process {
+		return &stochstream.LinearTrend{Slope: 1, Intercept: 0, Noise: stochstream.BoundedNormal(2, 12)}
+	}
+	cfg := stochstream.MultiJoinConfig{
+		Procs:     []stochstream.Process{mk(), mk(), mk()},
+		Edges:     []stochstream.MultiJoinEdge{{A: 0, B: 1}, {A: 0, B: 2}},
+		CacheSize: 9,
+		Warmup:    -1,
+	}
+	rng := stochstream.NewRNG(5)
+	streams := make([][]int, 3)
+	for i := range streams {
+		streams[i] = cfg.Procs[i].Generate(rng, 2000)
+	}
+	res, err := stochstream.RunMultiJoin(streams, &stochstream.MultiHEEB{}, cfg, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// The hub participates in both joins, so HEEB gives it the cache share.
+	fmt.Println("hub favored:", res.Occupancy[0] > res.Occupancy[1] && res.Occupancy[0] > res.Occupancy[2])
+	// Output:
+	// hub favored: true
+}
+
+// Embedding the online operator: push tuples, receive joined pairs.
+func ExampleNewOperator() {
+	r := &stochstream.LinearTrend{Slope: 1, Intercept: 0, Noise: stochstream.BoundedNormal(1, 5)}
+	s := &stochstream.LinearTrend{Slope: 1, Intercept: 0, Noise: stochstream.BoundedNormal(1, 5)}
+	op, err := stochstream.NewOperator(stochstream.OperatorConfig{
+		CacheSize: 4,
+		Procs:     [2]stochstream.Process{r, s},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Feed a match one step apart: R emits key 7, then S emits key 7.
+	op.Step(stochstream.OperatorTuple{Key: 7, Payload: "reading#1"}, stochstream.OperatorTuple{Key: 99})
+	pairs := op.Step(stochstream.OperatorTuple{Key: 98}, stochstream.OperatorTuple{Key: 7, Payload: "reading#2"})
+	for _, p := range pairs {
+		fmt.Printf("matched %v with %v at t=%d\n", p.R.Payload, p.S.Payload, p.Time)
+	}
+	// Output:
+	// matched reading#1 with reading#2 at t=1
+}

@@ -1,0 +1,363 @@
+// Package cachepolicy implements the classic and model-driven replacement
+// policies the paper's caching experiments compare: LRU, perfect LFU
+// (PROB's caching analogue), LRU-k, RAND, the offline-optimal LFD, the
+// model-based Ao of Aho/Denning/Ullman, and HEEB for caching (direct
+// first-reference form for independent reference streams, and the
+// precomputed h2 surface for AR(1) streams such as REAL).
+package cachepolicy
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"stochstream/internal/core"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+// LRU evicts the least recently used value. "Perfect" in the paper's sense:
+// it tracks exact recency over the whole run.
+type LRU struct {
+	last map[int]int
+}
+
+// Name implements cachesim.Policy.
+func (p *LRU) Name() string { return "LRU" }
+
+// Reset implements cachesim.Policy.
+func (p *LRU) Reset(int, []int, *stats.RNG) { p.last = make(map[int]int) }
+
+// Touch implements cachesim.Policy.
+func (p *LRU) Touch(t, v int, _ bool) { p.last[v] = t }
+
+// Victim implements cachesim.Policy.
+func (p *LRU) Victim(_ int, _ int, cached []int) (int, bool) {
+	best, bestT := 0, math.MaxInt
+	for i, v := range cached {
+		if lt := p.last[v]; lt < bestT {
+			best, bestT = i, lt
+		}
+	}
+	return best, true
+}
+
+// LFU evicts the least frequently used value, counting every reference from
+// the start of the run (perfect LFU — the paper's PROB for caching). The
+// incoming value competes too: if it is the least frequent, it is not
+// admitted.
+type LFU struct {
+	count map[int]int
+}
+
+// Name implements cachesim.Policy.
+func (p *LFU) Name() string { return "PROB(LFU)" }
+
+// Reset implements cachesim.Policy.
+func (p *LFU) Reset(int, []int, *stats.RNG) { p.count = make(map[int]int) }
+
+// Touch implements cachesim.Policy.
+func (p *LFU) Touch(_, v int, _ bool) { p.count[v]++ }
+
+// Victim implements cachesim.Policy. The least frequent of cached ∪
+// {incoming} loses; ties break on the smaller value so the decision is a
+// pure function of the cache contents and reference history (Theorem 1's
+// reduction requires order-independence).
+func (p *LFU) Victim(_ int, v int, cached []int) (int, bool) {
+	best, bestC, bestV := -1, p.count[v], v
+	for i, cv := range cached {
+		c := p.count[cv]
+		if c < bestC || (c == bestC && cv < bestV) {
+			best, bestC, bestV = i, c, cv
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// LRUK is the LRU-k policy of O'Neil et al.: evict the value whose k-th most
+// recent reference is oldest (values with fewer than k references count as
+// infinitely old, falling back to plain LRU order among themselves).
+type LRUK struct {
+	K    int
+	hist map[int][]int
+}
+
+// Name implements cachesim.Policy.
+func (p *LRUK) Name() string { return "LRU-" + strconv.Itoa(p.K) }
+
+// Reset implements cachesim.Policy.
+func (p *LRUK) Reset(int, []int, *stats.RNG) {
+	if p.K < 1 {
+		panic("cachepolicy: LRU-k requires K >= 1")
+	}
+	p.hist = make(map[int][]int)
+}
+
+// Touch implements cachesim.Policy.
+func (p *LRUK) Touch(t, v int, _ bool) {
+	h := append(p.hist[v], t)
+	if len(h) > p.K {
+		h = h[len(h)-p.K:]
+	}
+	p.hist[v] = h
+}
+
+// kDistance returns the time of the k-th most recent reference, or
+// math.MinInt64-ish when fewer than k references exist.
+func (p *LRUK) kDistance(v int) (kth int, full bool, last int) {
+	h := p.hist[v]
+	if len(h) == 0 {
+		return math.MinInt32, false, math.MinInt32
+	}
+	last = h[len(h)-1]
+	if len(h) < p.K {
+		return math.MinInt32, false, last
+	}
+	return h[len(h)-p.K], true, last
+}
+
+// Victim implements cachesim.Policy.
+func (p *LRUK) Victim(_ int, _ int, cached []int) (int, bool) {
+	best := 0
+	bk, bf, bl := p.kDistance(cached[0])
+	for i := 1; i < len(cached); i++ {
+		k, f, l := p.kDistance(cached[i])
+		// Prefer evicting values without a full k-history; among those,
+		// least-recently-used; among full histories, oldest k-th reference.
+		worse := false
+		switch {
+		case !f && bf:
+			worse = true
+		case f == bf && !f:
+			worse = l < bl
+		case f == bf:
+			worse = k < bk
+		}
+		if worse {
+			best, bk, bf, bl = i, k, f, l
+		}
+	}
+	return best, true
+}
+
+// Rand evicts a uniformly random cached value.
+type Rand struct{ rng *stats.RNG }
+
+// Name implements cachesim.Policy.
+func (p *Rand) Name() string { return "RAND" }
+
+// Reset implements cachesim.Policy.
+func (p *Rand) Reset(_ int, _ []int, rng *stats.RNG) { p.rng = rng }
+
+// Touch implements cachesim.Policy.
+func (p *Rand) Touch(int, int, bool) {}
+
+// Victim implements cachesim.Policy.
+func (p *Rand) Victim(_ int, _ int, cached []int) (int, bool) {
+	return p.rng.IntN(len(cached)), true
+}
+
+// LFD is Belady's offline-optimal policy (Section 5.1 re-derives it from
+// single-step offline ECBs): evict the value referenced farthest in the
+// future, preferring values never referenced again — including the incoming
+// value, which is not admitted if its own next reference is the farthest.
+type LFD struct {
+	// upcoming[v]: sorted future reference times, consumed as time passes.
+	upcoming map[int][]int
+}
+
+// Name implements cachesim.Policy.
+func (p *LFD) Name() string { return "LFD" }
+
+// Reset implements cachesim.Policy.
+func (p *LFD) Reset(_ int, refs []int, _ *stats.RNG) {
+	p.upcoming = make(map[int][]int)
+	for t, v := range refs {
+		p.upcoming[v] = append(p.upcoming[v], t)
+	}
+}
+
+// Touch implements cachesim.Policy: consume the occurrence list as time
+// advances so nextUse stays O(log n).
+func (p *LFD) Touch(t, v int, _ bool) {
+	u := p.upcoming[v]
+	for len(u) > 0 && u[0] <= t {
+		u = u[1:]
+	}
+	p.upcoming[v] = u
+}
+
+// nextUse returns the next reference time of v strictly after t, or MaxInt.
+func (p *LFD) nextUse(t, v int) int {
+	u := p.upcoming[v]
+	i := sort.SearchInts(u, t+1)
+	if i == len(u) {
+		return math.MaxInt
+	}
+	return u[i]
+}
+
+// Victim implements cachesim.Policy. Among values never referenced again
+// (equal "infinite" distances) the larger value is evicted, so the decision
+// is a pure function of the cache contents — any choice is equally optimal,
+// but order-independence is what the Theorem 1 reduction tests rely on.
+func (p *LFD) Victim(t int, v int, cached []int) (int, bool) {
+	bestIdx, bestNext, bestV := -1, p.nextUse(t, v), v
+	for i, cv := range cached {
+		nu := p.nextUse(t, cv)
+		if nu > bestNext || (nu == bestNext && cv > bestV) {
+			bestIdx, bestNext, bestV = i, nu, cv
+		}
+	}
+	if bestIdx < 0 {
+		return 0, false // the incoming value itself is the farthest
+	}
+	return bestIdx, true
+}
+
+// Ao is the model-based optimal policy of Aho, Denning and Ullman for
+// (almost) stationary reference streams: evict the value with the lowest
+// reference probability under the model, the incoming value included.
+// Section 5.2 re-derives its optimality from ECB dominance.
+type Ao struct {
+	// P reports the model's reference probability of value v at time t.
+	P func(t, v int) float64
+}
+
+// Name implements cachesim.Policy.
+func (p *Ao) Name() string { return "A0" }
+
+// Reset implements cachesim.Policy.
+func (p *Ao) Reset(int, []int, *stats.RNG) {
+	if p.P == nil {
+		panic("cachepolicy: Ao requires a probability model")
+	}
+}
+
+// Touch implements cachesim.Policy.
+func (p *Ao) Touch(int, int, bool) {}
+
+// Victim implements cachesim.Policy.
+func (p *Ao) Victim(t int, v int, cached []int) (int, bool) {
+	bestIdx, bestP := -1, p.P(t, v)
+	for i, cv := range cached {
+		if pr := p.P(t, cv); pr < bestP {
+			bestIdx, bestP = i, pr
+		}
+	}
+	if bestIdx < 0 {
+		return 0, false
+	}
+	return bestIdx, true
+}
+
+// HEEB is the paper's heuristic applied to the caching problem. For AR(1)
+// reference streams (REAL) it scores through the precomputed h2 surface of
+// Theorem 5 with Lexp(α = cache size, per Section 6.5); for independent
+// streams it uses the direct first-reference form of Corollary 1.
+type HEEB struct {
+	// Model is the reference-stream model. AR(1) and GaussianWalk models
+	// use precomputed marginal scoring; independent models use CacheH.
+	Model process.Process
+	// Alpha overrides Lexp's α (0 = cache capacity).
+	Alpha float64
+	// ControlPoints sets the h2 control grid (0 = 5, the paper's 25-point
+	// grid).
+	ControlPoints int
+	// FallbackHorizon bounds sums for non-decaying L (0 = 1000).
+	FallbackHorizon int
+
+	alpha  float64
+	h2     *core.H2
+	h1     *core.H1
+	markov *process.MarkovChain
+	hist   *process.History
+}
+
+// Name implements cachesim.Policy.
+func (p *HEEB) Name() string { return "HEEB" }
+
+// Reset implements cachesim.Policy.
+func (p *HEEB) Reset(capacity int, _ []int, _ *stats.RNG) {
+	if p.Model == nil {
+		panic("cachepolicy: HEEB requires a reference-stream model")
+	}
+	p.alpha = p.Alpha
+	if p.alpha == 0 {
+		p.alpha = float64(capacity)
+	}
+	if p.FallbackHorizon == 0 {
+		p.FallbackHorizon = 1000
+	}
+	cp := p.ControlPoints
+	if cp == 0 {
+		cp = 5
+	}
+	p.hist = process.NewHistory()
+	p.h1, p.h2, p.markov = nil, nil, nil
+	l := core.LExp{Alpha: p.alpha}
+	switch m := p.Model.(type) {
+	case *process.AR1:
+		mean := m.Phi0 / (1 - m.Phi1)
+		sd := m.Sigma / math.Sqrt(1-m.Phi1*m.Phi1)
+		lo, hi := int(mean-4*sd), int(mean+4*sd)
+		h2, err := core.PrecomputeH2(m, l, lo, hi, lo, hi, cp, cp, p.FallbackHorizon)
+		if err != nil {
+			panic("cachepolicy: h2 precomputation failed: " + err.Error())
+		}
+		p.h2 = h2
+	case *process.GaussianWalk:
+		r := int(math.Ceil(6*m.Sigma*math.Sqrt(3*p.alpha))) + 5
+		lo := -r + min(0, int(3*m.Drift*p.alpha))
+		hi := r + max(0, int(3*m.Drift*p.alpha))
+		h1, err := core.PrecomputeH1(m, l, lo, hi, 1, p.FallbackHorizon)
+		if err != nil {
+			panic("cachepolicy: h1 precomputation failed: " + err.Error())
+		}
+		p.h1 = h1
+	case *process.MarkovChain:
+		p.markov = m
+	}
+}
+
+// Touch implements cachesim.Policy.
+func (p *HEEB) Touch(_, v int, _ bool) { p.hist.Append(v) }
+
+func (p *HEEB) score(v int) float64 {
+	switch {
+	case p.h2 != nil:
+		return p.h2.At(p.hist.Last(), v)
+	case p.h1 != nil:
+		return p.h1.At(p.hist.Last(), v)
+	case p.markov != nil:
+		// Exact first-reference score by first-passage DP over the chain.
+		return core.MarkovFirstPassageH(p.markov, p.hist.Last(), v, core.LExp{Alpha: p.alpha}, p.FallbackHorizon)
+	default:
+		return core.CacheH(p.Model, p.hist, v, core.LExp{Alpha: p.alpha}, p.FallbackHorizon)
+	}
+}
+
+// Victim implements cachesim.Policy. With a precomputed h2 surface the
+// candidates share one spline section for the current observation, so a
+// decision over the whole cache costs one section build plus O(log) per
+// candidate.
+func (p *HEEB) Victim(_ int, v int, cached []int) (int, bool) {
+	score := p.score
+	if p.h2 != nil {
+		sec := p.h2.Section(p.hist.Last())
+		score = func(u int) float64 { return sec(u) }
+	}
+	bestIdx, bestH := -1, score(v)
+	for i, cv := range cached {
+		if h := score(cv); h < bestH {
+			bestIdx, bestH = i, h
+		}
+	}
+	if bestIdx < 0 {
+		return 0, false
+	}
+	return bestIdx, true
+}

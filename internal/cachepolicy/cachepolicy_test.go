@@ -1,0 +1,267 @@
+package cachepolicy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stochstream/internal/cachesim"
+	"stochstream/internal/dist"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+func run(refs []int, p cachesim.Policy, capacity int, seed uint64) cachesim.Result {
+	return cachesim.Run(refs, p, cachesim.Config{Capacity: capacity}, stats.NewRNG(seed))
+}
+
+func TestLRUClassicSequence(t *testing.T) {
+	// Belady's anomaly playground: 1,2,3,4,1,2,5,1,2,3,4,5 with capacity 3
+	// under LRU yields 10 misses.
+	refs := []int{1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5}
+	res := run(refs, &LRU{}, 3, 1)
+	if res.Misses != 10 {
+		t.Fatalf("LRU misses = %d, want 10", res.Misses)
+	}
+}
+
+func TestLFUKeepsHotValue(t *testing.T) {
+	// Value 1 is hot; LFU must never evict it once frequencies diverge.
+	refs := []int{1, 1, 1, 1, 2, 3, 4, 1, 2, 3, 4, 1}
+	res := run(refs, &LFU{}, 2, 1)
+	// 1 hits on every re-reference after the first.
+	hits1 := 0
+	seen := false
+	for _, v := range refs {
+		if v == 1 {
+			if seen {
+				hits1++
+			}
+			seen = true
+		}
+	}
+	if res.Hits < hits1 {
+		t.Fatalf("LFU hits = %d, want at least the %d hot-value re-references", res.Hits, hits1)
+	}
+}
+
+func TestLFUDeclinesColdAdmission(t *testing.T) {
+	// Cache full of hot values: a one-off value must not displace them.
+	p := &LFU{}
+	p.Reset(2, nil, nil)
+	for i := 0; i < 5; i++ {
+		p.Touch(i, 100, true)
+		p.Touch(i, 200, true)
+	}
+	p.Touch(10, 7, false)
+	if _, admit := p.Victim(10, 7, []int{100, 200}); admit {
+		t.Fatal("LFU admitted a cold value over hot ones")
+	}
+}
+
+func TestLRUKPrefersEvictingSingleReferenceValues(t *testing.T) {
+	p := &LRUK{K: 2}
+	p.Reset(3, nil, nil)
+	// 10 referenced twice (old), 20 referenced once (recent).
+	p.Touch(0, 10, false)
+	p.Touch(1, 10, true)
+	p.Touch(5, 20, false)
+	v, admit := p.Victim(6, 30, []int{10, 20})
+	if !admit || v != 1 {
+		t.Fatalf("LRU-2 victim = %d, want 20 (no full k-history)", v)
+	}
+}
+
+func TestLRUKDegeneratesToLRUForK1(t *testing.T) {
+	refs := []int{1, 2, 3, 1, 4, 2, 5, 1, 2, 3}
+	a := run(refs, &LRUK{K: 1}, 2, 1)
+	b := run(refs, &LRU{}, 2, 1)
+	if a.Hits != b.Hits {
+		t.Fatalf("LRU-1 hits %d != LRU hits %d", a.Hits, b.Hits)
+	}
+}
+
+func TestLRUKRequiresPositiveK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("K=0 did not panic")
+		}
+	}()
+	(&LRUK{}).Reset(1, nil, nil)
+}
+
+func TestLFDIsOptimalOnBeladySequence(t *testing.T) {
+	refs := []int{1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5}
+	res := run(refs, &LFD{}, 3, 1)
+	// OPT (Belady) incurs 7 misses on this classic sequence with capacity 3.
+	if res.Misses != 7 {
+		t.Fatalf("LFD misses = %d, want 7", res.Misses)
+	}
+}
+
+// LFD never loses to any online policy on random traces.
+func TestQuickLFDOptimality(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 10 + rng.IntN(100)
+		vals := 3 + rng.IntN(6)
+		refs := make([]int, n)
+		for i := range refs {
+			refs[i] = rng.IntN(vals)
+		}
+		capacity := 1 + rng.IntN(3)
+		lfd := run(refs, &LFD{}, capacity, seed)
+		for _, p := range []cachesim.Policy{&LRU{}, &LFU{}, &LRUK{K: 2}, &Rand{}} {
+			if run(refs, p, capacity, seed).Hits > lfd.Hits {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAoMatchesLFUOrderingForStationary(t *testing.T) {
+	// With the true stationary probabilities, Ao evicts the lowest-p value.
+	probs := map[int]float64{1: 0.5, 2: 0.3, 3: 0.2}
+	ao := &Ao{P: func(_, v int) float64 { return probs[v] }}
+	ao.Reset(2, nil, nil)
+	v, admit := ao.Victim(0, 2, []int{1, 3})
+	if !admit || v != 1 {
+		t.Fatalf("Ao victim = %d admit=%v, want index 1 (value 3)", v, admit)
+	}
+	// Incoming value with the lowest probability is not admitted.
+	if _, admit := ao.Victim(0, 3, []int{1, 2}); admit {
+		t.Fatal("Ao admitted the least probable value")
+	}
+}
+
+func TestAoBeatsLRUOnSkewedStationaryStream(t *testing.T) {
+	p := dist.NewTable(0, []float64{40, 20, 10, 8, 6, 5, 4, 3, 2, 2})
+	proc := &process.Stationary{P: p}
+	refs := proc.Generate(stats.NewRNG(8), 4000)
+	ao := &Ao{P: func(_, v int) float64 { return p.Prob(v) }}
+	aoRes := run(refs, ao, 3, 1)
+	lruRes := run(refs, &LRU{}, 3, 1)
+	if aoRes.Hits < lruRes.Hits {
+		t.Fatalf("Ao hits %d < LRU hits %d on stationary skewed stream", aoRes.Hits, lruRes.Hits)
+	}
+}
+
+func TestAoRequiresModel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ao without model did not panic")
+		}
+	}()
+	(&Ao{}).Reset(1, nil, nil)
+}
+
+func TestHEEBRequiresModel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HEEB without model did not panic")
+		}
+	}()
+	(&HEEB{}).Reset(1, nil, nil)
+}
+
+func TestHEEBCachingAR1BeatsRandAndTracksLFD(t *testing.T) {
+	// REAL-style AR(1) reference stream (scaled by 10).
+	model := &process.AR1{Phi0: 55.9, Phi1: 0.72, Sigma: 42.2, Init: 200}
+	refs := model.Generate(stats.NewRNG(17), 3650)
+	capacity := 100
+	heeb := run(refs, &HEEB{Model: model}, capacity, 1)
+	randRes := run(refs, &Rand{}, capacity, 1)
+	lfd := run(refs, &LFD{}, capacity, 1)
+	if heeb.Misses >= randRes.Misses {
+		t.Fatalf("HEEB misses %d >= RAND misses %d", heeb.Misses, randRes.Misses)
+	}
+	if heeb.Misses < lfd.Misses {
+		t.Fatalf("HEEB beat the offline optimum (%d < %d): accounting bug", heeb.Misses, lfd.Misses)
+	}
+}
+
+func TestHEEBCachingWalkUsesH1(t *testing.T) {
+	model := &process.GaussianWalk{Sigma: 1, Init: 0}
+	refs := model.Generate(stats.NewRNG(3), 1500)
+	heeb := &HEEB{Model: model}
+	res := run(refs, heeb, 20, 1)
+	if heeb.h1 == nil {
+		t.Fatal("walk model should precompute h1")
+	}
+	randRes := run(refs, &Rand{}, 20, 1)
+	if res.Misses > randRes.Misses {
+		t.Fatalf("HEEB(h1) misses %d > RAND %d", res.Misses, randRes.Misses)
+	}
+}
+
+func TestHEEBCachingStationaryUsesDirectForm(t *testing.T) {
+	p := dist.NewTable(0, []float64{5, 4, 3, 2, 1})
+	model := &process.Stationary{P: p}
+	refs := model.Generate(stats.NewRNG(5), 2000)
+	heeb := &HEEB{Model: model}
+	res := run(refs, heeb, 2, 1)
+	if heeb.h1 != nil || heeb.h2 != nil {
+		t.Fatal("stationary model should use the direct CacheH form")
+	}
+	// For a stationary stream HEEB's ordering coincides with Ao/LFU
+	// (Section 5.2), so it must match Ao's hits.
+	ao := &Ao{P: func(_, v int) float64 { return p.Prob(v) }}
+	aoRes := run(refs, ao, 2, 1)
+	if res.Hits != aoRes.Hits {
+		t.Fatalf("HEEB hits %d != Ao hits %d on stationary stream", res.Hits, aoRes.Hits)
+	}
+}
+
+func TestRandVictimInRange(t *testing.T) {
+	p := &Rand{}
+	p.Reset(3, nil, stats.NewRNG(1))
+	for i := 0; i < 100; i++ {
+		v, admit := p.Victim(i, 9, []int{1, 2, 3})
+		if !admit || v < 0 || v > 2 {
+			t.Fatalf("bad victim %d", v)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for p, want := range map[interface{ Name() string }]string{
+		&LRU{}: "LRU", &LFU{}: "PROB(LFU)", &LRUK{K: 2}: "LRU-2",
+		&Rand{}: "RAND", &LFD{}: "LFD", &Ao{}: "A0", &HEEB{}: "HEEB",
+	} {
+		if got := p.Name(); got != want {
+			t.Fatalf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestHEEBCachingMarkovChain(t *testing.T) {
+	// A strongly structured chain: a few "hot loop" states and rarely
+	// visited cold states. HEEB's first-passage scoring should beat RAND.
+	p := [][]float64{
+		{0.6, 0.3, 0.05, 0.05},
+		{0.3, 0.6, 0.05, 0.05},
+		{0.45, 0.45, 0.05, 0.05},
+		{0.45, 0.45, 0.05, 0.05},
+	}
+	model, err := process.NewMarkovChain(0, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := model.Generate(stats.NewRNG(21), 3000)
+	heeb := &HEEB{Model: model}
+	res := run(refs, heeb, 2, 1)
+	if heeb.markov == nil {
+		t.Fatal("Markov model should select the first-passage scorer")
+	}
+	randRes := run(refs, &Rand{}, 2, 1)
+	lfd := run(refs, &LFD{}, 2, 1)
+	if res.Misses > randRes.Misses {
+		t.Fatalf("HEEB(markov) misses %d > RAND %d", res.Misses, randRes.Misses)
+	}
+	if res.Misses < lfd.Misses {
+		t.Fatalf("HEEB beat LFD (%d < %d)", res.Misses, lfd.Misses)
+	}
+}

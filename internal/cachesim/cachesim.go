@@ -1,0 +1,96 @@
+// Package cachesim simulates the paper's caching problem: an equijoin
+// between a reference stream and a database relation through a fixed-size
+// cache of database tuples, counting hits and misses. It also implements the
+// Section 2 reduction from caching to joining (Theorem 1), which the tests
+// use to cross-validate the two simulators.
+package cachesim
+
+import (
+	"fmt"
+
+	"stochstream/internal/stats"
+)
+
+// Policy is a cache-replacement policy for the caching problem. Every
+// reference tuple joins exactly one database tuple (identified by its join
+// attribute value), so the cache holds plain values.
+type Policy interface {
+	// Name identifies the policy in experiment reports.
+	Name() string
+	// Reset prepares for a new run over the given reference sequence. refs
+	// is provided so offline policies (LFD) can see the future; online
+	// policies must only use it through Touch.
+	Reset(capacity int, refs []int, rng *stats.RNG)
+	// Touch is called on every reference so the policy can maintain
+	// recency/frequency state.
+	Touch(t int, v int, hit bool)
+	// Victim chooses which cached value to evict to admit v after a miss at
+	// time t, or returns admit = false to leave the cache unchanged (the
+	// fetched tuple is not cached). victim indexes cached.
+	Victim(t int, v int, cached []int) (victim int, admit bool)
+}
+
+// Result summarizes one caching run.
+type Result struct {
+	Hits   int
+	Misses int
+	// MissesAfterWarmup counts misses at t >= warmup.
+	MissesAfterWarmup int
+	// HitTrace, when requested, records per-step hit (1) / miss (0).
+	HitTrace []byte
+}
+
+// Config controls a run.
+type Config struct {
+	Capacity int
+	// Warmup excludes early steps from MissesAfterWarmup (Misses always
+	// counts everything, matching the paper's Figure 13 single-run totals).
+	Warmup int
+	// TrackTrace records the per-step hit trace.
+	TrackTrace bool
+}
+
+// Run replays the reference sequence against the policy.
+func Run(refs []int, p Policy, cfg Config, rng *stats.RNG) Result {
+	if cfg.Capacity < 1 {
+		panic("cachesim: capacity must be >= 1")
+	}
+	p.Reset(cfg.Capacity, refs, rng)
+	cache := make([]int, 0, cfg.Capacity)
+	pos := make(map[int]int, cfg.Capacity) // value -> index in cache
+	var res Result
+	if cfg.TrackTrace {
+		res.HitTrace = make([]byte, 0, len(refs))
+	}
+	for t, v := range refs {
+		_, hit := pos[v]
+		p.Touch(t, v, hit)
+		if hit {
+			res.Hits++
+		} else {
+			res.Misses++
+			if t >= cfg.Warmup {
+				res.MissesAfterWarmup++
+			}
+			if len(cache) < cfg.Capacity {
+				pos[v] = len(cache)
+				cache = append(cache, v)
+			} else if victim, admit := p.Victim(t, v, cache); admit {
+				if victim < 0 || victim >= len(cache) {
+					panic(fmt.Sprintf("cachesim: policy %s returned invalid victim %d", p.Name(), victim))
+				}
+				delete(pos, cache[victim])
+				cache[victim] = v
+				pos[v] = victim
+			}
+		}
+		if cfg.TrackTrace {
+			b := byte(0)
+			if hit {
+				b = 1
+			}
+			res.HitTrace = append(res.HitTrace, b)
+		}
+	}
+	return res
+}

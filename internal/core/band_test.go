@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stochstream/internal/dist"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+func TestBandProb(t *testing.T) {
+	u := dist.NewUniform(0, 9)
+	if got := BandProb(u, 5, 0); !almostEqual(got, 0.1, 1e-12) {
+		t.Fatalf("eps=0: %v", got)
+	}
+	if got := BandProb(u, 5, 2); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("eps=2: %v", got)
+	}
+	// Band clipped at the support edge.
+	if got := BandProb(u, 0, 3); !almostEqual(got, 0.4, 1e-12) {
+		t.Fatalf("edge band: %v", got)
+	}
+	if got := BandProb(u, 100, 2); got != 0 {
+		t.Fatalf("far band: %v", got)
+	}
+}
+
+func TestBandJoinECBReducesToJoinECB(t *testing.T) {
+	partner := &process.LinearTrend{Slope: 1, Intercept: 0, Noise: dist.BoundedNormal(2, 10)}
+	h := process.NewHistory(make([]int, 11)...)
+	for _, v := range []int{5, 10, 15} {
+		a := JoinECB(partner, h, v, 20)
+		b := BandJoinECB(partner, h, v, 0, 20)
+		for dt := 1; dt <= 20; dt++ {
+			if !almostEqual(a.At(dt), b.At(dt), 1e-12) {
+				t.Fatalf("eps=0 mismatch at v=%d dt=%d", v, dt)
+			}
+		}
+	}
+}
+
+func TestBandJoinECBMonotoneInEps(t *testing.T) {
+	partner := &process.Stationary{P: dist.BoundedNormal(3, 12)}
+	h := process.NewHistory(0)
+	prev := BandJoinECB(partner, h, 2, 0, 10)
+	for eps := 1; eps <= 4; eps++ {
+		cur := BandJoinECB(partner, h, 2, eps, 10)
+		if !Dominates(cur, prev) {
+			t.Fatalf("widening the band must not reduce the ECB (eps=%d)", eps)
+		}
+		prev = cur
+	}
+}
+
+func TestBandJoinHMatchesHandComputation(t *testing.T) {
+	// Stationary uniform partner on [0,9]: band prob of v=5, eps=1 is 0.3.
+	partner := &process.Stationary{P: dist.NewUniform(0, 9)}
+	h := process.NewHistory(0)
+	l := LFixed{DT: 4}
+	got := BandJoinH(partner, h, 5, 1, l, 10)
+	if !almostEqual(got, 0.3*4, 1e-12) {
+		t.Fatalf("BandJoinH = %v, want 1.2", got)
+	}
+}
+
+func TestOptOfflineBandJoinTrivial(t *testing.T) {
+	// R produces 10 at t=0; S produces 12 at t=1: joins only when eps >= 2.
+	r := []int{10, 0}
+	s := []int{99, 12}
+	if got := OptOfflineBandJoin(r, s, 1, 1, 0); got.Total != 0 {
+		t.Fatalf("eps=1 Total = %d, want 0", got.Total)
+	}
+	if got := OptOfflineBandJoin(r, s, 1, 2, 0); got.Total != 1 {
+		t.Fatalf("eps=2 Total = %d, want 1", got.Total)
+	}
+}
+
+func TestOptOfflineBandJoinEpsZeroDelegates(t *testing.T) {
+	rng := stats.NewRNG(5)
+	r := make([]int, 20)
+	s := make([]int, 20)
+	for i := range r {
+		r[i] = rng.IntN(5)
+		s[i] = rng.IntN(5)
+	}
+	a := OptOfflineJoin(r, s, 2, 0)
+	b := OptOfflineBandJoin(r, s, 2, 0, 0)
+	if a.Total != b.Total {
+		t.Fatalf("eps=0 mismatch: %d vs %d", a.Total, b.Total)
+	}
+}
+
+// Brute force for band joins mirrors bruteOptJoin with a band predicate.
+func bruteOptBandJoin(r, s []int, k, eps, window int) int {
+	n := len(r)
+	type tup struct {
+		stream  StreamID
+		arrived int
+	}
+	valueOf := func(t tup) int {
+		if t.stream == StreamR {
+			return r[t.arrived]
+		}
+		return s[t.arrived]
+	}
+	match := func(a, b int) bool {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d <= eps
+	}
+	var best int
+	var rec func(t int, cache []tup, acc int)
+	rec = func(t int, cache []tup, acc int) {
+		if t == n {
+			if acc > best {
+				best = acc
+			}
+			return
+		}
+		arrivals := []tup{{StreamR, t}, {StreamS, t}}
+		gained := 0
+		for _, a := range arrivals {
+			for _, c := range cache {
+				if c.stream != a.stream && match(valueOf(c), valueOf(a)) {
+					if window <= 0 || t-c.arrived <= window {
+						gained++
+					}
+				}
+			}
+		}
+		pool := append(append([]tup(nil), cache...), arrivals...)
+		m := len(pool)
+		for mask := 0; mask < 1<<m; mask++ {
+			cnt := 0
+			for i := 0; i < m; i++ {
+				if mask&(1<<i) != 0 {
+					cnt++
+				}
+			}
+			if cnt > k {
+				continue
+			}
+			next := make([]tup, 0, cnt)
+			for i := 0; i < m; i++ {
+				if mask&(1<<i) != 0 {
+					next = append(next, pool[i])
+				}
+			}
+			rec(t+1, next, acc+gained)
+		}
+	}
+	rec(0, nil, 0)
+	return best
+}
+
+func TestQuickOptOfflineBandJoinMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 3 + rng.IntN(3)
+		k := 1 + rng.IntN(2)
+		eps := 1 + rng.IntN(2)
+		r := make([]int, n)
+		s := make([]int, n)
+		for i := range r {
+			r[i] = rng.IntN(6)
+			s[i] = rng.IntN(6)
+		}
+		window := 0
+		if rng.IntN(2) == 1 {
+			window = 1 + rng.IntN(3)
+		}
+		return OptOfflineBandJoin(r, s, k, eps, window).Total == bruteOptBandJoin(r, s, k, eps, window)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptOfflineBandJoinPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatch did not panic")
+		}
+	}()
+	OptOfflineBandJoin([]int{1}, []int{1, 2}, 1, 1, 0)
+}

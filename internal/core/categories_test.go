@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"stochstream/internal/dist"
+	"stochstream/internal/process"
+)
+
+// Section 5.3 / Appendix O: closed-form joining ECBs under linear trends
+// with bounded uniform noise (f(t) = t, noise intervals [−wR, wR] and
+// [−wS, wS] with wR < wS). The five candidate categories have explicit
+// formulas; these tests verify JoinECB reproduces each one.
+
+const (
+	wR = 10
+	wS = 15
+)
+
+// floorStreams builds the Section 5.3 setup at current time t0.
+func floorStreams(t0 int) (r, s process.Process, hR, hS *process.History) {
+	r = &process.LinearTrend{Slope: 1, Intercept: 0, Noise: dist.NewUniform(-wR, wR)}
+	s = &process.LinearTrend{Slope: 1, Intercept: 0, Noise: dist.NewUniform(-wS, wS)}
+	return r, s, process.NewHistory(make([]int, t0+1)...), process.NewHistory(make([]int, t0+1)...)
+}
+
+func TestCategoryR1ZeroECB(t *testing.T) {
+	// x from R with vx ≤ t0 − wS: already missed S's window.
+	t0 := 100
+	_, s, _, hS := floorStreams(t0)
+	b := JoinECB(s, hS, t0-wS, 40)
+	for dt := 1; dt <= 40; dt++ {
+		if b.At(dt) != 0 {
+			t.Fatalf("R1 ECB not zero at dt=%d: %v", dt, b.At(dt))
+		}
+	}
+}
+
+func TestCategoryR2Formula(t *testing.T) {
+	// x from R with vx ∈ (t0−wS, t0+wR]: benefit rate 1/(2wS+1) until the S
+	// window moves past, i.e. B(Δt) = min(Δt, vx−(t0−wS)) / (2wS+1).
+	t0 := 100
+	_, s, _, hS := floorStreams(t0)
+	for _, vx := range []int{t0 - wS + 1, t0 - 5, t0, t0 + wR} {
+		b := JoinECB(s, hS, vx, 60)
+		limit := vx - (t0 - wS)
+		for dt := 1; dt <= 60; dt++ {
+			steps := dt
+			if steps > limit {
+				steps = limit
+			}
+			want := float64(steps) / float64(2*wS+1)
+			if !almostEqual(b.At(dt), want, 1e-9) {
+				t.Fatalf("R2 vx=%d dt=%d: %v, want %v", vx, dt, b.At(dt), want)
+			}
+		}
+	}
+}
+
+func TestCategoryS1ZeroECB(t *testing.T) {
+	// x from S with vx ≤ t0 − wR: misses R's window.
+	t0 := 100
+	r, _, hR, _ := floorStreams(t0)
+	b := JoinECB(r, hR, t0-wR, 40)
+	for dt := 1; dt <= 40; dt++ {
+		if b.At(dt) != 0 {
+			t.Fatalf("S1 ECB not zero at dt=%d", dt)
+		}
+	}
+}
+
+func TestCategoryS2Formula(t *testing.T) {
+	// x from S with vx ∈ (t0−wR, t0+wR+1]: benefit rate 1/(2wR+1) from the
+	// next step until R's window passes: B(Δt) = min(Δt, vx−(t0−wR))/(2wR+1).
+	t0 := 100
+	r, _, hR, _ := floorStreams(t0)
+	for _, vx := range []int{t0 - wR + 1, t0, t0 + wR, t0 + wR + 1} {
+		b := JoinECB(r, hR, vx, 60)
+		limit := vx - (t0 - wR)
+		for dt := 1; dt <= 60; dt++ {
+			steps := dt
+			if steps > limit {
+				steps = limit
+			}
+			want := float64(steps) / float64(2*wR+1)
+			if !almostEqual(b.At(dt), want, 1e-9) {
+				t.Fatalf("S2 vx=%d dt=%d: %v, want %v", vx, dt, b.At(dt), want)
+			}
+		}
+	}
+}
+
+func TestCategoryS3Formula(t *testing.T) {
+	// x from S with vx ∈ (t0+wR+1, t0+wS]: zero until R's window reaches it
+	// at Δt = vx−(t0+wR), then rate 1/(2wR+1) for 2wR+1 steps, then flat at 1.
+	t0 := 100
+	r, _, hR, _ := floorStreams(t0)
+	for _, vx := range []int{t0 + wR + 2, t0 + wS} {
+		b := JoinECB(r, hR, vx, 80)
+		start := vx - (t0 + wR) // first Δt with nonzero increment
+		for dt := 1; dt <= 80; dt++ {
+			var want float64
+			switch {
+			case dt < start:
+				want = 0
+			case dt >= start+2*wR+1:
+				want = 1
+			default:
+				want = float64(dt-start+1) / float64(2*wR+1)
+			}
+			if !almostEqual(b.At(dt), want, 1e-9) {
+				t.Fatalf("S3 vx=%d dt=%d: %v, want %v", vx, dt, b.At(dt), want)
+			}
+		}
+	}
+}
+
+// Within each category, smaller values are dominated — the per-category
+// optimal-discard rule of Section 5.3.
+func TestWithinCategoryDominanceOrder(t *testing.T) {
+	t0 := 100
+	r, s, hR, hS := floorStreams(t0)
+	// R2 tuples ordered by value.
+	for v := t0 - wS + 2; v <= t0+wR; v++ {
+		hi := JoinECB(s, hS, v, 60)
+		lo := JoinECB(s, hS, v-1, 60)
+		if !Dominates(hi, lo) {
+			t.Fatalf("R2: value %d should dominate %d", v, v-1)
+		}
+	}
+	// S2 tuples likewise.
+	for v := t0 - wR + 2; v <= t0+wR+1; v++ {
+		hi := JoinECB(r, hR, v, 60)
+		lo := JoinECB(r, hR, v-1, 60)
+		if !Dominates(hi, lo) {
+			t.Fatalf("S2: value %d should dominate %d", v, v-1)
+		}
+	}
+}
+
+// Across categories R2 and S2, the paper's condition: x (R2) dominates y
+// (S2) iff (vx−(t0−wS))/(2wS+1) ≥ (vy−(t0−wR))/(2wR+1) ... and they are
+// incomparable when the rates and plateaus cross. Verify dominance matches
+// the plateau comparison combined with the rate comparison.
+func TestCrossCategoryComparisons(t *testing.T) {
+	t0 := 100
+	r, s, hR, hS := floorStreams(t0)
+	// An R2 tuple with a long remaining life but a slow rate...
+	x := JoinECB(s, hS, t0+wR, 80) // rate 1/31, plateau (wR+wS)/31 ≈ 0.806
+	// ...versus an S2 tuple with a fast rate but shorter life.
+	y := JoinECB(r, hR, t0+2, 80) // rate 1/21, plateau (wR+2)/21 ≈ 0.571
+	// y rises faster early; x plateaus higher: incomparable.
+	if Comparable(x, y) {
+		t.Fatalf("expected incomparable R2/S2 pair: x(1)=%v y(1)=%v xInf=%v yInf=%v",
+			x.At(1), y.At(1), x.At(80), y.At(80))
+	}
+	// S2's per-step rate 1/(2wR+1) always exceeds R2's 1/(2wS+1), so a
+	// maximally long-lived S2 tuple dominates every R2 tuple: it rises
+	// faster at every Δt and reaches plateau 1.
+	yStrong := JoinECB(r, hR, t0+wR+1, 80)
+	if !Dominates(yStrong, x) {
+		t.Fatal("longest-lived S2 tuple should dominate any R2 tuple")
+	}
+	// The converse can never hold while the S2 tuple is alive at Δt = 1.
+	if Dominates(x, yStrong) {
+		t.Fatal("R2 cannot dominate a live S2 (slower rate at Δt=1)")
+	}
+}

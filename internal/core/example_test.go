@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"fmt"
+
+	"stochstream/internal/core"
+	"stochstream/internal/dist"
+	"stochstream/internal/process"
+)
+
+// Computing an ECB for a stationary partner: B(Δt) = p(v)·Δt (Section 5.2).
+func ExampleJoinECB() {
+	partner := &process.Stationary{P: dist.NewTable(0, []float64{1, 3})} // p(1) = 0.75
+	h := process.NewHistory(0)
+	b := core.JoinECB(partner, h, 1, 4)
+	fmt.Printf("B(1)=%.2f B(4)=%.2f\n", b.At(1), b.At(4))
+	// Output:
+	// B(1)=0.75 B(4)=3.00
+}
+
+// Dominance certifies optimal discards: under a stationary partner the
+// less-frequent value is always the right one to evict (Theorem 3).
+func ExampleDominates() {
+	partner := &process.Stationary{P: dist.NewTable(0, []float64{1, 3})}
+	h := process.NewHistory(0)
+	hot := core.JoinECB(partner, h, 1, 8)
+	cold := core.JoinECB(partner, h, 0, 8)
+	fmt.Println(core.Dominates(hot, cold), core.StronglyDominates(hot, cold))
+	// Output:
+	// true true
+}
+
+// HEEB with Lfixed(ΔT) reduces to the ECB at ΔT (the Section 4.3 table).
+func ExampleJoinH() {
+	partner := &process.Stationary{P: dist.NewUniform(0, 9)}
+	h := process.NewHistory(0)
+	hFixed := core.JoinH(partner, h, 5, core.LFixed{DT: 3}, 10)
+	b := core.JoinECB(partner, h, 5, 10)
+	fmt.Printf("Hfixed=%.2f equals B(3)=%.2f\n", hFixed, b.At(3))
+	// Output:
+	// Hfixed=0.30 equals B(3)=0.30
+}
+
+// The offline optimum for fully known streams (OPT-offline of Das et al.).
+func ExampleOptOfflineJoin() {
+	r := []int{1, 9, 9, 9}
+	s := []int{8, 1, 8, 1}
+	res := core.OptOfflineJoin(r, s, 1, 0)
+	fmt.Println(res.Total, res.JoinTimes)
+	// Output:
+	// 2 [1 3]
+}
+
+// Precomputing h1 for a zero-drift random walk: the score peaks at the
+// current value and decays symmetrically (Section 5.5).
+func ExamplePrecomputeH1() {
+	walk := &process.GaussianWalk{Sigma: 1}
+	h1, err := core.PrecomputeH1(walk, core.NewLExp(10), -20, 20, 1, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(h1.At(100, 100) > h1.At(100, 105))
+	fmt.Printf("symmetric: %v\n", h1.At(100, 97) == h1.At(100, 103))
+	// Output:
+	// true
+	// symmetric: true
+}

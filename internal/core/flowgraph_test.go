@@ -1,0 +1,393 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"stochstream/internal/dist"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+// scripted is a test process whose per-step distributions are given
+// explicitly, indexed by absolute time. It models the carefully constructed
+// examples of Sections 3.4 and Theorem 2's brute-force checks.
+type scripted struct {
+	pmfs []dist.PMF
+	// dead is the PMF used beyond the script: a point mass at a value that
+	// joins nothing.
+	dead dist.PMF
+}
+
+func newScripted(pmfs ...dist.PMF) *scripted {
+	return &scripted{pmfs: pmfs, dead: dist.NewPointMass(process.NoValue)}
+}
+
+func (s *scripted) Forecast(h *process.History, delta int) dist.PMF {
+	t := h.T0() + delta
+	if t < 0 || t >= len(s.pmfs) {
+		return s.dead
+	}
+	return s.pmfs[t]
+}
+
+func (s *scripted) Generate(rng *stats.RNG, n int) []int {
+	out := make([]int, n)
+	for t := range out {
+		if t < len(s.pmfs) {
+			out[t] = dist.Sample(s.pmfs[t], rng.Float64())
+		} else {
+			out[t] = process.NoValue
+		}
+	}
+	return out
+}
+
+func (s *scripted) Independent() bool { return true }
+
+// pm is shorthand for a deterministic arrival.
+func pm(v int) dist.PMF { return dist.NewPointMass(v) }
+
+// two builds a two-point PMF: value v with probability p, a dead value
+// otherwise.
+func two(v int, p float64, deadV int) dist.PMF {
+	return dist.NewMixture([]dist.PMF{dist.NewPointMass(v), dist.NewPointMass(deadV)}, []float64{p, 1 - p})
+}
+
+// Section 3.4's counterexample, verbatim. Cache size 1; cached tuple is R
+// with value 1. Arrivals (t0 = 0):
+//
+//	t    new R                        new S
+//	t0   − (never joins)             2
+//	t0+1 2                           3 w.p. 0.5
+//	t0+2 3                           1 w.p. 0.8
+//	t0+3 2 w.p. 0.5                  1 w.p. 0.8
+//
+// FlowExpect's best predetermined sequence keeps the cached R tuple for an
+// expected benefit of 1.6, even though an adaptive strategy achieves 1.75.
+func section34Setup() ([]Candidate, [2]process.Process, [2]*process.History) {
+	// Distinct dead values so "−" tuples join nothing, ever.
+	rProc := newScripted(
+		pm(-101),          // t0: −
+		pm(2),             // t0+1
+		pm(3),             // t0+2
+		two(2, 0.5, -102), // t0+3
+	)
+	sProc := newScripted(
+		pm(2),             // t0
+		two(3, 0.5, -201), // t0+1
+		two(1, 0.8, -202), // t0+2
+		two(1, 0.8, -203), // t0+3
+	)
+	cands := []Candidate{
+		{Value: 1, Stream: StreamR},    // currently cached
+		{Value: -101, Stream: StreamR}, // new R arrival: −
+		{Value: 2, Stream: StreamS},    // new S arrival
+	}
+	hists := [2]*process.History{process.NewHistory(-101), process.NewHistory(2)}
+	return cands, [2]process.Process{rProc, sProc}, hists
+}
+
+func TestSection34FlowExpectKeepsCachedTuple(t *testing.T) {
+	cands, procs, hists := section34Setup()
+	dec, err := FlowExpectStep(cands, procs, hists, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(dec.ExpectedBenefit, 1.6, 1e-9) {
+		t.Fatalf("expected benefit = %v, want 1.6", dec.ExpectedBenefit)
+	}
+	if len(dec.Keep) != 1 || dec.Keep[0] != 0 {
+		t.Fatalf("Keep = %v, want [0] (the cached R tuple)", dec.Keep)
+	}
+}
+
+func TestSection34AlternativeSequencesScoreOnePointFive(t *testing.T) {
+	// Force the S(2) arrival to be kept by removing the cached R tuple from
+	// the candidates: the best predetermined sequence from there is 1.5.
+	cands, procs, hists := section34Setup()
+	dec, err := FlowExpectStep(cands[1:], procs, hists, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(dec.ExpectedBenefit, 1.5, 1e-9) {
+		t.Fatalf("expected benefit = %v, want 1.5", dec.ExpectedBenefit)
+	}
+	if len(dec.Keep) != 1 || cands[1:][dec.Keep[0]].Stream != StreamS {
+		t.Fatalf("Keep = %v, want the S(2) tuple", dec.Keep)
+	}
+}
+
+func TestSection34AdaptiveStrategyBeatsFlowExpect(t *testing.T) {
+	// The adaptive strategy of Section 3.4: cache S(2) now; at t0+1, if the
+	// new S tuple is 3, switch to it; keep afterwards. Expected benefit:
+	// 0.5·(1 + 1) + 0.5·(1 + 0.5) = 1.75 > 1.6.
+	// Computed here by direct expectation to document the gap.
+	pSwitch := 0.5
+	benefitIfSwitch := 1.0 + 1.0 // joins R(2) at t0+1, then S(3) joins R(3) at t0+2
+	benefitIfNot := 1.0 + 0.5    // joins R(2) at t0+1, keeps S(2), joins R at t0+3 w.p. 0.5
+	adaptive := pSwitch*benefitIfSwitch + (1-pSwitch)*benefitIfNot
+	if !almostEqual(adaptive, 1.75, 1e-12) {
+		t.Fatalf("adaptive benefit = %v, want 1.75", adaptive)
+	}
+	cands, procs, hists := section34Setup()
+	dec, err := FlowExpectStep(cands, procs, hists, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ExpectedBenefit >= adaptive {
+		t.Fatalf("FlowExpect %v should be beaten by the adaptive strategy %v", dec.ExpectedBenefit, adaptive)
+	}
+}
+
+// bruteBestSequence enumerates every predetermined replacement sequence over
+// the look-ahead window and returns the maximum expected benefit — the
+// quantity Theorem 2 says the min-cost flow computes.
+func bruteBestSequence(cands []Candidate, procs [2]process.Process, hists [2]*process.History, k, l int) float64 {
+	type entity struct {
+		determined bool
+		value      int
+		stream     StreamID
+		arriveOff  int
+	}
+	var entities []entity
+	for _, c := range cands {
+		entities = append(entities, entity{determined: true, value: c.Value, stream: c.Stream})
+	}
+	for off := 1; off <= l-1; off++ {
+		entities = append(entities, entity{stream: StreamR, arriveOff: off})
+		entities = append(entities, entity{stream: StreamS, arriveOff: off})
+	}
+	benefit := func(e int, off int) float64 {
+		ent := entities[e]
+		partner := ent.stream.Partner()
+		pf := procs[partner].Forecast(hists[partner], off)
+		if ent.determined {
+			return pf.Prob(ent.value)
+		}
+		own := procs[ent.stream].Forecast(hists[ent.stream], ent.arriveOff)
+		return dist.DotProduct(own, pf)
+	}
+	// State: sorted set of held entity indices. Recursive search over
+	// replacement choices at each slice.
+	var best float64 = math.Inf(-1)
+	var recurse func(off int, held []int, acc float64)
+	recurse = func(off int, held []int, acc float64) {
+		// Earn benefits for the arrival at off+1.
+		for _, e := range held {
+			acc += benefit(e, off+1)
+		}
+		if off == l-1 {
+			if acc > best {
+				best = acc
+			}
+			return
+		}
+		// Arrivals born at off+1 may replace held entities.
+		var arrivals []int
+		for e, ent := range entities {
+			if !ent.determined && ent.arriveOff == off+1 {
+				arrivals = append(arrivals, e)
+			}
+		}
+		// Choices: each arrival independently replaces one held entity or is
+		// discarded; two arrivals cannot replace the same entity.
+		var choose func(ai int, cur []int)
+		choose = func(ai int, cur []int) {
+			if ai == len(arrivals) {
+				recurse(off+1, cur, acc)
+				return
+			}
+			// Discard the arrival.
+			choose(ai+1, cur)
+			// Replace each held entity in turn (only original holds, not
+			// same-slice arrivals already swapped in).
+			for i, e := range cur {
+				if !entities[e].determined && entities[e].arriveOff == off+1 {
+					continue
+				}
+				next := append(append([]int(nil), cur[:i]...), cur[i+1:]...)
+				next = append(next, arrivals[ai])
+				choose(ai+1, next)
+			}
+		}
+		choose(0, held)
+	}
+	// Initial choice: keep k of the candidates.
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	var initial func(start int, cur []int)
+	initial = func(start int, cur []int) {
+		if len(cur) == k {
+			held := append([]int(nil), cur...)
+			recurse(0, held, 0)
+			return
+		}
+		for i := start; i < len(idx); i++ {
+			initial(i+1, append(cur, idx[i]))
+		}
+	}
+	initial(0, nil)
+	return best
+}
+
+// Theorem 2: the flow's optimum equals brute-force enumeration of
+// predetermined sequences on randomized small instances.
+func TestTheorem2FlowMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRNG(2025)
+	for trial := 0; trial < 40; trial++ {
+		k := 1 + rng.IntN(2) // cache 1 or 2
+		l := 2 + rng.IntN(2) // look-ahead 2 or 3
+		nc := k + 2
+		mkPMF := func() dist.PMF {
+			v := rng.IntN(4)
+			p := 0.2 + 0.8*rng.Float64()
+			return two(v, math.Round(p*8)/8, -(1000 + rng.IntN(100000)))
+		}
+		var rs, ss []dist.PMF
+		for i := 0; i < l+1; i++ {
+			rs = append(rs, mkPMF())
+			ss = append(ss, mkPMF())
+		}
+		procs := [2]process.Process{newScripted(rs...), newScripted(ss...)}
+		hists := [2]*process.History{process.NewHistory(0), process.NewHistory(0)}
+		cands := make([]Candidate, nc)
+		for i := range cands {
+			cands[i] = Candidate{Value: rng.IntN(4), Stream: StreamID(rng.IntN(2))}
+		}
+		dec, err := FlowExpectStep(cands, procs, hists, k, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteBestSequence(cands, procs, hists, k, l)
+		if !almostEqual(dec.ExpectedBenefit, want, 1e-9) {
+			t.Fatalf("trial %d (k=%d l=%d): flow %v != brute force %v", trial, k, l, dec.ExpectedBenefit, want)
+		}
+	}
+}
+
+func TestFlowExpectStepFitsWithoutEviction(t *testing.T) {
+	cands := []Candidate{{Value: 1, Stream: StreamR}, {Value: 2, Stream: StreamS}}
+	procs := [2]process.Process{
+		&process.Stationary{P: dist.NewUniform(0, 3)},
+		&process.Stationary{P: dist.NewUniform(0, 3)},
+	}
+	hists := [2]*process.History{process.NewHistory(0), process.NewHistory(0)}
+	dec, err := FlowExpectStep(cands, procs, hists, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Keep) != 2 {
+		t.Fatalf("Keep = %v, want both candidates", dec.Keep)
+	}
+}
+
+func TestFlowExpectStepLookaheadOne(t *testing.T) {
+	// l = 1: keep the candidates most likely to join the very next arrivals.
+	rProc := newScripted(pm(0), pm(7)) // next R arrival is 7
+	sProc := newScripted(pm(0), pm(9)) // next S arrival is 9
+	cands := []Candidate{
+		{Value: 9, Stream: StreamR}, // joins next S: benefit 1
+		{Value: 7, Stream: StreamR}, // does not join next S
+		{Value: 7, Stream: StreamS}, // joins next R: benefit 1
+	}
+	hists := [2]*process.History{process.NewHistory(0), process.NewHistory(0)}
+	dec, err := FlowExpectStep(cands, [2]process.Process{rProc, sProc}, hists, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(dec.ExpectedBenefit, 2, 1e-9) {
+		t.Fatalf("benefit = %v, want 2", dec.ExpectedBenefit)
+	}
+	keep := map[int]bool{}
+	for _, i := range dec.Keep {
+		keep[i] = true
+	}
+	if !keep[0] || !keep[2] || keep[1] {
+		t.Fatalf("Keep = %v, want {0, 2}", dec.Keep)
+	}
+}
+
+func TestFlowExpectStepErrors(t *testing.T) {
+	cands := []Candidate{{Value: 1, Stream: StreamR}, {Value: 2, Stream: StreamS}}
+	procs := [2]process.Process{
+		&process.Stationary{P: dist.NewUniform(0, 3)},
+		&process.Stationary{P: dist.NewUniform(0, 3)},
+	}
+	hists := [2]*process.History{process.NewHistory(0), process.NewHistory(0)}
+	if _, err := FlowExpectStep(cands, procs, hists, 1, 0); err == nil {
+		t.Fatal("look-ahead 0 should error")
+	}
+	if _, err := FlowExpectStep(cands, procs, hists, 0, 2); err == nil {
+		t.Fatal("cache size 0 should error")
+	}
+}
+
+func TestStreamID(t *testing.T) {
+	if StreamR.Partner() != StreamS || StreamS.Partner() != StreamR {
+		t.Fatal("Partner is broken")
+	}
+	if StreamR.String() != "R" || StreamS.String() != "S" {
+		t.Fatal("String is broken")
+	}
+}
+
+func TestFlowExpectWindowZerosExpiredBenefits(t *testing.T) {
+	// Partner S produces 5 at every step; a cached R(5) tuple earns 1 per
+	// step — unless the window has passed it.
+	sProc := newScripted(pm(5), pm(5), pm(5), pm(5))
+	rProc := newScripted(pm(-1), pm(-2), pm(-3), pm(-4))
+	hists := [2]*process.History{process.NewHistory(-1), process.NewHistory(5)}
+	procs := [2]process.Process{rProc, sProc}
+	fresh := []Candidate{
+		{Value: 5, Stream: StreamR, Age: 0},
+		{Value: -90, Stream: StreamR, Age: 0},
+		{Value: -91, Stream: StreamS, Age: 0},
+	}
+	dec, err := FlowExpectStepWindow(fresh, procs, hists, 1, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(dec.ExpectedBenefit, 3, 1e-9) {
+		t.Fatalf("fresh tuple benefit = %v, want 3", dec.ExpectedBenefit)
+	}
+	// The same tuple aged 2 with window 3 only earns at offset 1 (age 3).
+	aged := []Candidate{
+		{Value: 5, Stream: StreamR, Age: 2},
+		{Value: -90, Stream: StreamR, Age: 0},
+		{Value: -91, Stream: StreamS, Age: 0},
+	}
+	decAged, err := FlowExpectStepWindow(aged, procs, hists, 1, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(decAged.ExpectedBenefit, 1, 1e-9) {
+		t.Fatalf("aged tuple benefit = %v, want 1", decAged.ExpectedBenefit)
+	}
+	if len(decAged.Keep) != 1 || decAged.Keep[0] != 0 {
+		t.Fatalf("Keep = %v, want the aged tuple while it still earns", decAged.Keep)
+	}
+}
+
+func TestFlowExpectWindowPrefersYoungerOfEqualTuples(t *testing.T) {
+	// Two tuples with identical values but different ages: under a window
+	// the younger one's benefit horizon is longer.
+	sProc := newScripted(pm(7), pm(7), pm(7), pm(7), pm(7))
+	rProc := newScripted(pm(-1), pm(-2), pm(-3), pm(-4), pm(-5))
+	hists := [2]*process.History{process.NewHistory(-1), process.NewHistory(7)}
+	procs := [2]process.Process{rProc, sProc}
+	cands := []Candidate{
+		{Value: 7, Stream: StreamR, Age: 3},
+		{Value: 7, Stream: StreamR, Age: 0},
+		{Value: -50, Stream: StreamS, Age: 0},
+	}
+	dec, err := FlowExpectStepWindow(cands, procs, hists, 1, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Keep) != 1 || dec.Keep[0] != 1 {
+		t.Fatalf("Keep = %v, want the younger duplicate (1)", dec.Keep)
+	}
+}

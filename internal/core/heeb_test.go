@@ -1,0 +1,443 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stochstream/internal/dist"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+func TestLFixed(t *testing.T) {
+	l := LFixed{DT: 3}
+	for dt, want := range map[int]float64{1: 1, 3: 1, 4: 0, 10: 0} {
+		if got := l.At(dt); got != want {
+			t.Fatalf("LFixed.At(%d) = %v, want %v", dt, got, want)
+		}
+	}
+	if got := l.Horizon(1e-9); got != 3 {
+		t.Fatalf("Horizon = %d", got)
+	}
+	if err := CheckLProperties(l, 20, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLInf(t *testing.T) {
+	l := LInf{}
+	if l.At(1) != 1 || l.At(1000) != 1 {
+		t.Fatal("LInf should be constant 1")
+	}
+	if l.Horizon(1e-9) != 0 {
+		t.Fatal("LInf horizon should be unbounded (0)")
+	}
+	if err := CheckLProperties(l, 20, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLInv(t *testing.T) {
+	l := LInv{}
+	if got := l.At(4); got != 0.25 {
+		t.Fatalf("LInv.At(4) = %v", got)
+	}
+	if got := l.Horizon(0.01); got != 100 {
+		t.Fatalf("Horizon(0.01) = %d, want 100", got)
+	}
+	if got := l.Horizon(0); got != 0 {
+		t.Fatalf("Horizon(0) = %d, want 0 (unbounded)", got)
+	}
+	if err := CheckLProperties(l, 50, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLExp(t *testing.T) {
+	l := NewLExp(10)
+	if got := l.At(10); !almostEqual(got, math.Exp(-1), 1e-12) {
+		t.Fatalf("LExp.At(alpha) = %v, want 1/e", got)
+	}
+	h := l.Horizon(1e-9)
+	if l.At(h) > 1e-9 {
+		t.Fatalf("At(Horizon) = %v, want <= 1e-9", l.At(h))
+	}
+	if l.At(h-5) < 1e-9 {
+		t.Fatal("horizon should be tight-ish")
+	}
+	if err := CheckLProperties(l, 100, true); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLExp(0) did not panic")
+		}
+	}()
+	NewLExp(0)
+}
+
+func TestLWindow(t *testing.T) {
+	l := LWindow{Inner: LInf{}, Remaining: 3}
+	for dt, want := range map[int]float64{1: 1, 3: 1, 4: 0} {
+		if got := l.At(dt); got != want {
+			t.Fatalf("LWindow.At(%d) = %v, want %v", dt, got, want)
+		}
+	}
+	if got := l.Horizon(1e-9); got != 3 {
+		t.Fatalf("Horizon = %d, want 3", got)
+	}
+	expired := LWindow{Inner: NewLExp(5), Remaining: 0}
+	if expired.At(1) != 0 || expired.Horizon(1e-9) != 1 {
+		t.Fatal("expired window L should be zero")
+	}
+	clippedByInner := LWindow{Inner: NewLExp(2), Remaining: 1000}
+	if got := clippedByInner.Horizon(1e-9); got >= 1000 {
+		t.Fatalf("inner decay should bound the horizon, got %d", got)
+	}
+	if err := CheckLProperties(l, 10, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckLPropertiesCatchesViolations(t *testing.T) {
+	if err := CheckLProperties(badL{}, 5, true); err == nil {
+		t.Fatal("increasing L should fail the check")
+	}
+	if err := CheckLProperties(LWindow{Inner: LInf{}, Remaining: 0}, 5, true); err == nil {
+		t.Fatal("zero L should fail Property 5")
+	}
+}
+
+type badL struct{}
+
+func (badL) At(dt int) float64   { return float64(dt) / 10 }
+func (badL) Horizon(float64) int { return 5 }
+
+func TestHorizonFor(t *testing.T) {
+	if got := HorizonFor(LInf{}, 500); got != 500 {
+		t.Fatalf("unbounded L fallback: %d", got)
+	}
+	if got := HorizonFor(LFixed{DT: 7}, 500); got != 7 {
+		t.Fatalf("fixed horizon: %d", got)
+	}
+	if got := HorizonFor(LInf{}, 0); got != 1 {
+		t.Fatalf("clamped low: %d", got)
+	}
+	if got := HorizonFor(LInf{}, MaxHorizon+10); got != MaxHorizon {
+		t.Fatalf("clamped high: %d", got)
+	}
+}
+
+// H computed from the tabulated ECB and H computed by the equivalent direct
+// sums of Section 4.3 must agree.
+func TestHFromECBMatchesJoinH(t *testing.T) {
+	partner := &process.LinearTrend{Slope: 1, Intercept: 0, Noise: dist.BoundedNormal(2, 10)}
+	h := process.NewHistory(make([]int, 21)...) // t0 = 20
+	l := NewLExp(8)
+	horizon := HorizonFor(l, 0)
+	for _, v := range []int{15, 20, 25, 31, 40} {
+		b := JoinECB(partner, h, v, horizon)
+		direct := JoinH(partner, h, v, l, horizon)
+		viaECB := HFromECB(b, l)
+		if !almostEqual(direct, viaECB, 1e-9) {
+			t.Fatalf("v=%d: JoinH %v != HFromECB %v", v, direct, viaECB)
+		}
+	}
+}
+
+// Hfixed = B_x(ΔT) exactly (the table in Section 4.3).
+func TestLFixedGivesECBValue(t *testing.T) {
+	partner := &process.Stationary{P: dist.NewUniform(0, 4)}
+	h := process.NewHistory(0)
+	b := JoinECB(partner, h, 2, 10)
+	for _, dT := range []int{1, 3, 7} {
+		got := JoinH(partner, h, 2, LFixed{DT: dT}, 10)
+		if !almostEqual(got, b.At(dT), 1e-12) {
+			t.Fatalf("Hfixed(ΔT=%d) = %v, want B(%d) = %v", dT, got, dT, b.At(dT))
+		}
+	}
+}
+
+// Hinf for caching = probability of ever being referenced (lim of the ECB).
+func TestLInfCachingIsEventualReferenceProbability(t *testing.T) {
+	ref := &process.Stationary{P: dist.NewTable(0, []float64{3, 1})} // p(1) = 0.25
+	h := process.NewHistory(0)
+	got := CacheH(ref, h, 1, LInf{}, 5000)
+	if !almostEqual(got, 1, 1e-6) {
+		t.Fatalf("Hinf = %v, want ~1 (eventually referenced)", got)
+	}
+	never := CacheH(ref, h, 9, LInf{}, 5000)
+	if never != 0 {
+		t.Fatalf("Hinf of never-referenced value = %v", never)
+	}
+}
+
+// Hinv = expected inverse waiting time.
+func TestLInvExpectedInverseWaitingTime(t *testing.T) {
+	// Deterministic reference: value 5 first referenced at Δt = 3.
+	ref := &process.Deterministic{Seq: []int{0, 1, 2, 5, 5}}
+	h := process.NewHistory(0)
+	got := CacheH(ref, h, 5, LInv{}, 10)
+	if !almostEqual(got, 1.0/3, 1e-12) {
+		t.Fatalf("Hinv = %v, want 1/3", got)
+	}
+}
+
+// Theorem 4: with a shared valid L, dominance of ECBs implies ordering of H.
+func TestTheorem4DominanceImpliesHOrder(t *testing.T) {
+	ls := []LFunc{LFixed{DT: 4}, NewLExp(3), NewLExp(20), LInv{}, LWindow{Inner: NewLExp(5), Remaining: 6}}
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 8
+		bx := make(ECB, n)
+		by := make(ECB, n)
+		var cx, cy float64
+		for i := 0; i < n; i++ {
+			dy := rng.Float64() * 0.2
+			dx := dy + rng.Float64()*0.2 // increment_x >= increment_y... not required; dominance is on cumulative
+			cx += dx
+			cy += dy
+			bx[i] = cx
+			by[i] = cy
+		}
+		if !Dominates(bx, by) {
+			return true // vacuous (should not happen by construction)
+		}
+		for _, l := range ls {
+			hx := HFromECB(bx, l)
+			hy := HFromECB(by, l)
+			if hx < hy-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Theorem 4 with arbitrary (not increment-wise) dominance: generate random
+// non-decreasing ECBs, filter to dominating pairs.
+func TestTheorem4ArbitraryDominatingPairs(t *testing.T) {
+	rng := stats.NewRNG(77)
+	ls := []LFunc{LFixed{DT: 5}, NewLExp(4), LInv{}}
+	checked := 0
+	for trial := 0; trial < 3000 && checked < 300; trial++ {
+		mk := func() ECB {
+			b := make(ECB, 6)
+			var c float64
+			for i := range b {
+				c += rng.Float64() * 0.3
+				b[i] = c
+			}
+			return b
+		}
+		bx, by := mk(), mk()
+		if !Dominates(bx, by) {
+			continue
+		}
+		checked++
+		for _, l := range ls {
+			if HFromECB(bx, l) < HFromECB(by, l)-1e-9 {
+				t.Fatalf("dominance violated: Bx=%v By=%v L=%T", bx, by, l)
+			}
+		}
+		if StronglyDominates(bx, by) {
+			if HFromECB(bx, NewLExp(4)) <= HFromECB(by, NewLExp(4)) {
+				t.Fatalf("strict dominance should give strict H order")
+			}
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d dominating pairs sampled", checked)
+	}
+}
+
+// Section 5.2: for a stationary partner, HEEB ranks tuples by p(v) — the
+// PROB ordering that Theorem 3 proves optimal.
+func TestStationaryHEEBMatchesPROB(t *testing.T) {
+	p := dist.NewTable(0, []float64{1, 2, 3, 4, 5})
+	partner := &process.Stationary{P: p}
+	h := process.NewHistory(0)
+	l := NewLExp(6)
+	prev := -1.0
+	for v := 0; v <= 4; v++ {
+		hv := JoinH(partner, h, v, l, 0)
+		if hv <= prev {
+			t.Fatalf("H not increasing with p(v): H(%d) = %v, prev %v", v, hv, prev)
+		}
+		prev = hv
+	}
+}
+
+// Section 7's example: under sliding-window semantics, window-HEEB ranks
+// x2 > x1 > x3 where PROB picks x1 and LIFE picks x3.
+func TestSection7WindowRanking(t *testing.T) {
+	// Stationary partner probabilities and remaining lifetimes.
+	type cand struct {
+		p float64
+		l int
+	}
+	cands := []cand{
+		{0.50, 1},  // x1
+		{0.49, 50}, // x2
+		{0.01, 51}, // x3
+	}
+	alpha := stats.AlphaForLifetime(10) // modest expected cache lifetime
+	hs := make([]float64, len(cands))
+	for i, c := range cands {
+		lw := LWindow{Inner: LExp{Alpha: alpha}, Remaining: c.l}
+		// Stationary partner: Pr{X = v} = c.p at every step.
+		var sum float64
+		horizon := HorizonFor(lw, 200)
+		for dt := 1; dt <= horizon; dt++ {
+			sum += c.p * lw.At(dt)
+		}
+		hs[i] = sum
+	}
+	if !(hs[1] > hs[0] && hs[0] > hs[2]) {
+		t.Fatalf("window HEEB ranking = %v, want x2 > x1 > x3", hs)
+	}
+	// PROB's ordering prefers x1 over x2 — the shortsighted choice.
+	if !(cands[0].p > cands[1].p) {
+		t.Fatal("setup broken: PROB should prefer x1")
+	}
+	// LIFE's p·l ordering prefers x3 over x1 — the pessimistic choice.
+	if !(cands[2].p*float64(cands[2].l) > cands[0].p*float64(cands[0].l)) {
+		t.Fatal("setup broken: LIFE should prefer x3")
+	}
+}
+
+// Corollary 3: time-incremental Hexp equals direct recomputation for
+// independent streams.
+func TestCorollary3TimeIncremental(t *testing.T) {
+	partner := &process.LinearTrend{Slope: 1, Intercept: 0, Noise: dist.BoundedNormal(2, 10)}
+	alpha := 7.0
+	l := NewLExp(alpha)
+	v := 30
+	// History through t0-1 = 19, then extend to t0 = 20.
+	h19 := process.NewHistory(make([]int, 20)...)
+	prev := JoinH(partner, h19, v, l, 0)
+	pNow := partner.Forecast(h19, 1).Prob(v) // Pr{X_{t0} = v} seen from t0-1
+	h20 := process.NewHistory(make([]int, 21)...)
+	direct := JoinH(partner, h20, v, l, 0)
+	inc := JoinHStep(prev, alpha, pNow)
+	if !almostEqual(direct, inc, 1e-6) {
+		t.Fatalf("incremental %v != direct %v", inc, direct)
+	}
+}
+
+// Corollary 3 across many steps and values (property form).
+func TestQuickCorollary3(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		alpha := 2 + rng.Float64()*10
+		l := NewLExp(alpha)
+		partner := &process.LinearTrend{
+			Slope:     rng.IntN(2) + 1,
+			Intercept: rng.IntN(10) - 5,
+			Noise:     dist.BoundedNormal(1+rng.Float64()*3, 12),
+		}
+		v := rng.IntN(60)
+		t0 := 5 + rng.IntN(20)
+		hPrev := process.NewHistory(make([]int, t0)...)
+		hNow := process.NewHistory(make([]int, t0+1)...)
+		prev := JoinH(partner, hPrev, v, l, 0)
+		pNow := partner.Forecast(hPrev, 1).Prob(v)
+		direct := JoinH(partner, hNow, v, l, 0)
+		inc := JoinHStep(prev, alpha, pNow)
+		return math.Abs(direct-inc) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Corollary 4: caching-problem time-incremental update.
+func TestCorollary4CacheIncremental(t *testing.T) {
+	ref := &process.Stationary{P: dist.NewTable(0, []float64{2, 1, 1, 4})}
+	alpha := 9.0
+	l := NewLExp(alpha)
+	h := process.NewHistory(0)
+	for v := 0; v <= 3; v++ {
+		prev := CacheH(ref, h, v, l, 0)
+		pNow := ref.Forecast(h, 1).Prob(v)
+		direct := CacheH(ref, h, v, l, 0) // stationary: same at every t0
+		inc := CacheHStep(prev, alpha, pNow)
+		if !almostEqual(direct, inc, 1e-6) {
+			t.Fatalf("v=%d: incremental %v != direct %v", v, inc, direct)
+		}
+	}
+}
+
+// Corollary 4 for a drifting (but independent) reference stream.
+func TestCorollary4WithTrend(t *testing.T) {
+	ref := &process.LinearTrend{Slope: 1, Intercept: 0, Noise: dist.NewUniform(-5, 5)}
+	alpha := 6.0
+	l := NewLExp(alpha)
+	v := 14
+	t0 := 10
+	hPrev := process.NewHistory(make([]int, t0)...)  // t0-1 = 9
+	hNow := process.NewHistory(make([]int, t0+1)...) // t0 = 10
+	prev := CacheH(ref, hPrev, v, l, 0)
+	pNow := ref.Forecast(hPrev, 1).Prob(v)
+	direct := CacheH(ref, hNow, v, l, 0)
+	inc := CacheHStep(prev, alpha, pNow)
+	if !almostEqual(direct, inc, 1e-6) {
+		t.Fatalf("incremental %v != direct %v", inc, direct)
+	}
+}
+
+// Corollary 5: value-incremental transfer for linear trends.
+func TestCorollary5ValueIncremental(t *testing.T) {
+	slope := 2
+	partner := &process.LinearTrend{Slope: slope, Intercept: 3, Noise: dist.BoundedNormal(2, 9)}
+	// ECB of value v at time t equals ECB of v + a(t'-t) at time t'.
+	tA, tB := 10, 16
+	hA := process.NewHistory(make([]int, tA+1)...)
+	hB := process.NewHistory(make([]int, tB+1)...)
+	for _, v := range []int{20, 25, 30} {
+		vB := TransferValue(slope, v, tA, tB)
+		if vB != v+slope*(tB-tA) {
+			t.Fatalf("TransferValue = %d", vB)
+		}
+		bA := JoinECB(partner, hA, v, 25)
+		bB := JoinECB(partner, hB, vB, 25)
+		for dt := 1; dt <= 25; dt++ {
+			if !almostEqual(bA.At(dt), bB.At(dt), 1e-9) {
+				t.Fatalf("v=%d dt=%d: %v != %v", v, dt, bA.At(dt), bB.At(dt))
+			}
+		}
+		// And therefore equal H under any shared L.
+		l := NewLExp(5)
+		if !almostEqual(HFromECB(bA, l), HFromECB(bB, l), 1e-9) {
+			t.Fatal("transferred H mismatch")
+		}
+	}
+}
+
+// MarginalH agrees with JoinH for a Gaussian walk (both are the marginal
+// sum; JoinH goes through the PMF tables).
+func TestMarginalHMatchesJoinH(t *testing.T) {
+	w := &process.GaussianWalk{Drift: 1, Sigma: 2, Init: 0}
+	h := process.NewHistory(50)
+	l := NewLExp(10)
+	for _, v := range []int{45, 50, 55, 70} {
+		direct := JoinH(w, h, v, l, 0)
+		marg := MarginalH(w, 50, v, l, 0)
+		if !almostEqual(direct, marg, 1e-6) {
+			t.Fatalf("v=%d: JoinH %v != MarginalH %v", v, direct, marg)
+		}
+	}
+}
+
+func TestCacheHRejectsMarkov(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CacheH on AR1 did not panic")
+		}
+	}()
+	CacheH(&process.AR1{Phi0: 1, Phi1: 0.5, Sigma: 1}, process.NewHistory(0), 0, LInf{}, 10)
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// LFunc estimates the probability that a candidate tuple will still be
+// cached Δt steps from now (Section 4.3). A valid LFunc satisfies the five
+// properties of Section 4.3: values in [0,1], non-increasing in Δt,
+// convergence of the HEEB sum, dominance preservation across tuples (trivial
+// when every tuple shares one LFunc, as all case studies here do), and
+// L(1) > 0.
+type LFunc interface {
+	// At returns the survival estimate at Δt >= 1.
+	At(dt int) float64
+	// Horizon returns a Δt beyond which At is below eps, suitable for
+	// truncating HEEB's infinite sum. Unbounded L functions (LInf) return 0
+	// and the caller must impose its own horizon.
+	Horizon(eps float64) int
+}
+
+// LFixed is Lfixed(Δt) = 1 for Δt ≤ DT and 0 afterwards: HEEB under the
+// assumption that every tuple is replaced after exactly DT steps, giving
+// H_x = B_x(DT).
+type LFixed struct{ DT int }
+
+// At implements LFunc.
+func (l LFixed) At(dt int) float64 {
+	if dt <= l.DT {
+		return 1
+	}
+	return 0
+}
+
+// Horizon implements LFunc.
+func (l LFixed) Horizon(float64) int { return l.DT }
+
+// LInf is Linf(Δt) = 1: H_x becomes lim B_x(Δt), the probability the tuple
+// is ever referenced. It converges for caching problems only, so callers
+// must bound the summation horizon themselves.
+type LInf struct{}
+
+// At implements LFunc.
+func (LInf) At(int) float64 { return 1 }
+
+// Horizon implements LFunc: LInf never decays.
+func (LInf) Horizon(float64) int { return 0 }
+
+// LInv is Linv(Δt) = 1/Δt: H_x becomes the expected inverse waiting time.
+// Like LInf it is intended for caching problems; the harmonic tail means
+// callers should bound the horizon.
+type LInv struct{}
+
+// At implements LFunc.
+func (LInv) At(dt int) float64 { return 1 / float64(dt) }
+
+// Horizon implements LFunc.
+func (LInv) Horizon(eps float64) int {
+	if eps <= 0 {
+		return 0
+	}
+	return int(math.Ceil(1 / eps))
+}
+
+// LExp is Lexp(Δt) = e^{−Δt/α}, the paper's L function of choice: it
+// guarantees convergence of H and admits the time-incremental computation of
+// Corollaries 3–4. α should be chosen so the predicted mean tuple lifetime
+// 1/(1−e^{−1/α}) matches the estimated or observed lifetime
+// (stats.AlphaForLifetime).
+type LExp struct{ Alpha float64 }
+
+// NewLExp validates α > 0 and returns the L function.
+func NewLExp(alpha float64) LExp {
+	if alpha <= 0 {
+		panic(fmt.Sprintf("core: LExp requires alpha > 0, got %g", alpha))
+	}
+	return LExp{Alpha: alpha}
+}
+
+// At implements LFunc.
+func (l LExp) At(dt int) float64 { return math.Exp(-float64(dt) / l.Alpha) }
+
+// Horizon implements LFunc.
+func (l LExp) Horizon(eps float64) int {
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	return int(math.Ceil(l.Alpha*math.Log(1/eps))) + 1
+}
+
+// LWindow clips an inner L function to sliding-window semantics (Section 7):
+// the survival probability is zero from the step the tuple leaves the
+// window. Remaining is the number of steps the tuple has left inside the
+// window (≤ 0 means already expired).
+type LWindow struct {
+	Inner     LFunc
+	Remaining int
+}
+
+// At implements LFunc.
+func (l LWindow) At(dt int) float64 {
+	if dt > l.Remaining {
+		return 0
+	}
+	return l.Inner.At(dt)
+}
+
+// Horizon implements LFunc.
+func (l LWindow) Horizon(eps float64) int {
+	if l.Remaining <= 0 {
+		return 1
+	}
+	if h := l.Inner.Horizon(eps); h > 0 && h < l.Remaining {
+		return h
+	}
+	return l.Remaining
+}
+
+// CheckLProperties verifies the testable Section 4.3 properties of an LFunc
+// over Δt = 1..horizon: range [0,1], monotone non-increasing, and L(1) > 0
+// when strictlyPositive is requested (Property 5). It returns a descriptive
+// error for the first violation, or nil.
+func CheckLProperties(l LFunc, horizon int, strictlyPositive bool) error {
+	prev := math.Inf(1)
+	for dt := 1; dt <= horizon; dt++ {
+		v := l.At(dt)
+		if v < 0 || v > 1 {
+			return fmt.Errorf("core: L(%d) = %g outside [0,1]", dt, v)
+		}
+		if v > prev {
+			return fmt.Errorf("core: L not non-increasing at Δt=%d (%g > %g)", dt, v, prev)
+		}
+		prev = v
+	}
+	if strictlyPositive && l.At(1) <= 0 {
+		return fmt.Errorf("core: L(1) = %g, want > 0", l.At(1))
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"stochstream/internal/process"
+)
+
+// MarkovFirstPassageH computes HEEB's exact first-reference score for a
+// caching problem whose reference stream is a finite Markov chain:
+// H_x = Σ_{Δt≥1} Pr{first visit to v_x at step Δt | current state}·L(Δt).
+//
+// Corollary 4's product form requires independent references and Theorem 5's
+// marginal form applies to AR-family streams; for a finite chain the exact
+// first-passage distribution is computable by dynamic programming over the
+// state space with the target state made absorbing, which is what this does.
+// The cost is O(horizon · states²) per evaluation.
+func MarkovFirstPassageH(m *process.MarkovChain, last, v int, l LFunc, fallbackHorizon int) float64 {
+	n := m.States()
+	target := v - m.Lo
+	if target < 0 || target >= n {
+		return 0 // the chain can never produce v
+	}
+	horizon := HorizonFor(l, fallbackHorizon)
+	// q[s] = Pr{X_t = s ∩ no visit to target in (t0, t]}.
+	q := make([]float64, n)
+	cur := last - m.Lo
+	if cur < 0 {
+		cur = 0
+	}
+	if cur >= n {
+		cur = n - 1
+	}
+	q[cur] = 1
+	next := make([]float64, n)
+	var sum float64
+	for dt := 1; dt <= horizon; dt++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i, qi := range q {
+			if qi == 0 {
+				continue
+			}
+			row := m.P[i]
+			for j, pij := range row {
+				if pij != 0 {
+					next[j] += qi * pij
+				}
+			}
+		}
+		hit := next[target]
+		if hit > 0 {
+			sum += hit * l.At(dt)
+			next[target] = 0 // absorb: later steps condition on no visit
+		}
+		q, next = next, q
+		// All surviving mass gone: no more first visits possible.
+		var alive float64
+		for _, qi := range q {
+			alive += qi
+		}
+		if alive < DefaultEps {
+			break
+		}
+	}
+	return sum
+}

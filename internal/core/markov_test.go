@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+func chain(t *testing.T, lo int, p [][]float64, init int) *process.MarkovChain {
+	t.Helper()
+	m, err := process.NewMarkovChain(lo, p, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMarkovFirstPassageDeterministicCycle(t *testing.T) {
+	// 3-cycle 0→1→2→0: from state 0, the first visit to 2 is at Δt = 2,
+	// with certainty, so H = L(2).
+	m := chain(t, 0, [][]float64{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}}, 0)
+	l := NewLExp(5)
+	got := MarkovFirstPassageH(m, 0, 2, l, 0)
+	if !almostEqual(got, l.At(2), 1e-12) {
+		t.Fatalf("H = %v, want L(2) = %v", got, l.At(2))
+	}
+	// First visit to 0 (returning home) is at Δt = 3.
+	if got := MarkovFirstPassageH(m, 0, 0, l, 0); !almostEqual(got, l.At(3), 1e-12) {
+		t.Fatalf("return H = %v, want L(3)", got)
+	}
+}
+
+func TestMarkovFirstPassageIIDRowsMatchCacheH(t *testing.T) {
+	// A chain whose rows are all identical is an i.i.d. stream, so the
+	// first-passage score must equal CacheH on the equivalent Stationary
+	// process.
+	row := []float64{0.5, 0.3, 0.2}
+	m := chain(t, 0, [][]float64{row, row, row}, 0)
+	st := &process.Stationary{P: mustTable(row)}
+	l := NewLExp(7)
+	h := process.NewHistory(0)
+	for v := 0; v <= 2; v++ {
+		markov := MarkovFirstPassageH(m, 0, v, l, 0)
+		iid := CacheH(st, h, v, l, 0)
+		if !almostEqual(markov, iid, 1e-9) {
+			t.Fatalf("v=%d: markov %v != iid %v", v, markov, iid)
+		}
+	}
+}
+
+func mustTable(row []float64) *tableAdapter { return &tableAdapter{row: row} }
+
+// tableAdapter exposes a probability row as a PMF without importing dist's
+// constructors into the assertion path.
+type tableAdapter struct{ row []float64 }
+
+func (t *tableAdapter) Prob(v int) float64 {
+	if v < 0 || v >= len(t.row) {
+		return 0
+	}
+	return t.row[v]
+}
+func (t *tableAdapter) Support() (int, int) { return 0, len(t.row) - 1 }
+
+func TestMarkovFirstPassageOutOfRangeValue(t *testing.T) {
+	m := chain(t, 10, [][]float64{{0.5, 0.5}, {0.5, 0.5}}, 10)
+	if got := MarkovFirstPassageH(m, 10, 99, NewLExp(5), 0); got != 0 {
+		t.Fatalf("unreachable value H = %v", got)
+	}
+}
+
+func TestMarkovFirstPassageMatchesMonteCarlo(t *testing.T) {
+	// Random 4-state chain: compare the DP against simulated first-passage
+	// times weighted by Lexp.
+	p := [][]float64{
+		{0.1, 0.4, 0.3, 0.2},
+		{0.3, 0.3, 0.2, 0.2},
+		{0.25, 0.25, 0.25, 0.25},
+		{0.4, 0.1, 0.1, 0.4},
+	}
+	m := chain(t, 0, p, 0)
+	l := NewLExp(6)
+	horizon := HorizonFor(l, 0)
+	const trials = 400000
+	rng := stats.NewRNG(9)
+	for _, target := range []int{1, 3} {
+		var mc float64
+		for tr := 0; tr < trials; tr++ {
+			state := 0
+			for dt := 1; dt <= horizon; dt++ {
+				u := rng.Float64()
+				var c float64
+				next := len(p) - 1
+				for j, pij := range p[state] {
+					c += pij
+					if u < c {
+						next = j
+						break
+					}
+				}
+				state = next
+				if state == target {
+					mc += l.At(dt)
+					break
+				}
+			}
+		}
+		mc /= trials
+		dp := MarkovFirstPassageH(m, 0, target, l, 0)
+		if math.Abs(dp-mc) > 0.005 {
+			t.Fatalf("target %d: DP %v vs Monte Carlo %v", target, dp, mc)
+		}
+	}
+}
+
+func TestMarkovFirstPassageAbsorptionTerminatesEarly(t *testing.T) {
+	// Absorbing target: all mass is absorbed quickly and the loop exits
+	// before the horizon without changing the result.
+	m := chain(t, 0, [][]float64{{0, 1}, {0, 1}}, 0)
+	l := LFixed{DT: 1000}
+	// First visit to 1 happens at Δt = 1 with certainty.
+	if got := MarkovFirstPassageH(m, 0, 1, l, 0); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("H = %v, want 1", got)
+	}
+}

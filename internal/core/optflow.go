@@ -1,0 +1,164 @@
+package core
+
+import (
+	"sort"
+
+	"stochstream/internal/mincostflow"
+)
+
+// OptOfflineResult reports the MAX-subset offline optimum for a joining
+// instance with fully known streams.
+type OptOfflineResult struct {
+	// Total is the maximum number of result tuples obtainable from the
+	// cache over the whole run.
+	Total int
+	// JoinTimes lists, with multiplicity and in non-decreasing order, the
+	// time step at which each achieved result tuple is produced. Experiment
+	// harnesses count the entries after a warm-up period.
+	JoinTimes []int
+	// Schedule lists the cache-residency interval of every tuple the
+	// optimal solution holds: the tuple from Stream arriving at Arrived
+	// stays cached through time Until (inclusive), collecting its match at
+	// Until, and is released immediately after. Replaying the schedule
+	// through the simulator achieves exactly Total results (the
+	// Clairvoyant policy in internal/policy does this).
+	Schedule []HoldInterval
+}
+
+// HoldInterval is one tuple's cache residency in the offline optimum.
+type HoldInterval struct {
+	Stream  StreamID
+	Arrived int
+	Until   int
+}
+
+// CountAfter returns how many achieved results occur strictly after time t.
+func (r OptOfflineResult) CountAfter(t int) int {
+	i := sort.SearchInts(r.JoinTimes, t+1)
+	return len(r.JoinTimes) - i
+}
+
+// OptOfflineJoin computes the offline optimum (OPT-offline of Das et al.,
+// the paper's upper-bound comparator) for joining streams r and s — r[t] and
+// s[t] are the join-attribute values arriving at time t — with a cache of k
+// tuples and, if window > 0, sliding-window semantics in which a tuple can
+// join only partners arriving within window steps of its own arrival.
+//
+// Rather than materializing the dense slice graph of Section 3.1 over the
+// full stream length (which is quadratic in it), this uses an equivalent
+// compressed formulation: each cache slot is a unit of flow moving through
+// "free at time t" nodes F_t, and each tuple x arriving at time a with
+// future match times j1 < j2 < … contributes a chain
+// F_a → X_{j1} → X_{j2} → … whose arcs each carry a benefit of one result
+// tuple, with release arcs X_{ji} → F_{ji} returning the slot at the moment
+// a replacement candidate arrives. Holding a tuple between its match times
+// is exactly as good as releasing at the previous match and idling the slot,
+// so the compression is lossless; tests cross-validate it against the dense
+// FlowExpect graph on deterministic inputs.
+func OptOfflineJoin(r, s []int, k int, window int) OptOfflineResult {
+	n := len(r)
+	if len(s) != n {
+		panic("core: OptOfflineJoin requires equally long streams")
+	}
+	if k < 1 || n == 0 {
+		return OptOfflineResult{}
+	}
+	// occurrences[v] for each stream: times at which value v arrives.
+	occ := [2]map[int][]int{make(map[int][]int), make(map[int][]int)}
+	for t := 0; t < n; t++ {
+		occ[0][r[t]] = append(occ[0][r[t]], t)
+		occ[1][s[t]] = append(occ[1][s[t]], t)
+	}
+	matchTimes := func(stream StreamID, v, arrived int) []int {
+		all := occ[stream.Partner()][v]
+		i := sort.SearchInts(all, arrived+1)
+		out := all[i:]
+		if window > 0 {
+			j := sort.SearchInts(out, arrived+window+1)
+			out = out[:j]
+		}
+		return out
+	}
+	return optOfflineWithMatches(r, s, k, matchTimes)
+}
+
+// optOfflineWithMatches is the shared compressed-flow construction behind
+// OptOfflineJoin and OptOfflineBandJoin: matchTimes enumerates, for a tuple
+// of the given stream/value/arrival, the future partner arrival times it can
+// join.
+func optOfflineWithMatches(r, s []int, k int, matchTimes func(stream StreamID, v, arrived int) []int) OptOfflineResult {
+	n := len(r)
+	// Node layout: 0..n = F_0..F_n, then chain nodes appended per tuple.
+	type chain struct {
+		joinTimes []int // match times, parallel to chain arcs
+		arcs      []int // arc ids carrying one unit of benefit each
+	}
+	nodeCount := n + 1
+	type tupleRef struct {
+		stream  StreamID
+		arrived int
+		matches []int
+	}
+	var tuples []tupleRef
+	for t := 0; t < n; t++ {
+		for _, st := range []StreamID{StreamR, StreamS} {
+			v := r[t]
+			if st == StreamS {
+				v = s[t]
+			}
+			m := matchTimes(st, v, t)
+			if len(m) == 0 {
+				continue
+			}
+			tuples = append(tuples, tupleRef{stream: st, arrived: t, matches: m})
+			nodeCount += len(m)
+		}
+	}
+	// +2 for source and sink.
+	g := mincostflow.New(nodeCount + 2)
+	source, sink := nodeCount, nodeCount+1
+	g.AddArc(source, 0, k, 0) // k free slots at time 0
+	for t := 0; t < n; t++ {
+		g.AddArc(t, t+1, k, 0) // idle slots carry forward
+	}
+	g.AddArc(n, sink, k, 0)
+
+	next := n + 1
+	chains := make([]chain, len(tuples))
+	for i, tu := range tuples {
+		c := chain{joinTimes: tu.matches}
+		prev := tu.arrived // F_a
+		for _, jt := range tu.matches {
+			node := next
+			next++
+			c.arcs = append(c.arcs, g.AddArc(prev, node, 1, -1))
+			g.AddArc(node, jt, 1, 0) // release the slot at the match time
+			prev = node
+		}
+		chains[i] = c
+	}
+
+	if _, err := g.MinCostFlow(source, sink, k); err != nil {
+		return OptOfflineResult{}
+	}
+	var out OptOfflineResult
+	for i, c := range chains {
+		until := -1
+		for j, arc := range c.arcs {
+			if g.Flow(arc) > 0 {
+				out.Total++
+				out.JoinTimes = append(out.JoinTimes, c.joinTimes[j])
+				until = c.joinTimes[j]
+			}
+		}
+		if until >= 0 {
+			out.Schedule = append(out.Schedule, HoldInterval{
+				Stream:  tuples[i].stream,
+				Arrived: tuples[i].arrived,
+				Until:   until,
+			})
+		}
+	}
+	sort.Ints(out.JoinTimes)
+	return out
+}

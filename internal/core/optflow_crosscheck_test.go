@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"stochstream/internal/mincostflow"
+	"stochstream/internal/stats"
+)
+
+// optOfflineCostScaling rebuilds the compressed OPT-offline graph on the
+// integer cost-scaling solver (the algorithm the paper actually cites) and
+// returns the optimum; OptOfflineJoin's SSP-based result must match.
+func optOfflineCostScaling(r, s []int, k int) int64 {
+	n := len(r)
+	occ := [2]map[int][]int{make(map[int][]int), make(map[int][]int)}
+	for t := 0; t < n; t++ {
+		occ[0][r[t]] = append(occ[0][r[t]], t)
+		occ[1][s[t]] = append(occ[1][s[t]], t)
+	}
+	matchTimes := func(stream StreamID, v, arrived int) []int {
+		all := occ[stream.Partner()][v]
+		i := sort.SearchInts(all, arrived+1)
+		return all[i:]
+	}
+	type tupleRef struct {
+		arrived int
+		matches []int
+	}
+	var tuples []tupleRef
+	nodeCount := n + 1
+	for t := 0; t < n; t++ {
+		for _, st := range []StreamID{StreamR, StreamS} {
+			v := r[t]
+			if st == StreamS {
+				v = s[t]
+			}
+			m := matchTimes(st, v, t)
+			if len(m) == 0 {
+				continue
+			}
+			tuples = append(tuples, tupleRef{arrived: t, matches: m})
+			nodeCount += len(m)
+		}
+	}
+	g := mincostflow.NewInt(nodeCount + 2)
+	source, sink := nodeCount, nodeCount+1
+	g.AddArc(source, 0, int64(k), 0)
+	for t := 0; t < n; t++ {
+		g.AddArc(t, t+1, int64(k), 0)
+	}
+	g.AddArc(n, sink, int64(k), 0)
+	next := n + 1
+	for _, tu := range tuples {
+		prev := tu.arrived
+		for _, jt := range tu.matches {
+			node := next
+			next++
+			g.AddArc(prev, node, 1, -1)
+			g.AddArc(node, jt, 1, 0)
+			prev = node
+		}
+	}
+	res, err := g.MinCostFlow(source, sink, int64(k))
+	if err != nil {
+		return 0
+	}
+	return -res.Cost
+}
+
+func TestOptOfflineSolversAgree(t *testing.T) {
+	rng := stats.NewRNG(404)
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + rng.IntN(60)
+		k := 1 + rng.IntN(4)
+		vals := 2 + rng.IntN(5)
+		r := make([]int, n)
+		s := make([]int, n)
+		for i := range r {
+			r[i] = rng.IntN(vals)
+			s[i] = rng.IntN(vals)
+		}
+		ssp := OptOfflineJoin(r, s, k, 0).Total
+		cs := optOfflineCostScaling(r, s, k)
+		if int64(ssp) != cs {
+			t.Fatalf("trial %d (n=%d k=%d): SSP %d != cost scaling %d", trial, n, k, ssp, cs)
+		}
+	}
+}

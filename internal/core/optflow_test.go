@@ -1,0 +1,209 @@
+package core
+
+import (
+	"testing"
+
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+// bruteOptJoin enumerates every possible sequence of cache states over short
+// deterministic streams and returns the maximum total join count. A cache
+// state is a set of (stream, arrival-time) tuples; at each step the arrivals
+// join the cache, then any subset of {cache ∪ arrivals} of size ≤ k is kept,
+// with the restriction that only tuples present (cached or arriving) may be
+// kept — evicted and skipped tuples are gone forever.
+func bruteOptJoin(r, s []int, k int, window int) int {
+	n := len(r)
+	type tup struct {
+		stream  StreamID
+		arrived int
+	}
+	valueOf := func(t tup) int {
+		if t.stream == StreamR {
+			return r[t.arrived]
+		}
+		return s[t.arrived]
+	}
+	var best int
+	var rec func(t int, cache []tup, acc int)
+	rec = func(t int, cache []tup, acc int) {
+		if t == n {
+			if acc > best {
+				best = acc
+			}
+			return
+		}
+		arrivals := []tup{{StreamR, t}, {StreamS, t}}
+		// Joins: each arrival vs cached tuples of the other stream.
+		gained := 0
+		for _, a := range arrivals {
+			for _, c := range cache {
+				if c.stream != a.stream && valueOf(c) == valueOf(a) {
+					if window <= 0 || t-c.arrived <= window {
+						gained++
+					}
+				}
+			}
+		}
+		// Choose the next cache state: any subset of cache ∪ arrivals with
+		// size ≤ k.
+		pool := append(append([]tup(nil), cache...), arrivals...)
+		m := len(pool)
+		for mask := 0; mask < 1<<m; mask++ {
+			cnt := 0
+			for i := 0; i < m; i++ {
+				if mask&(1<<i) != 0 {
+					cnt++
+				}
+			}
+			if cnt > k {
+				continue
+			}
+			next := make([]tup, 0, cnt)
+			for i := 0; i < m; i++ {
+				if mask&(1<<i) != 0 {
+					next = append(next, pool[i])
+				}
+			}
+			rec(t+1, next, acc+gained)
+		}
+	}
+	rec(0, nil, 0)
+	return best
+}
+
+func TestOptOfflineTrivial(t *testing.T) {
+	// R produces 1 at t=0; S produces 1 at t=1: caching R's tuple yields one
+	// join at time 1.
+	res := OptOfflineJoin([]int{1, 9}, []int{8, 1}, 1, 0)
+	if res.Total != 1 {
+		t.Fatalf("Total = %d, want 1", res.Total)
+	}
+	if len(res.JoinTimes) != 1 || res.JoinTimes[0] != 1 {
+		t.Fatalf("JoinTimes = %v, want [1]", res.JoinTimes)
+	}
+}
+
+func TestOptOfflineCountAfter(t *testing.T) {
+	res := OptOfflineResult{Total: 3, JoinTimes: []int{2, 5, 9}}
+	if got := res.CountAfter(1); got != 3 {
+		t.Fatalf("CountAfter(1) = %d", got)
+	}
+	if got := res.CountAfter(2); got != 2 {
+		t.Fatalf("CountAfter(2) = %d", got)
+	}
+	if got := res.CountAfter(9); got != 0 {
+		t.Fatalf("CountAfter(9) = %d", got)
+	}
+}
+
+func TestOptOfflineEmptyAndDegenerate(t *testing.T) {
+	if res := OptOfflineJoin(nil, nil, 3, 0); res.Total != 0 {
+		t.Fatalf("empty streams: %+v", res)
+	}
+	if res := OptOfflineJoin([]int{1}, []int{2}, 0, 0); res.Total != 0 {
+		t.Fatalf("zero cache: %+v", res)
+	}
+	// Mismatched lengths panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	OptOfflineJoin([]int{1, 2}, []int{1}, 1, 0)
+}
+
+func TestOptOfflineMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRNG(314)
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.IntN(3)    // stream length 3..5
+		k := 1 + rng.IntN(2)    // cache 1..2
+		vals := 1 + rng.IntN(3) // small value domain to force collisions
+		r := make([]int, n)
+		s := make([]int, n)
+		for i := 0; i < n; i++ {
+			r[i] = rng.IntN(vals)
+			s[i] = rng.IntN(vals)
+		}
+		window := 0
+		if rng.IntN(2) == 1 {
+			window = 1 + rng.IntN(3)
+		}
+		want := bruteOptJoin(r, s, k, window)
+		got := OptOfflineJoin(r, s, k, window)
+		if got.Total != want {
+			t.Fatalf("trial %d: r=%v s=%v k=%d w=%d: flow %d != brute %d",
+				trial, r, s, k, window, got.Total, want)
+		}
+	}
+}
+
+// Cross-validation against the dense FlowExpect graph: with deterministic
+// processes and a look-ahead covering the whole stream, FlowExpect's first
+// decision value equals the offline optimum's benefit from t0+1 on.
+func TestOptOfflineMatchesDenseFlowGraph(t *testing.T) {
+	rng := stats.NewRNG(7177)
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.IntN(2)
+		k := 1 + rng.IntN(2)
+		r := make([]int, n)
+		s := make([]int, n)
+		for i := range r {
+			r[i] = rng.IntN(3)
+			s[i] = rng.IntN(3)
+		}
+		// Dense graph: candidates are the arrivals at t=0 (cache starts
+		// empty, so only two candidates) — pad the cache with dead tuples.
+		cands := []Candidate{
+			{Value: r[0], Stream: StreamR},
+			{Value: s[0], Stream: StreamS},
+		}
+		for len(cands) < k+2 {
+			cands = append(cands, Candidate{Value: -1 - len(cands), Stream: StreamR})
+		}
+		procs := [2]process.Process{
+			&process.Deterministic{Seq: r},
+			&process.Deterministic{Seq: s},
+		}
+		hists := [2]*process.History{process.NewHistory(r[0]), process.NewHistory(s[0])}
+		dec, err := FlowExpectStep(cands, procs, hists, k, n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The offline optimum counts the same benefits (joins at t >= 1)
+		// because nothing joins at t = 0 unless r[0] == s[0], which both
+		// formulations ignore.
+		want := OptOfflineJoin(r, s, k, 0)
+		if !almostEqual(dec.ExpectedBenefit, float64(want.Total), 1e-9) {
+			t.Fatalf("trial %d: r=%v s=%v k=%d: dense %v != compressed %d",
+				trial, r, s, k, dec.ExpectedBenefit, want.Total)
+		}
+	}
+}
+
+func TestOptOfflineWindowReducesCount(t *testing.T) {
+	// Value 5 arrives in R at t=0 and in S at t=0 (ignored), 4 and 8.
+	r := []int{5, 1, 2, 3, 4, 6, 7, 8, 9}
+	s := []int{0, 0, 0, 0, 5, 0, 0, 5, 0}
+	unbounded := OptOfflineJoin(r, s, 1, 0)
+	if unbounded.Total != 2 {
+		t.Fatalf("unbounded Total = %d, want 2", unbounded.Total)
+	}
+	windowed := OptOfflineJoin(r, s, 1, 4)
+	if windowed.Total != 1 {
+		t.Fatalf("windowed Total = %d, want 1 (t=8 join is outside the window)", windowed.Total)
+	}
+}
+
+func TestOptOfflineDuplicateValuesBothJoin(t *testing.T) {
+	// Two R tuples with the same value both join the same future S tuple
+	// (the paper: tuples are distinct even with equal values).
+	r := []int{5, 5, 0, 0}
+	s := []int{1, 2, 5, 5}
+	res := OptOfflineJoin(r, s, 2, 0)
+	// Cache both R(5)s: each joins S(5) at t=2 and t=3 → 4 results.
+	if res.Total != 4 {
+		t.Fatalf("Total = %d, want 4", res.Total)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"stochstream/internal/interp"
+)
+
+// Precomputed HEEB forms can be stored and reloaded — the paper's deployment
+// story precomputes h1/h2 offline and keeps "a compact, approximate
+// representation online". The wire forms carry the tabulation ranges and the
+// interpolant data.
+
+type h1Wire struct {
+	Lo, Hi int
+	Spline []byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (h *H1) MarshalBinary() ([]byte, error) {
+	sp, err := h.sp.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	err = gob.NewEncoder(&buf).Encode(h1Wire{Lo: h.lo, Hi: h.hi, Spline: sp})
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (h *H1) UnmarshalBinary(data []byte) error {
+	var w h1Wire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("core: decoding h1: %w", err)
+	}
+	out := H1{lo: w.Lo, hi: w.Hi, sp: new(interp.Spline)}
+	if err := out.sp.UnmarshalBinary(w.Spline); err != nil {
+		return fmt.Errorf("core: decoding h1 spline: %w", err)
+	}
+	*h = out
+	return nil
+}
+
+type h2Wire struct {
+	VLo, VHi int
+	XLo, XHi int
+	Grid     []byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (h *H2) MarshalBinary() ([]byte, error) {
+	g, err := h.grid.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	err = gob.NewEncoder(&buf).Encode(h2Wire{VLo: h.vLo, VHi: h.vHi, XLo: h.xLo, XHi: h.xHi, Grid: g})
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (h *H2) UnmarshalBinary(data []byte) error {
+	var w h2Wire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("core: decoding h2: %w", err)
+	}
+	out := H2{vLo: w.VLo, vHi: w.VHi, xLo: w.XLo, xHi: w.XHi, grid: new(interp.Grid)}
+	if err := out.grid.UnmarshalBinary(w.Grid); err != nil {
+		return fmt.Errorf("core: decoding h2 grid: %w", err)
+	}
+	*h = out
+	return nil
+}

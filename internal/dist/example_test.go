@@ -1,0 +1,35 @@
+package dist_test
+
+import (
+	"fmt"
+
+	"stochstream/internal/dist"
+)
+
+// Bounded normal noise, as in the TOWER workload.
+func ExampleBoundedNormal() {
+	n := dist.BoundedNormal(1, 10)
+	fmt.Printf("Pr{0} = %.3f, Pr{±1} = %.3f, mass = %.3f\n",
+		n.Prob(0), n.Prob(1), dist.TotalMass(n))
+	// Output:
+	// Pr{0} = 0.383, Pr{±1} = 0.242, mass = 1.000
+}
+
+// Convolution: the distribution of two dice.
+func ExampleConvolve() {
+	die := dist.NewUniform(1, 6)
+	sum := dist.Convolve(die, die)
+	fmt.Printf("Pr{7} = %.4f, mean = %.1f\n", sum.Prob(7), dist.Mean(sum))
+	// Output:
+	// Pr{7} = 0.1667, mean = 7.0
+}
+
+// DotProduct is the probability that two independent draws coincide — the
+// expected-benefit weight FlowExpect puts on undetermined arrivals.
+func ExampleDotProduct() {
+	a := dist.NewUniform(0, 9)
+	b := dist.NewUniform(5, 14)
+	fmt.Printf("%.2f\n", dist.DotProduct(a, b))
+	// Output:
+	// 0.05
+}

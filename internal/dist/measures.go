@@ -1,0 +1,51 @@
+package dist
+
+import "math"
+
+// Quantile returns the smallest v with CDF(v) >= q, for q in (0, 1]. It
+// panics for q outside (0, 1].
+func Quantile(p PMF, q float64) int {
+	if q <= 0 || q > 1 {
+		panic("dist: Quantile requires q in (0, 1]")
+	}
+	lo, hi := p.Support()
+	var c float64
+	for v := lo; v <= hi; v++ {
+		c += p.Prob(v)
+		if c >= q-1e-15 {
+			return v
+		}
+	}
+	return hi
+}
+
+// KLDivergence returns D(p‖q) in nats, +Inf when p has mass where q does
+// not. Model-selection diagnostics use it to compare fitted forecasts.
+func KLDivergence(p, q PMF) float64 {
+	lo, hi := p.Support()
+	var d float64
+	for v := lo; v <= hi; v++ {
+		pv := p.Prob(v)
+		if pv == 0 {
+			continue
+		}
+		qv := q.Prob(v)
+		if qv == 0 {
+			return math.Inf(1)
+		}
+		d += pv * math.Log(pv/qv)
+	}
+	return d
+}
+
+// TotalVariation returns the total-variation distance ½·Σ|p−q| ∈ [0, 1].
+func TotalVariation(p, q PMF) float64 {
+	plo, phi := p.Support()
+	qlo, qhi := q.Support()
+	lo, hi := min(plo, qlo), max(phi, qhi)
+	var s float64
+	for v := lo; v <= hi; v++ {
+		s += math.Abs(p.Prob(v) - q.Prob(v))
+	}
+	return s / 2
+}

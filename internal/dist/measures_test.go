@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"math/rand/v2"
+)
+
+func TestQuantile(t *testing.T) {
+	u := NewUniform(0, 9)
+	if got := Quantile(u, 0.05); got != 0 {
+		t.Fatalf("q=0.05: %d", got)
+	}
+	if got := Quantile(u, 0.5); got != 4 {
+		t.Fatalf("median: %d", got)
+	}
+	if got := Quantile(u, 1); got != 9 {
+		t.Fatalf("q=1: %d", got)
+	}
+	pm := NewPointMass(7)
+	if got := Quantile(pm, 0.3); got != 7 {
+		t.Fatalf("point mass: %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("q=0 did not panic")
+		}
+	}()
+	Quantile(u, 0)
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := NewTable(0, []float64{1, 1})
+	if got := KLDivergence(p, p); !almostEqual(got, 0, 1e-12) {
+		t.Fatalf("D(p||p) = %v", got)
+	}
+	q := NewTable(0, []float64{3, 1})
+	// D(p||q) = 0.5·ln(0.5/0.75) + 0.5·ln(0.5/0.25)
+	want := 0.5*math.Log(0.5/0.75) + 0.5*math.Log(0.5/0.25)
+	if got := KLDivergence(p, q); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("D = %v, want %v", got, want)
+	}
+	// Support mismatch → +Inf.
+	r := NewPointMass(0)
+	wide := NewUniform(0, 3)
+	if got := KLDivergence(wide, r); !math.IsInf(got, 1) {
+		t.Fatalf("support mismatch D = %v", got)
+	}
+	if got := KLDivergence(r, wide); math.IsInf(got, 1) {
+		t.Fatalf("narrow-into-wide should be finite, got %v", got)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	a := NewPointMass(0)
+	b := NewPointMass(5)
+	if got := TotalVariation(a, b); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("disjoint TV = %v", got)
+	}
+	if got := TotalVariation(a, a); got != 0 {
+		t.Fatalf("identical TV = %v", got)
+	}
+	u1 := NewUniform(0, 1)
+	u2 := NewUniform(1, 2)
+	if got := TotalVariation(u1, u2); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("half-overlap TV = %v", got)
+	}
+}
+
+// Properties: TV symmetric and within [0,1]; KL non-negative (Gibbs).
+func TestQuickDivergenceProperties(t *testing.T) {
+	mk := func(rng *rand.Rand) *Table {
+		w := make([]float64, 2+rng.IntN(10))
+		for i := range w {
+			w[i] = rng.Float64() + 0.01
+		}
+		return NewTable(rng.IntN(5), w)
+	}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		p, q := mk(rng), mk(rng)
+		tv := TotalVariation(p, q)
+		if tv < 0 || tv > 1+1e-12 {
+			return false
+		}
+		if math.Abs(tv-TotalVariation(q, p)) > 1e-12 {
+			return false
+		}
+		kl := KLDivergence(p, q)
+		return kl >= -1e-12 || math.IsInf(kl, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func FuzzNewTable(f *testing.F) {
+	f.Add(uint64(1), 4)
+	f.Add(uint64(99), 12)
+	f.Fuzz(func(t *testing.T, seed uint64, n int) {
+		if n < 1 || n > 64 {
+			return
+		}
+		rng := rand.New(rand.NewPCG(seed, 2))
+		w := make([]float64, n)
+		any := false
+		for i := range w {
+			if rng.IntN(3) > 0 {
+				w[i] = rng.Float64()
+				if w[i] > 0 {
+					any = true
+				}
+			}
+		}
+		if !any {
+			return
+		}
+		tab := NewTable(rng.IntN(21)-10, w)
+		if m := TotalMass(tab); math.Abs(m-1) > 1e-9 {
+			t.Fatalf("mass = %v", m)
+		}
+		lo, hi := tab.Support()
+		if tab.Prob(lo) <= 0 || tab.Prob(hi) <= 0 {
+			t.Fatal("support not tight")
+		}
+	})
+}
+
+func FuzzConvolvePreservesMass(f *testing.F) {
+	f.Add(uint64(3), uint64(4))
+	f.Fuzz(func(t *testing.T, s1, s2 uint64) {
+		r1 := rand.New(rand.NewPCG(s1, 5))
+		r2 := rand.New(rand.NewPCG(s2, 6))
+		mk := func(r *rand.Rand) *Table {
+			w := make([]float64, 1+r.IntN(16))
+			for i := range w {
+				w[i] = r.Float64()
+			}
+			w[r.IntN(len(w))] += 0.5
+			return NewTable(r.IntN(11)-5, w)
+		}
+		a, b := mk(r1), mk(r2)
+		c := Convolve(a, b)
+		if m := TotalMass(c); math.Abs(m-1) > 1e-9 {
+			t.Fatalf("mass = %v", m)
+		}
+		if got, want := Mean(c), Mean(a)+Mean(b); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("mean %v != %v", got, want)
+		}
+	})
+}

@@ -1,0 +1,260 @@
+// Package engine wraps the joining framework as an online operator a stream
+// system can embed: tuples are pushed in step by step and the operator emits
+// the actual joined pairs (not just counts), applies the configured
+// replacement policy under the cache budget, and exposes cache snapshots and
+// running metrics. The batch simulator in internal/join is the measurement
+// harness; this is the adoption surface.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"stochstream/internal/core"
+	"stochstream/internal/join"
+	"stochstream/internal/policy"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+// Tuple is a stream tuple flowing through the operator. Payload carries the
+// caller's record; the operator only inspects Key.
+type Tuple struct {
+	// Key is the join attribute value.
+	Key int
+	// Payload is opaque to the operator.
+	Payload interface{}
+}
+
+// Pair is one join result: the new arrival matched a cached tuple from the
+// other stream, or the two arrivals of one step matched each other.
+type Pair struct {
+	// Time is the step at which the pair was produced.
+	Time int
+	// R and S are the two sides' tuples.
+	R, S Tuple
+	// SameTime marks the pair of the step's own two arrivals. Such pairs
+	// are produced regardless of replacement decisions, which is why the
+	// paper's MAX-subset accounting (and the simulator) excludes them; a
+	// real operator still has to deliver them.
+	SameTime bool
+}
+
+// Config configures the operator; it reuses the simulator's configuration
+// semantics (cache size, window, band, models).
+type Config struct {
+	CacheSize int
+	// Window > 0 enables sliding-window semantics.
+	Window int
+	// Band > 0 generalizes the equijoin to |kR − kS| <= Band.
+	Band int
+	// Procs carries the stream models for model-driven policies.
+	Procs [2]process.Process
+	// Policy decides replacements; nil defaults to HEEB with the models (or
+	// RAND when no models are given).
+	Policy join.Policy
+	// Seed drives the policy's randomness.
+	Seed uint64
+}
+
+// Metrics is a snapshot of the operator's counters.
+type Metrics struct {
+	Steps int
+	// Pairs counts all emitted results; SameTimePairs the subset produced
+	// by a step's own two arrivals (Pairs − SameTimePairs is the
+	// policy-dependent MAX-subset count the simulator reports).
+	Pairs         int
+	SameTimePairs int
+	Evictions     int
+	CacheLen      int
+}
+
+// Join is a step-driven binary stream join operator. It is not safe for
+// concurrent use; wrap calls in the caller's serialization or use Run.
+type Join struct {
+	cfg    Config
+	policy join.Policy
+	hists  [2]*process.History
+	state  *join.State
+	cache  []entry
+	nextID int
+	time   int
+	m      Metrics
+}
+
+type entry struct {
+	t       join.Tuple
+	payload interface{}
+}
+
+// NewJoin validates the configuration and builds the operator.
+func NewJoin(cfg Config) (*Join, error) {
+	if cfg.CacheSize < 1 {
+		return nil, errors.New("engine: cache size must be >= 1")
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		if cfg.Procs[0] != nil && cfg.Procs[1] != nil {
+			pol = newDefaultHEEB()
+		} else {
+			pol = &randPolicy{}
+		}
+	}
+	j := &Join{
+		cfg:    cfg,
+		policy: pol,
+		hists:  [2]*process.History{process.NewHistory(), process.NewHistory()},
+	}
+	simCfg := join.Config{
+		CacheSize: cfg.CacheSize,
+		Window:    cfg.Window,
+		Band:      cfg.Band,
+		Warmup:    0,
+		Procs:     cfg.Procs,
+	}
+	j.state = &join.State{Hists: j.hists, Config: simCfg, RNG: stats.NewRNG(cfg.Seed)}
+	pol.Reset(simCfg, stats.NewRNG(cfg.Seed+1))
+	return j, nil
+}
+
+// Step feeds one arrival from each stream (the paper's synchronized-step
+// model) and returns the result pairs produced at this step. Same-time
+// arrivals are joined and emitted too — a real operator must deliver them
+// even though replacement policies cannot influence them.
+func (j *Join) Step(r, s Tuple) []Pair {
+	t := j.time
+	j.time++
+	j.m.Steps++
+	j.hists[core.StreamR].Append(r.Key)
+	j.hists[core.StreamS].Append(s.Key)
+	j.state.Time = t
+
+	var out []Pair
+	match := func(a, b int) bool {
+		if a == process.NoValue || b == process.NoValue {
+			return false
+		}
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d <= j.cfg.Band
+	}
+	for _, c := range j.cache {
+		if j.cfg.Window > 0 && t-c.t.Arrived > j.cfg.Window {
+			continue
+		}
+		ct := Tuple{Key: c.t.Value, Payload: c.payload}
+		switch c.t.Stream {
+		case core.StreamR:
+			if match(c.t.Value, s.Key) {
+				out = append(out, Pair{Time: t, R: ct, S: s})
+			}
+		case core.StreamS:
+			if match(c.t.Value, r.Key) {
+				out = append(out, Pair{Time: t, R: r, S: ct})
+			}
+		}
+	}
+	if match(r.Key, s.Key) {
+		out = append(out, Pair{Time: t, R: r, S: s, SameTime: true})
+		j.m.SameTimePairs++
+	}
+	j.m.Pairs += len(out)
+
+	// Admission + replacement, mirroring the simulator's candidate order.
+	newEntries := []entry{
+		{t: join.Tuple{ID: j.nextID, Value: r.Key, Stream: core.StreamR, Arrived: t}, payload: r.Payload},
+		{t: join.Tuple{ID: j.nextID + 1, Value: s.Key, Stream: core.StreamS, Arrived: t}, payload: s.Payload},
+	}
+	j.nextID += 2
+	cands := append(append(make([]entry, 0, len(j.cache)+2), j.cache...), newEntries...)
+	need := len(cands) - j.cfg.CacheSize
+	if need <= 0 {
+		j.cache = cands
+		j.m.CacheLen = len(j.cache)
+		return out
+	}
+	tuples := make([]join.Tuple, len(cands))
+	for i, c := range cands {
+		tuples[i] = c.t
+	}
+	evict := j.policy.Evict(j.state, tuples, need)
+	if len(evict) != need {
+		panic(fmt.Sprintf("engine: policy %s returned %d evictions, need %d", j.policy.Name(), len(evict), need))
+	}
+	drop := make(map[int]bool, need)
+	for _, i := range evict {
+		if i < 0 || i >= len(cands) || drop[i] {
+			panic(fmt.Sprintf("engine: policy %s returned invalid eviction %d", j.policy.Name(), i))
+		}
+		drop[i] = true
+	}
+	j.m.Evictions += need
+	kept := j.cache[:0]
+	for i, c := range cands {
+		if !drop[i] {
+			kept = append(kept, c)
+		}
+	}
+	j.cache = kept
+	j.m.CacheLen = len(j.cache)
+	return out
+}
+
+// Metrics returns the operator's counters.
+func (j *Join) Metrics() Metrics { return j.m }
+
+// Snapshot returns the cached tuples (keys and streams) in cache order, for
+// observability and tests.
+func (j *Join) Snapshot() []join.Tuple {
+	out := make([]join.Tuple, len(j.cache))
+	for i, c := range j.cache {
+		out[i] = c.t
+	}
+	return out
+}
+
+// Input is one synchronized step of arrivals for Run.
+type Input struct {
+	R, S Tuple
+}
+
+// Run drives the operator from a channel of step inputs until the channel
+// closes or the context is cancelled, sending every result pair to the out
+// channel. It owns the out channel and closes it on return.
+func (j *Join) Run(ctx context.Context, in <-chan Input, out chan<- Pair) error {
+	defer close(out)
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case step, ok := <-in:
+			if !ok {
+				return nil
+			}
+			for _, p := range j.Step(step.R, step.S) {
+				select {
+				case out <- p:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+		}
+	}
+}
+
+// newDefaultHEEB builds the default model-driven policy: direct HEEB with α
+// derived from the cache size (the paper's fallback choice).
+func newDefaultHEEB() join.Policy {
+	return policy.NewHEEB(policy.HEEBOptions{Mode: policy.HEEBDirect})
+}
+
+type randPolicy struct{ rng *stats.RNG }
+
+func (p *randPolicy) Name() string                        { return "RAND" }
+func (p *randPolicy) Reset(_ join.Config, rng *stats.RNG) { p.rng = rng }
+func (p *randPolicy) Evict(_ *join.State, cands []join.Tuple, n int) []int {
+	return p.rng.Perm(len(cands))[:n]
+}

@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the figure as RFC-4180 CSV: a header row of the x label and
+// series labels, one row per x value, and one trailing comment-style row per
+// note (prefixed "#note").
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{f.XLabel}, labels(f)...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range f.X {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, formatFloat(f.X[i]))
+		for _, s := range f.Series {
+			row = append(row, formatFloat(s.Y[i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range f.Notes {
+		if err := cw.Write([]string{"#note", n}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func labels(f *Figure) []string {
+	out := make([]string, len(f.Series))
+	for i, s := range f.Series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	f := &Figure{ID: "figX", XLabel: "memory", X: []float64{1, 2.5}}
+	f.AddSeries("HEEB", []float64{10, 20})
+	f.AddSeries("RAND", []float64{5, 7.25})
+	f.Note("hello, world") // contains a comma: must be quoted
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rd := csv.NewReader(&buf)
+	rd.FieldsPerRecord = -1 // note rows are shorter than data rows
+	rows, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0] != "memory" || rows[0][1] != "HEEB" || rows[0][2] != "RAND" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if rows[2][0] != "2.5" || rows[2][2] != "7.25" {
+		t.Fatalf("data row = %v", rows[2])
+	}
+	if rows[3][0] != "#note" || !strings.Contains(rows[3][1], "hello, world") {
+		t.Fatalf("note row = %v", rows[3])
+	}
+}
+
+func TestWriteCSVFigure7RoundTrips(t *testing.T) {
+	f, err := Figure7(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+31 { // header + 31 values
+		t.Fatalf("got %d rows", len(rows))
+	}
+}
+
+func TestChartRendersAllSeries(t *testing.T) {
+	f := &Figure{ID: "figY", Title: "chart", XLabel: "x", YLabel: "y", X: []float64{0, 5, 10}}
+	f.AddSeries("up", []float64{0, 5, 10})
+	f.AddSeries("down", []float64{10, 5, 0})
+	var buf bytes.Buffer
+	f.Chart(&buf, 30, 8)
+	out := buf.String()
+	for _, want := range []string{"figY", "o=up", "x=down", "10", "0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Crossing point marked as overlap.
+	if !strings.Contains(out, "*") {
+		t.Fatalf("expected overlap marker:\n%s", out)
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	var buf bytes.Buffer
+	(&Figure{ID: "empty"}).Chart(&buf, 10, 3)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatalf("empty chart output: %q", buf.String())
+	}
+	// Flat series and tiny dimensions must not divide by zero.
+	f := &Figure{ID: "flat", X: []float64{1, 1}}
+	f.AddSeries("c", []float64{3, 3})
+	buf.Reset()
+	f.Chart(&buf, 1, 1)
+	if buf.Len() == 0 {
+		t.Fatal("flat chart produced nothing")
+	}
+}

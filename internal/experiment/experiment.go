@@ -1,0 +1,211 @@
+// Package experiment regenerates every figure of the paper's evaluation
+// (Section 6): the precomputed h1 curves (Fig. 6), the workload noise pdfs
+// (Fig. 7), the cross-workload policy comparison (Fig. 8), the cache-size
+// sweeps (Figs. 9–12), the REAL caching comparison (Fig. 13), the memory-
+// allocation studies (Figs. 14, 17, 18), the h2 surface and its bicubic
+// approximation (Figs. 15–16), and the FlowExpect look-ahead study
+// (Fig. 19). Each harness returns a Figure of labeled series that renders as
+// a plain-text table; cmd/repro exposes them on the command line.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Series is one labeled line of a figure: y values over the shared x axis.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// Figure is the reproducible result of one experiment.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	// X is the shared abscissa of all series.
+	X []float64
+	// Series holds one entry per plotted line, each with len(Y) == len(X).
+	Series []Series
+	// Notes carries free-form observations (fit parameters, approximation
+	// errors, run variances) recorded alongside the data.
+	Notes []string
+}
+
+// AddSeries appends a labeled series, panicking on a length mismatch so
+// harness bugs surface immediately.
+func (f *Figure) AddSeries(label string, y []float64) {
+	if len(y) != len(f.X) {
+		panic(fmt.Sprintf("experiment: series %q has %d points for %d x values", label, len(y), len(f.X)))
+	}
+	f.Series = append(f.Series, Series{Label: label, Y: y})
+}
+
+// Note records an observation.
+func (f *Figure) Note(format string, args ...interface{}) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the figure as a plain-text table.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", f.ID, f.Title)
+	headers := []string{f.XLabel}
+	for _, s := range f.Series {
+		headers = append(headers, s.Label)
+	}
+	widths := make([]int, len(headers))
+	rows := make([][]string, len(f.X))
+	for i := range f.X {
+		row := []string{trimFloat(f.X[i])}
+		for _, s := range f.Series {
+			row = append(row, trimFloat(s.Y[i]))
+		}
+		rows[i] = row
+	}
+	for c, h := range headers {
+		widths[c] = len(h)
+		for _, row := range rows {
+			if len(row[c]) > widths[c] {
+				widths[c] = len(row[c])
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for c, cell := range cells {
+			parts[c] = fmt.Sprintf("%*s", widths[c], cell)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	writeRow(headers)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	if f.YLabel != "" {
+		fmt.Fprintf(w, "  (y: %s)\n", f.YLabel)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Options controls experiment scale. The paper's full scale (50 runs × 5000
+// tuples) takes minutes; the defaults are sized for interactive use and can
+// be raised via cmd/repro flags.
+type Options struct {
+	// Runs is the number of independent runs averaged per data point
+	// (paper: 50).
+	Runs int
+	// Length is the stream length per run (paper: 5000).
+	Length int
+	// Cache is the cache size where a figure fixes it (paper: 10).
+	Cache int
+	// Seed is the base seed; run i uses Seed+i.
+	Seed uint64
+	// FlowExpect enables the expensive FlowExpect policy in Figure 8.
+	FlowExpect bool
+	// FlowExpectRuns/FlowExpectLength shrink FlowExpect's share of the
+	// work; zero means "same as Runs/Length".
+	FlowExpectRuns   int
+	FlowExpectLength int
+	// Lookahead is FlowExpect's l (paper Figure 8 setting; Figure 19 sweeps
+	// its own).
+	Lookahead int
+	// RealTracePath optionally replaces the synthetic REAL series with an
+	// actual reference trace file (one observation per line or CSV with the
+	// value last) for Figures 13, 15, 16 and ablation a1.
+	RealTracePath string
+}
+
+// Defaults returns interactive-scale options.
+func Defaults() Options {
+	return Options{
+		Runs:             10,
+		Length:           5000,
+		Cache:            10,
+		Seed:             1,
+		FlowExpect:       false,
+		FlowExpectRuns:   2,
+		FlowExpectLength: 1000,
+		Lookahead:        5,
+	}
+}
+
+// PaperScale returns the paper's full experiment scale.
+func PaperScale() Options {
+	o := Defaults()
+	o.Runs = 50
+	o.FlowExpect = true
+	o.FlowExpectRuns = 3
+	return o
+}
+
+// Generator produces one figure.
+type Generator func(Options) (*Figure, error)
+
+// Registry maps figure ids ("6".."19") to their generators.
+func Registry() map[string]Generator {
+	return map[string]Generator{
+		"6":  Figure6,
+		"7":  Figure7,
+		"8":  Figure8,
+		"9":  Figure9,
+		"10": Figure10,
+		"11": Figure11,
+		"12": Figure12,
+		"13": Figure13,
+		"14": Figure14,
+		"15": Figure15,
+		"16": Figure16,
+		"17": Figure17,
+		"18": Figure18,
+		"19": Figure19,
+		"a1": AblationControlPoints,
+		"a2": AblationAlpha,
+	}
+}
+
+// IDs returns the registered figure ids in numeric order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ni, nj := atoiSafe(ids[i]), atoiSafe(ids[j])
+		if (ni == 0) != (nj == 0) {
+			return nj == 0 // numeric figures before ablation ids
+		}
+		if ni != nj {
+			return ni < nj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

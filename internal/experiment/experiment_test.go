@@ -1,0 +1,496 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny returns options small enough for unit tests but large enough for the
+// qualitative orderings to hold.
+func tiny() Options {
+	o := Defaults()
+	o.Runs = 2
+	o.Length = 1200
+	o.Cache = 10
+	o.Seed = 4
+	o.FlowExpectRuns = 1
+	o.FlowExpectLength = 300
+	return o
+}
+
+func seriesByLabel(f *Figure, label string) []float64 {
+	for _, s := range f.Series {
+		if strings.HasPrefix(s.Label, label) {
+			return s.Y
+		}
+	}
+	return nil
+}
+
+func TestFigureAddSeriesValidates(t *testing.T) {
+	f := &Figure{X: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series did not panic")
+		}
+	}()
+	f.AddSeries("bad", []float64{1})
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{ID: "figX", Title: "demo", XLabel: "x", YLabel: "y", X: []float64{1, 2}}
+	f.AddSeries("a", []float64{0.5, 1})
+	f.Note("hello %d", 7)
+	var buf bytes.Buffer
+	f.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"figX", "demo", "a", "0.5", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryCoversAllFigures(t *testing.T) {
+	ids := IDs()
+	want := []string{"6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "a1", "a2"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestFigure6Shapes(t *testing.T) {
+	f, err := Figure6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := seriesByLabel(f, "drift=0")
+	d4 := seriesByLabel(f, "drift=4")
+	if d0 == nil || d4 == nil {
+		t.Fatal("missing series")
+	}
+	// Zero drift peaks at the center (x = 0 is index 20).
+	for i := range d0 {
+		if d0[i] > d0[20] {
+			t.Fatalf("drift=0 peak not at 0 (index %d)", i)
+		}
+	}
+	// Drift 4 prefers the right half.
+	peak4 := 0
+	for i := range d4 {
+		if d4[i] > d4[peak4] {
+			peak4 = i
+		}
+	}
+	if peak4 <= 20 {
+		t.Fatalf("drift=4 peak at index %d, want right of center", peak4)
+	}
+}
+
+func TestFigure7NoisePDFs(t *testing.T) {
+	f, err := Figure7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tower := seriesByLabel(f, "TOWER")
+	floor := seriesByLabel(f, "FLOOR")
+	// TOWER is sharply peaked; FLOOR flat at 1/31.
+	if tower[15] < 0.15 {
+		t.Fatalf("TOWER center mass = %v", tower[15])
+	}
+	for _, p := range floor {
+		if p < 1.0/31-1e-9 || p > 1.0/31+1e-9 {
+			t.Fatalf("FLOOR not uniform: %v", p)
+		}
+	}
+	var sum float64
+	for _, p := range tower {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("TOWER mass = %v", sum)
+	}
+}
+
+func TestFigure8QualitativeOrdering(t *testing.T) {
+	f, err := Figure8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := seriesByLabel(f, "OPT-OFFLINE")
+	heeb := seriesByLabel(f, "HEEB")
+	prob := seriesByLabel(f, "PROB")
+	rand := seriesByLabel(f, "RAND")
+	if opt == nil || heeb == nil || prob == nil || rand == nil {
+		t.Fatalf("missing series: %+v", f.Series)
+	}
+	for ci := 0; ci < 3; ci++ { // TOWER, ROOF, FLOOR
+		if !(opt[ci] >= heeb[ci]) {
+			t.Fatalf("config %d: OPT %v < HEEB %v", ci, opt[ci], heeb[ci])
+		}
+		if !(heeb[ci] > prob[ci]) {
+			t.Fatalf("config %d: HEEB %v <= PROB %v", ci, heeb[ci], prob[ci])
+		}
+	}
+	// WALK: HEEB beats PROB and RAND; OPT far ahead (paper Figure 12).
+	if !(heeb[3] >= rand[3]) {
+		t.Fatalf("WALK: HEEB %v < RAND %v", heeb[3], rand[3])
+	}
+	if !(opt[3] > 2*heeb[3]) {
+		t.Logf("WALK OPT %v vs HEEB %v (paper shows a large gap)", opt[3], heeb[3])
+	}
+}
+
+func TestFigure9MonotoneInCache(t *testing.T) {
+	o := tiny()
+	o.Runs = 1
+	o.Length = 800
+	f, err := Figure9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := seriesByLabel(f, "OPT-OFFLINE")
+	heeb := seriesByLabel(f, "HEEB")
+	// More memory never hurts the offline optimum... warm-up grows with the
+	// cache, so compare only a prefix with matching warm-ups is impossible;
+	// instead check the large-cache end dominates the small-cache start.
+	if opt[len(opt)-1] < opt[0] {
+		t.Fatalf("OPT at max cache (%v) below min cache (%v)", opt[len(opt)-1], opt[0])
+	}
+	if heeb[len(heeb)-1] < heeb[0] {
+		t.Fatalf("HEEB at max cache (%v) below min cache (%v)", heeb[len(heeb)-1], heeb[0])
+	}
+	// With abundant memory every policy approaches OPT (Figure 9).
+	last := len(opt) - 1
+	if heeb[last] < 0.9*opt[last] {
+		t.Fatalf("HEEB %v not converging to OPT %v at cache 50", heeb[last], opt[last])
+	}
+}
+
+func TestFigures10to12Run(t *testing.T) {
+	o := tiny()
+	o.Runs = 1
+	o.Length = 500
+	for _, gen := range []Generator{Figure10, Figure11, Figure12} {
+		f, err := gen(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Series) < 4 || len(f.X) == 0 {
+			t.Fatalf("%s: malformed figure", f.ID)
+		}
+	}
+}
+
+func TestFigure12WalkHasNoLife(t *testing.T) {
+	o := tiny()
+	o.Runs = 1
+	o.Length = 400
+	f, err := Figure12(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := seriesByLabel(f, "LIFE"); s != nil {
+		t.Fatal("WALK sweep must not include LIFE")
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	f, err := Figure13(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lfd := seriesByLabel(f, "LFD")
+	heeb := seriesByLabel(f, "HEEB")
+	lru := seriesByLabel(f, "LRU")
+	randS := seriesByLabel(f, "RAND")
+	for i := range lfd {
+		if lfd[i] > heeb[i]+1e-9 {
+			t.Fatalf("memory %v: LFD misses %v above HEEB %v (LFD must be optimal)",
+				f.X[i], lfd[i], heeb[i])
+		}
+	}
+	// Misses decrease with memory for the optimal policy.
+	if lfd[len(lfd)-1] > lfd[0] {
+		t.Fatalf("LFD misses increased with memory: %v", lfd)
+	}
+	// HEEB leads the online pack overall (paper: beats LRU/LFU by up to 20%).
+	var heebSum, lruSum, randSum float64
+	for i := range heeb {
+		heebSum += heeb[i]
+		lruSum += lru[i]
+		randSum += randS[i]
+	}
+	if heebSum > lruSum || heebSum > randSum {
+		t.Fatalf("HEEB total misses %v vs LRU %v RAND %v: HEEB should lead", heebSum, lruSum, randSum)
+	}
+	if len(f.Notes) == 0 || !strings.Contains(f.Notes[0], "AR(1)") {
+		t.Fatal("missing AR(1) fit note")
+	}
+}
+
+func TestFigure14AllocationIntuitions(t *testing.T) {
+	o := tiny()
+	o.Runs = 2
+	o.Length = 1500
+	f, err := Figure14(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(label string) float64 {
+		s := seriesByLabel(f, label)
+		if s == nil {
+			t.Fatalf("missing series %q", label)
+		}
+		var sum float64
+		n := 0
+		// Skip the first fifth (warm-up transient).
+		for i := len(s) / 5; i < len(s); i++ {
+			sum += s[i]
+			n++
+		}
+		return sum / float64(n)
+	}
+	same := mean("R AND S SAME")
+	lag2 := mean("R LAGS BY 2")
+	lag4 := mean("R LAGS BY 4")
+	sx2 := mean("S NOISE 2X")
+	if same < 0.35 || same > 0.65 {
+		t.Fatalf("symmetric case fraction = %v, want ~0.5", same)
+	}
+	// Lagging stream gets less memory; more lag, less memory.
+	if !(lag2 < same) || !(lag4 < lag2) {
+		t.Fatalf("lag ordering violated: same %v lag2 %v lag4 %v", same, lag2, lag4)
+	}
+	// Higher S variance shifts memory toward R.
+	if !(sx2 > same) {
+		t.Fatalf("variance intuition violated: sx2 %v <= same %v", sx2, same)
+	}
+}
+
+func TestFigures17And18Run(t *testing.T) {
+	o := tiny()
+	o.Runs = 1
+	o.Length = 800
+	for _, gen := range []Generator{Figure17, Figure18} {
+		f, err := gen(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Series) != 3 {
+			t.Fatalf("%s: want 3 series, got %d", f.ID, len(f.Series))
+		}
+		for _, s := range f.Series {
+			for _, v := range s.Y {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s: fraction %v out of range", f.ID, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure15And16Agree(t *testing.T) {
+	o := tiny()
+	exact, err := Figure15(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := Figure16(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range exact.Series {
+		e := exact.Series[si].Y
+		a := approx.Series[si].Y
+		for i := range e {
+			diff := e[i] - a[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 0.35*maxOf(e) {
+				t.Fatalf("series %d point %d: exact %v approx %v", si, i, e[i], a[i])
+			}
+		}
+	}
+	if len(approx.Notes) == 0 || !strings.Contains(approx.Notes[0], "bicubic") {
+		t.Fatal("Figure 16 must record approximation accuracy")
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestFigure19LookaheadHelpsThenSaturates(t *testing.T) {
+	o := tiny()
+	o.FlowExpectRuns = 1
+	f, err := Figure19(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := seriesByLabel(f, "FLOWEXPECT")
+	if fe == nil {
+		t.Fatal("missing FLOWEXPECT series")
+	}
+	// The paper: limited look-ahead (ΔT ≈ 5) already brings most of the
+	// improvement. Check ΔT=5 beats ΔT=1 and the tail stays in a band.
+	if !(fe[3] > fe[0]) { // index 3 is ΔT=5
+		t.Fatalf("look-ahead 5 (%v) not better than 1 (%v)", fe[3], fe[0])
+	}
+	// Baselines are flat.
+	for _, l := range []string{"RAND", "PROB", "LIFE"} {
+		s := seriesByLabel(f, l)
+		for i := 1; i < len(s); i++ {
+			if s[i] != s[0] {
+				t.Fatalf("%s baseline not flat", l)
+			}
+		}
+	}
+}
+
+func TestPaperScaleOptions(t *testing.T) {
+	o := PaperScale()
+	if o.Runs != 50 || !o.FlowExpect {
+		t.Fatalf("PaperScale = %+v", o)
+	}
+}
+
+func TestFigure8WithFlowExpect(t *testing.T) {
+	o := tiny()
+	o.Runs = 1
+	o.Length = 400
+	o.FlowExpect = true
+	o.FlowExpectRuns = 1
+	o.FlowExpectLength = 150
+	o.Lookahead = 3
+	f, err := Figure8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := seriesByLabel(f, "FLOWEXPECT")
+	if fe == nil {
+		t.Fatal("missing FLOWEXPECT series")
+	}
+	opt := seriesByLabel(f, "OPT-OFFLINE")
+	for ci := range fe {
+		if fe[ci] <= 0 {
+			t.Fatalf("config %d: FlowExpect produced nothing", ci)
+		}
+		// Scaled estimate can wobble but should stay below ~1.5x OPT.
+		if fe[ci] > 1.5*opt[ci] {
+			t.Fatalf("config %d: FlowExpect %v implausibly above OPT %v", ci, fe[ci], opt[ci])
+		}
+	}
+	foundNote := false
+	for _, n := range f.Notes {
+		if strings.Contains(n, "FLOWEXPECT") {
+			foundNote = true
+		}
+	}
+	if !foundNote {
+		t.Fatal("missing FlowExpect scaling note")
+	}
+}
+
+func TestAblationControlPoints(t *testing.T) {
+	f, err := AblationControlPoints(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr := seriesByLabel(f, "max abs err")
+	misses := seriesByLabel(f, "REAL misses")
+	if maxErr == nil || misses == nil {
+		t.Fatalf("missing series: %+v", f.Series)
+	}
+	// Error decreases (weakly) as the control grid densifies, comparing the
+	// coarsest and finest grids.
+	if maxErr[len(maxErr)-1] > maxErr[0] {
+		t.Fatalf("densest grid error %v above coarsest %v", maxErr[len(maxErr)-1], maxErr[0])
+	}
+	for _, m := range misses {
+		if m <= 0 || m > 3650 {
+			t.Fatalf("implausible miss count %v", m)
+		}
+	}
+	if len(f.Notes) == 0 {
+		t.Fatal("missing exact-HEEB note")
+	}
+}
+
+func TestAblationAlpha(t *testing.T) {
+	o := tiny()
+	o.Runs = 2
+	o.Length = 1200
+	f, err := AblationAlpha(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := seriesByLabel(f, "HEEB")
+	if len(y) != 6 {
+		t.Fatalf("series = %v", y)
+	}
+	// The heuristic estimate (multiplier 1, index 2) should be within 5% of
+	// the best sweep point — the paper's selection rule is near-optimal.
+	best := y[0]
+	for _, v := range y {
+		if v > best {
+			best = v
+		}
+	}
+	if y[2] < 0.95*best {
+		t.Fatalf("estimate multiplier 1 (%v) far below best (%v)", y[2], best)
+	}
+}
+
+// Every registered figure must generate, render, chart and CSV-encode
+// without error at micro scale.
+func TestRegistrySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro-scale full-registry sweep")
+	}
+	o := Defaults()
+	o.Runs = 1
+	o.Length = 300
+	o.Cache = 5
+	o.Seed = 2
+	o.FlowExpect = false
+	o.FlowExpectRuns = 1
+	o.FlowExpectLength = 60
+	// The FlowExpect sweep and the ablations have dedicated tests and
+	// dominate runtime; the smoke pass covers the rest.
+	skip := map[string]bool{"19": true, "a1": true, "a2": true}
+	for id, gen := range Registry() {
+		if skip[id] {
+			continue
+		}
+		fig, err := gen(o)
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		if len(fig.X) == 0 || len(fig.Series) == 0 {
+			t.Fatalf("figure %s: empty", id)
+		}
+		var buf bytes.Buffer
+		fig.Render(&buf)
+		fig.Chart(&buf, 40, 10)
+		if err := fig.WriteCSV(&buf); err != nil {
+			t.Fatalf("figure %s csv: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("figure %s produced no output", id)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package interp
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// The wire forms hold only the fitted data; second derivatives and row
+// splines are refitted on load, so the encoding stays compact and version
+// drift in solver internals cannot corrupt stored curves.
+
+type splineWire struct {
+	Xs, Ys []float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Spline) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(splineWire{Xs: s.xs, Ys: s.ys})
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Spline) UnmarshalBinary(data []byte) error {
+	var w splineWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	fitted, err := NewSpline(w.Xs, w.Ys)
+	if err != nil {
+		return err
+	}
+	*s = *fitted
+	return nil
+}
+
+type gridWire struct {
+	Xs, Ys []float64
+	Z      [][]float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (g *Grid) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gridWire{Xs: g.xs, Ys: g.ys, Z: g.rowVals})
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (g *Grid) UnmarshalBinary(data []byte) error {
+	var w gridWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	fitted, err := NewGrid(w.Xs, w.Ys, w.Z)
+	if err != nil {
+		return err
+	}
+	*g = *fitted
+	return nil
+}

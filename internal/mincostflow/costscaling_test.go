@@ -1,0 +1,167 @@
+package mincostflow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stochstream/internal/stats"
+)
+
+func TestIntGraphSingleArc(t *testing.T) {
+	g := NewInt(2)
+	id := g.AddArc(0, 1, 3, 2)
+	res, err := g.MinCostFlow(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 2 || res.Cost != 4 {
+		t.Fatalf("res = %+v", res)
+	}
+	if g.Flow(id) != 2 {
+		t.Fatalf("flow = %d", g.Flow(id))
+	}
+}
+
+func TestIntGraphDisconnectedAndDegenerate(t *testing.T) {
+	g := NewInt(3)
+	g.AddArc(0, 1, 1, 1)
+	if _, err := g.MinCostFlow(0, 2, 1); err != ErrDisconnected {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := g.MinCostFlow(0, 0, 1); err == nil {
+		t.Fatal("source == sink should error")
+	}
+	if res, err := g.MinCostFlow(0, 1, 0); err != nil || res.Flow != 0 {
+		t.Fatalf("target 0: %+v %v", res, err)
+	}
+	mustPanic(t, "NewInt(0)", func() { NewInt(0) })
+	mustPanic(t, "neg cap", func() { g.AddArc(0, 1, -1, 0) })
+	mustPanic(t, "bad endpoint", func() { g.AddArc(0, 9, 1, 0) })
+}
+
+func TestIntGraphReroutesForOptimality(t *testing.T) {
+	// Same instance as TestReroutingThroughResidualArcs: the cheap greedy
+	// path must be partially undone to route two units at cost 11.
+	g := NewInt(4)
+	g.AddArc(0, 1, 1, 1)
+	g.AddArc(0, 2, 1, 4)
+	g.AddArc(1, 2, 1, 1)
+	g.AddArc(1, 3, 1, 5)
+	g.AddArc(2, 3, 1, 1)
+	res, err := g.MinCostFlow(0, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 2 || res.Cost != 11 {
+		t.Fatalf("res = %+v, want flow 2 cost 11", res)
+	}
+}
+
+func TestIntGraphNegativeCosts(t *testing.T) {
+	g := NewInt(4)
+	g.AddArc(0, 1, 1, 0)
+	g.AddArc(0, 2, 1, 0)
+	g.AddArc(1, 3, 1, -3)
+	g.AddArc(2, 3, 1, -1)
+	res, err := g.MinCostFlow(0, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 2 || res.Cost != -4 {
+		t.Fatalf("res = %+v", res)
+	}
+	// A single unit must pick the -3 path even though max-flow alone could
+	// have chosen either.
+	g2 := NewInt(4)
+	g2.AddArc(0, 1, 1, 0)
+	g2.AddArc(0, 2, 1, 0)
+	g2.AddArc(1, 3, 1, -3)
+	g2.AddArc(2, 3, 1, -1)
+	res2, err := g2.MinCostFlow(0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cost != -3 {
+		t.Fatalf("single unit cost = %d, want -3", res2.Cost)
+	}
+}
+
+// Cross-validation: cost scaling and successive shortest paths must agree on
+// random integer-cost layered networks.
+func TestQuickCostScalingMatchesSSP(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		layers := 2 + rng.IntN(3)
+		width := 2 + rng.IntN(3)
+		n := 2 + layers*width
+		gInt := NewInt(n)
+		gFlt := New(n)
+		src, snk := 0, n-1
+		node := func(l, i int) int { return 1 + l*width + i }
+		addBoth := func(a, b, cap, cost int) {
+			gInt.AddArc(a, b, int64(cap), int64(cost))
+			gFlt.AddArc(a, b, cap, float64(cost))
+		}
+		for i := 0; i < width; i++ {
+			addBoth(src, node(0, i), 1+rng.IntN(3), 0)
+			addBoth(node(layers-1, i), snk, 1+rng.IntN(3), 0)
+		}
+		for l := 0; l+1 < layers; l++ {
+			for i := 0; i < width; i++ {
+				for j := 0; j < width; j++ {
+					addBoth(node(l, i), node(l+1, j), 1+rng.IntN(2), rng.IntN(21)-10)
+				}
+			}
+		}
+		target := 1 + rng.IntN(4)
+		ri, errI := gInt.MinCostFlow(src, snk, int64(target))
+		rf, errF := gFlt.MinCostFlow(src, snk, target)
+		if (errI == nil) != (errF == nil) {
+			return false
+		}
+		if errI != nil {
+			return true
+		}
+		return ri.Flow == int64(rf.Flow) && math.Abs(float64(ri.Cost)-rf.Cost) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Assignment problems: cost scaling vs brute force.
+func TestIntAssignmentMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRNG(123)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.IntN(4)
+		cost := make([][]float64, n)
+		intCost := make([][]int64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			intCost[i] = make([]int64, n)
+			for j := range cost[i] {
+				c := rng.IntN(41) - 20
+				cost[i][j] = float64(c)
+				intCost[i][j] = int64(c)
+			}
+		}
+		want := assignmentBrute(cost)
+		g := NewInt(2*n + 2)
+		src, snk := 0, 2*n+1
+		for i := 0; i < n; i++ {
+			g.AddArc(src, 1+i, 1, 0)
+			g.AddArc(1+n+i, snk, 1, 0)
+			for j := 0; j < n; j++ {
+				g.AddArc(1+i, 1+n+j, 1, intCost[i][j])
+			}
+		}
+		res, err := g.MinCostFlow(src, snk, int64(n))
+		if err != nil || res.Flow != int64(n) {
+			t.Fatalf("trial %d: %+v %v", trial, res, err)
+		}
+		if float64(res.Cost) != want {
+			t.Fatalf("trial %d: cost scaling %d != brute %v", trial, res.Cost, want)
+		}
+	}
+}

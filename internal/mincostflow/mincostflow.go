@@ -1,0 +1,331 @@
+// Package mincostflow implements a min-cost max-flow solver used by the
+// FlowExpect and OPT-offline algorithms. The paper uses Goldberg's
+// cost-scaling solver; the graphs both algorithms build here are layered
+// DAGs of modest size, for which successive shortest paths with node
+// potentials is exact and fast, so that is what this package provides
+// (see DESIGN.md for the substitution note).
+//
+// Costs are float64 (FlowExpect's arcs carry negated expected benefits);
+// capacities and flows are integers, so every optimal solution found is an
+// integral flow — the property Section 3.2 of the paper relies on.
+package mincostflow
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Graph is a directed flow network. Nodes are dense integers [0, N).
+type Graph struct {
+	n     int
+	heads [][]int32 // per-node arc indices into arcs (forward and residual)
+	arcs  []arc
+}
+
+type arc struct {
+	to   int32
+	cap  int32 // residual capacity
+	cost float64
+}
+
+// New returns an empty graph with n nodes.
+func New(n int) *Graph {
+	if n <= 0 {
+		panic("mincostflow: New requires n > 0")
+	}
+	return &Graph{n: n, heads: make([][]int32, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumArcs returns the number of forward arcs added.
+func (g *Graph) NumArcs() int { return len(g.arcs) / 2 }
+
+// AddArc adds a directed arc with the given capacity and per-unit cost and
+// returns its id. Negative capacities are rejected; negative costs are
+// allowed (FlowExpect's benefits are negated costs).
+func (g *Graph) AddArc(from, to int, capacity int, cost float64) int {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("mincostflow: arc endpoints (%d,%d) out of range [0,%d)", from, to, g.n))
+	}
+	if capacity < 0 {
+		panic("mincostflow: negative capacity")
+	}
+	id := len(g.arcs)
+	g.arcs = append(g.arcs, arc{to: int32(to), cap: int32(capacity), cost: cost})
+	g.arcs = append(g.arcs, arc{to: int32(from), cap: 0, cost: -cost})
+	g.heads[from] = append(g.heads[from], int32(id))
+	g.heads[to] = append(g.heads[to], int32(id+1))
+	return id / 2
+}
+
+// Flow returns the flow currently routed on the arc with the given id.
+func (g *Graph) Flow(id int) int { return int(g.arcs[2*id+1].cap) }
+
+// Result reports the outcome of a MinCostFlow call.
+type Result struct {
+	Flow int     // units actually routed (≤ the requested target)
+	Cost float64 // total cost of the routed flow
+}
+
+// ErrDisconnected is returned when no unit of flow can reach the sink.
+var ErrDisconnected = errors.New("mincostflow: sink unreachable from source")
+
+// MinCostFlow routes up to target units of flow from source to sink at
+// minimum total cost, mutating the graph's residual capacities. It returns
+// the units routed and their cost. If fewer than target units fit, the
+// result carries the maximum flow; if no unit fits at all, ErrDisconnected
+// is returned.
+//
+// The solver runs successive shortest paths with node potentials: an initial
+// potential pass that tolerates negative arc costs (topological relaxation
+// when the positive-capacity subgraph is a DAG, Bellman–Ford otherwise),
+// then Dijkstra on reduced costs for each augmentation.
+func (g *Graph) MinCostFlow(source, sink, target int) (Result, error) {
+	if source == sink {
+		return Result{}, errors.New("mincostflow: source equals sink")
+	}
+	if target <= 0 {
+		return Result{}, nil
+	}
+	pot := g.initialPotentials(source)
+	var res Result
+	distTo := make([]float64, g.n)
+	parentArc := make([]int32, g.n)
+	for res.Flow < target {
+		if !g.dijkstra(source, sink, pot, distTo, parentArc) {
+			break
+		}
+		// Bottleneck along the shortest path, capped by remaining demand.
+		bottleneck := int32(target - res.Flow)
+		for v := sink; v != source; {
+			a := parentArc[v]
+			if g.arcs[a].cap < bottleneck {
+				bottleneck = g.arcs[a].cap
+			}
+			v = int(g.arcs[a^1].to)
+		}
+		for v := sink; v != source; {
+			a := parentArc[v]
+			g.arcs[a].cap -= bottleneck
+			g.arcs[a^1].cap += bottleneck
+			res.Cost += float64(bottleneck) * g.arcs[a].cost
+			v = int(g.arcs[a^1].to)
+		}
+		res.Flow += int(bottleneck)
+		for v := 0; v < g.n; v++ {
+			if distTo[v] < math.Inf(1) {
+				pot[v] += distTo[v]
+			}
+		}
+	}
+	if res.Flow == 0 {
+		return res, ErrDisconnected
+	}
+	return res, nil
+}
+
+// initialPotentials computes shortest-path distances from source over
+// positive-capacity arcs, tolerating negative costs. Nodes unreachable from
+// the source get potential 0 (they can never be on an augmenting path).
+func (g *Graph) initialPotentials(source int) []float64 {
+	if order, ok := g.topoOrder(); ok {
+		return g.dagPotentials(source, order)
+	}
+	return g.bellmanFord(source)
+}
+
+// topoOrder returns a topological order of the positive-capacity subgraph,
+// or ok=false if it has a cycle.
+func (g *Graph) topoOrder() ([]int32, bool) {
+	indeg := make([]int32, g.n)
+	for i := 0; i < len(g.arcs); i++ {
+		if g.arcs[i].cap > 0 {
+			indeg[g.arcs[i].to]++
+		}
+	}
+	order := make([]int32, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			order = append(order, int32(v))
+		}
+	}
+	for i := 0; i < len(order); i++ {
+		v := order[i]
+		for _, a := range g.heads[v] {
+			if g.arcs[a].cap > 0 {
+				to := g.arcs[a].to
+				indeg[to]--
+				if indeg[to] == 0 {
+					order = append(order, to)
+				}
+			}
+		}
+	}
+	return order, len(order) == g.n
+}
+
+func (g *Graph) dagPotentials(source int, order []int32) []float64 {
+	d := make([]float64, g.n)
+	for i := range d {
+		d[i] = math.Inf(1)
+	}
+	d[source] = 0
+	for _, v := range order {
+		if d[v] == math.Inf(1) {
+			continue
+		}
+		for _, a := range g.heads[v] {
+			if g.arcs[a].cap > 0 {
+				if nd := d[v] + g.arcs[a].cost; nd < d[g.arcs[a].to] {
+					d[g.arcs[a].to] = nd
+				}
+			}
+		}
+	}
+	for i := range d {
+		if d[i] == math.Inf(1) {
+			d[i] = 0
+		}
+	}
+	return d
+}
+
+func (g *Graph) bellmanFord(source int) []float64 {
+	d := make([]float64, g.n)
+	for i := range d {
+		d[i] = math.Inf(1)
+	}
+	d[source] = 0
+	inQueue := make([]bool, g.n)
+	queue := []int32{int32(source)}
+	inQueue[source] = true
+	relaxations := 0
+	maxRelax := g.n * len(g.arcs) // negative-cycle guard
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		for _, a := range g.heads[v] {
+			if g.arcs[a].cap <= 0 {
+				continue
+			}
+			to := g.arcs[a].to
+			if nd := d[v] + g.arcs[a].cost; nd < d[to]-1e-15 {
+				d[to] = nd
+				relaxations++
+				if relaxations > maxRelax {
+					panic("mincostflow: negative-cost cycle detected")
+				}
+				if !inQueue[to] {
+					queue = append(queue, to)
+					inQueue[to] = true
+				}
+			}
+		}
+	}
+	for i := range d {
+		if d[i] == math.Inf(1) {
+			d[i] = 0
+		}
+	}
+	return d
+}
+
+// dijkstra finds shortest paths on reduced costs, filling distTo and
+// parentArc; it reports whether the sink is reachable.
+func (g *Graph) dijkstra(source, sink int, pot, distTo []float64, parentArc []int32) bool {
+	for i := range distTo {
+		distTo[i] = math.Inf(1)
+		parentArc[i] = -1
+	}
+	distTo[source] = 0
+	pq := &nodeHeap{items: []heapItem{{node: int32(source), dist: 0}}}
+	done := make([]bool, g.n)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		v := it.node
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		for _, a := range g.heads[v] {
+			if g.arcs[a].cap <= 0 {
+				continue
+			}
+			to := g.arcs[a].to
+			if done[to] {
+				continue
+			}
+			rc := g.arcs[a].cost + pot[v] - pot[to]
+			if rc < 0 {
+				// Floating-point slack only; true negatives would break
+				// Dijkstra's invariant.
+				if rc < -1e-6 {
+					panic(fmt.Sprintf("mincostflow: negative reduced cost %g", rc))
+				}
+				rc = 0
+			}
+			if nd := distTo[v] + rc; nd < distTo[to] {
+				distTo[to] = nd
+				parentArc[to] = a
+				heap.Push(pq, heapItem{node: to, dist: nd})
+			}
+		}
+	}
+	return distTo[sink] < math.Inf(1)
+}
+
+type heapItem struct {
+	node int32
+	dist float64
+}
+
+type nodeHeap struct{ items []heapItem }
+
+func (h *nodeHeap) Len() int           { return len(h.items) }
+func (h *nodeHeap) Less(i, j int) bool { return h.items[i].dist < h.items[j].dist }
+func (h *nodeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *nodeHeap) Push(x interface{}) { h.items = append(h.items, x.(heapItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// Paths decomposes the current integral flow into arc-disjoint source→sink
+// paths of one unit each and returns them as node sequences. FlowExpect's
+// tests use it to recover the cache-trace interpretation of Section 3.1.
+func (g *Graph) Paths(source, sink int) [][]int {
+	// Remaining flow on each forward arc.
+	rem := make([]int32, len(g.arcs)/2)
+	for id := range rem {
+		rem[id] = g.arcs[2*id+1].cap
+	}
+	var paths [][]int
+	for {
+		path := []int{source}
+		v := source
+		for v != sink {
+			advanced := false
+			for _, a := range g.heads[v] {
+				if a%2 == 0 && rem[a/2] > 0 {
+					rem[a/2]--
+					v = int(g.arcs[a].to)
+					path = append(path, v)
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				return paths // no more complete unit paths
+			}
+		}
+		paths = append(paths, path)
+	}
+}

@@ -1,0 +1,41 @@
+package modelsel_test
+
+import (
+	"fmt"
+
+	"stochstream/internal/dist"
+	"stochstream/internal/modelsel"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+// Detecting the model class of an observed stream prefix.
+func ExampleDetect() {
+	truth := &process.LinearTrend{Slope: 3, Intercept: 0, Noise: dist.BoundedNormal(2, 9)}
+	series := truth.Generate(stats.NewRNG(11), 400)
+	rep, err := modelsel.Detect(series)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(rep.Kind)
+	fmt.Printf("slope %.1f\n", rep.Trend.Slope)
+	// Output:
+	// linear-trend
+	// slope 3.0
+}
+
+// A random walk must not be mistaken for a deterministic trend: its OLS
+// residuals are heavily autocorrelated, which vetoes the trend branch.
+func ExampleDetect_randomWalk() {
+	walk := &process.GaussianWalk{Drift: 0, Sigma: 1}
+	series := walk.Generate(stats.NewRNG(12), 1500)
+	rep, err := modelsel.Detect(series)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(rep.Kind)
+	// Output:
+	// random-walk
+}

@@ -1,0 +1,230 @@
+// Package modelsel identifies the statistical properties of an observed
+// stream prefix and returns a fitted Process for HEEB to exploit. The paper
+// treats identifying input statistics as an orthogonal problem ("time series
+// data analysis is an established field"); this package provides the
+// pragmatic decision procedure a deployment needs, covering exactly the
+// model classes the paper's framework analyzes: stationary independent,
+// linear trend with i.i.d. noise, random walk with drift, and AR(1).
+//
+// The decision tree:
+//
+//  1. Fit an OLS trend. A high R² with weakly autocorrelated residuals is a
+//     deterministic trend (spurious regressions on random walks leave
+//     heavily autocorrelated residuals, which rules them out here).
+//  2. Otherwise fit AR(1). φ₁ near one is a random walk with drift; a
+//     moderate φ₁ is AR(1); φ₁ near zero is a stationary stream, modeled by
+//     its empirical histogram.
+package modelsel
+
+import (
+	"fmt"
+	"math"
+
+	"stochstream/internal/dist"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+// Kind is the detected model class.
+type Kind int
+
+// Model classes, in the order the paper's case studies treat them.
+const (
+	KindStationary Kind = iota
+	KindLinearTrend
+	KindRandomWalk
+	KindAR1
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindStationary:
+		return "stationary"
+	case KindLinearTrend:
+		return "linear-trend"
+	case KindRandomWalk:
+		return "random-walk"
+	case KindAR1:
+		return "ar1"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Thresholds tunes the decision procedure; the zero value selects the
+// defaults below.
+type Thresholds struct {
+	// TrendR2 is the minimum OLS R² to consider a deterministic trend
+	// (default 0.5).
+	TrendR2 float64
+	// TrendResidualAutocorr is the maximum lag-1 residual autocorrelation
+	// compatible with i.i.d. trend noise (default 0.5).
+	TrendResidualAutocorr float64
+	// WalkPhi1 is the minimum AR(1) coefficient treated as a unit root
+	// (default 0.93).
+	WalkPhi1 float64
+	// AR1Phi1 is the minimum |φ₁| treated as genuine autoregression rather
+	// than a stationary stream (default 0.25).
+	AR1Phi1 float64
+	// MinLen is the minimum series length (default 30).
+	MinLen int
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.TrendR2 == 0 {
+		t.TrendR2 = 0.5
+	}
+	if t.TrendResidualAutocorr == 0 {
+		t.TrendResidualAutocorr = 0.5
+	}
+	if t.WalkPhi1 == 0 {
+		t.WalkPhi1 = 0.93
+	}
+	if t.AR1Phi1 == 0 {
+		t.AR1Phi1 = 0.25
+	}
+	if t.MinLen == 0 {
+		t.MinLen = 30
+	}
+	return t
+}
+
+// Report is the outcome of model detection.
+type Report struct {
+	Kind Kind
+	// Proc is the fitted process, ready for forecasting and HEEB.
+	Proc process.Process
+	// Trend carries the OLS fit (meaningful for KindLinearTrend).
+	Trend stats.LinearFit
+	// AR carries the AR(1) fit (meaningful for KindAR1 and KindRandomWalk,
+	// where it describes the differenced drift/variance via Phi0/Sigma).
+	AR stats.AR1Fit
+	// ResidualAutocorr is the lag-1 autocorrelation of the OLS residuals.
+	ResidualAutocorr float64
+}
+
+// Describe returns a one-line human-readable summary.
+func (r Report) Describe() string {
+	switch r.Kind {
+	case KindLinearTrend:
+		return fmt.Sprintf("linear trend: slope %.3f/step, R² %.2f", r.Trend.Slope, r.Trend.R2)
+	case KindRandomWalk:
+		return fmt.Sprintf("random walk: drift %.3f, step σ %.3f", r.AR.Phi0, r.AR.Sigma)
+	case KindAR1:
+		return fmt.Sprintf("AR(1): X_t = %.3f + %.3f·X_{t-1} + N(0, %.2f²)", r.AR.Phi0, r.AR.Phi1, r.AR.Sigma)
+	default:
+		return "stationary independent stream (empirical distribution)"
+	}
+}
+
+// Rebase returns the detected process with its time origin moved forward by
+// offset steps — for replaying a stream segment that starts offset
+// observations after the fitted prefix began, on a simulator clock that
+// restarts at zero. Trend models shift their intercepts; stationary and
+// Markov models are time-invariant and returned unchanged.
+func (r Report) Rebase(offset int) process.Process {
+	switch p := r.Proc.(type) {
+	case *process.LinearTrend:
+		return &process.LinearTrend{
+			Slope:     p.Slope,
+			Intercept: p.Intercept + p.Slope*offset,
+			Noise:     p.Noise,
+		}
+	case *process.GeneralTrend:
+		f := p.F
+		return &process.GeneralTrend{
+			F:     func(t int) int { return f(t + offset) },
+			Noise: p.Noise,
+		}
+	default:
+		return r.Proc
+	}
+}
+
+// Detect identifies the model class of the observed series with default
+// thresholds.
+func Detect(series []int) (Report, error) {
+	return DetectWith(series, Thresholds{})
+}
+
+// DetectWith runs the decision procedure with explicit thresholds.
+func DetectWith(series []int, th Thresholds) (Report, error) {
+	th = th.withDefaults()
+	if len(series) < th.MinLen {
+		return Report{}, fmt.Errorf("modelsel: need at least %d observations, have %d", th.MinLen, len(series))
+	}
+	f := make([]float64, len(series))
+	for i, v := range series {
+		f[i] = float64(v)
+	}
+	trend := stats.FitLinear(f)
+	resid := trend.Residuals(f)
+	rho := stats.Autocorrelation(resid, 1)
+	rep := Report{Trend: trend, ResidualAutocorr: rho}
+
+	// 1. Deterministic trend with (nearly) independent noise.
+	if trend.R2 >= th.TrendR2 && math.Abs(rho) <= th.TrendResidualAutocorr && math.Abs(trend.Slope) > 1e-6 {
+		rep.Kind = KindLinearTrend
+		rep.Proc = trendProcess(trend, resid)
+		return rep, nil
+	}
+
+	// 2. Autoregressive family.
+	fit, err := stats.FitAR1Int(series)
+	if err != nil {
+		return Report{}, fmt.Errorf("modelsel: %w", err)
+	}
+	rep.AR = fit
+	switch {
+	case fit.Phi1 >= th.WalkPhi1:
+		diffs := stats.Diffs(series)
+		var sum stats.Summary
+		for _, d := range diffs {
+			sum.Add(d)
+		}
+		// Re-express the walk through its differences: drift and step σ.
+		rep.AR = stats.AR1Fit{Phi0: sum.Mean(), Phi1: 1, Sigma: sum.StdDev(), N: sum.N()}
+		rep.Kind = KindRandomWalk
+		rep.Proc = &process.GaussianWalk{
+			Drift: sum.Mean(),
+			Sigma: math.Max(sum.StdDev(), 1e-6),
+			Init:  series[len(series)-1],
+		}
+	case math.Abs(fit.Phi1) >= th.AR1Phi1 && math.Abs(fit.Phi1) < 1:
+		rep.Kind = KindAR1
+		rep.Proc = &process.AR1{
+			Phi0:  fit.Phi0,
+			Phi1:  fit.Phi1,
+			Sigma: math.Max(fit.Sigma, 1e-6),
+			Init:  series[len(series)-1],
+		}
+	default:
+		rep.Kind = KindStationary
+		rep.Proc = &process.Stationary{P: dist.Empirical(series)}
+	}
+	return rep, nil
+}
+
+// trendProcess builds a trend model with the residuals' empirical noise.
+// Integer slopes map onto LinearTrend (unlocking Corollary 5's
+// value-incremental computation); fractional slopes use GeneralTrend.
+func trendProcess(trend stats.LinearFit, resid []float64) process.Process {
+	noiseVals := make([]int, len(resid))
+	for i, r := range resid {
+		noiseVals[i] = int(math.Round(r))
+	}
+	noise := dist.Empirical(noiseVals)
+	slope := math.Round(trend.Slope)
+	if math.Abs(trend.Slope-slope) < 0.02 && slope != 0 {
+		return &process.LinearTrend{
+			Slope:     int(slope),
+			Intercept: int(math.Round(trend.Intercept)),
+			Noise:     noise,
+		}
+	}
+	a, b := trend.Intercept, trend.Slope
+	return &process.GeneralTrend{
+		F:     func(t int) int { return int(math.Round(a + b*float64(t))) },
+		Noise: noise,
+	}
+}

@@ -1,0 +1,229 @@
+package modelsel
+
+import (
+	"math"
+	"testing"
+
+	"stochstream/internal/dist"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+func TestDetectStationary(t *testing.T) {
+	p := &process.Stationary{P: dist.NewTable(0, []float64{5, 3, 2})}
+	series := p.Generate(stats.NewRNG(1), 2000)
+	rep, err := Detect(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != KindStationary {
+		t.Fatalf("Kind = %v (%s)", rep.Kind, rep.Describe())
+	}
+	// The empirical model reproduces the frequencies.
+	f := rep.Proc.Forecast(process.NewHistory(0), 1)
+	if got := f.Prob(0); math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("Prob(0) = %v, want ~0.5", got)
+	}
+}
+
+func TestDetectLinearTrend(t *testing.T) {
+	p := &process.LinearTrend{Slope: 1, Intercept: 5, Noise: dist.BoundedNormal(2, 10)}
+	series := p.Generate(stats.NewRNG(2), 1000)
+	rep, err := Detect(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != KindLinearTrend {
+		t.Fatalf("Kind = %v (%s)", rep.Kind, rep.Describe())
+	}
+	if math.Abs(rep.Trend.Slope-1) > 0.02 {
+		t.Fatalf("slope = %v", rep.Trend.Slope)
+	}
+	// Integer slope: a LinearTrend, enabling value-incremental HEEB.
+	if _, ok := rep.Proc.(*process.LinearTrend); !ok {
+		t.Fatalf("Proc = %T, want *process.LinearTrend", rep.Proc)
+	}
+	// Forecast mean tracks the trend.
+	h := process.NewHistory(series...)
+	got := meanOf(rep.Proc.Forecast(h, 5))
+	want := float64(1*(999+5) + 5) // slope·(t0+Δ) + intercept
+	if math.Abs(got-want) > 3 {
+		t.Fatalf("forecast mean %v, want ~%v", got, want)
+	}
+}
+
+func TestDetectFractionalTrendUsesGeneralTrend(t *testing.T) {
+	g := &process.GeneralTrend{
+		F:     func(tm int) int { return tm / 2 },
+		Noise: dist.BoundedNormal(1.5, 8),
+	}
+	series := g.Generate(stats.NewRNG(3), 1000)
+	rep, err := Detect(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != KindLinearTrend {
+		t.Fatalf("Kind = %v (%s)", rep.Kind, rep.Describe())
+	}
+	if _, ok := rep.Proc.(*process.GeneralTrend); !ok {
+		t.Fatalf("Proc = %T, want *process.GeneralTrend for slope 0.5", rep.Proc)
+	}
+}
+
+func TestDetectRandomWalk(t *testing.T) {
+	p := &process.GaussianWalk{Drift: 0.5, Sigma: 2, Init: 0}
+	series := p.Generate(stats.NewRNG(4), 3000)
+	rep, err := Detect(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != KindRandomWalk {
+		t.Fatalf("Kind = %v (%s)", rep.Kind, rep.Describe())
+	}
+	w := rep.Proc.(*process.GaussianWalk)
+	if math.Abs(w.Drift-0.5) > 0.15 {
+		t.Fatalf("drift = %v", w.Drift)
+	}
+	if math.Abs(w.Sigma-2) > 0.3 {
+		t.Fatalf("sigma = %v (rounding inflates slightly)", w.Sigma)
+	}
+	if w.Init != series[len(series)-1] {
+		t.Fatal("walk should start from the last observation")
+	}
+}
+
+func TestDetectAR1(t *testing.T) {
+	p := &process.AR1{Phi0: 20, Phi1: 0.7, Sigma: 5, Init: 66}
+	series := p.Generate(stats.NewRNG(5), 4000)
+	rep, err := Detect(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != KindAR1 {
+		t.Fatalf("Kind = %v (%s)", rep.Kind, rep.Describe())
+	}
+	ar := rep.Proc.(*process.AR1)
+	if math.Abs(ar.Phi1-0.7) > 0.05 {
+		t.Fatalf("phi1 = %v", ar.Phi1)
+	}
+	if math.Abs(ar.Phi0-20) > 4 {
+		t.Fatalf("phi0 = %v", ar.Phi0)
+	}
+}
+
+func TestDetectZeroDriftWalkNotMistakenForTrend(t *testing.T) {
+	// Random walks produce spurious OLS trends; residual autocorrelation
+	// must veto the trend branch.
+	p := &process.GaussianWalk{Drift: 0, Sigma: 1, Init: 0}
+	for seed := uint64(10); seed < 16; seed++ {
+		series := p.Generate(stats.NewRNG(seed), 2000)
+		rep, err := Detect(series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Kind == KindLinearTrend {
+			t.Fatalf("seed %d: walk classified as trend (R²=%.2f ρ=%.2f)",
+				seed, rep.Trend.R2, rep.ResidualAutocorr)
+		}
+		if rep.Kind != KindRandomWalk {
+			t.Fatalf("seed %d: Kind = %v", seed, rep.Kind)
+		}
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	if _, err := Detect([]int{1, 2, 3}); err == nil {
+		t.Fatal("short series should error")
+	}
+	series := make([]int, 100) // constant
+	if _, err := Detect(series); err == nil {
+		t.Fatal("constant series should error from the AR fit")
+	}
+}
+
+func TestThresholdDefaults(t *testing.T) {
+	th := Thresholds{}.withDefaults()
+	if th.TrendR2 != 0.5 || th.WalkPhi1 != 0.93 || th.AR1Phi1 != 0.25 || th.MinLen != 30 {
+		t.Fatalf("defaults = %+v", th)
+	}
+	// Custom thresholds are preserved.
+	custom := Thresholds{TrendR2: 0.9, MinLen: 100}.withDefaults()
+	if custom.TrendR2 != 0.9 || custom.MinLen != 100 {
+		t.Fatalf("custom = %+v", custom)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindStationary: "stationary", KindLinearTrend: "linear-trend",
+		KindRandomWalk: "random-walk", KindAR1: "ar1", Kind(7): "Kind(7)",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestDescribeMentionsParameters(t *testing.T) {
+	p := &process.AR1{Phi0: 20, Phi1: 0.7, Sigma: 5, Init: 66}
+	series := p.Generate(stats.NewRNG(6), 3000)
+	rep, err := Detect(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rep.Describe(); len(d) == 0 || d[:2] != "AR" {
+		t.Fatalf("Describe = %q", d)
+	}
+}
+
+func meanOf(p dist.PMF) float64 { return dist.Mean(p) }
+
+func TestRebase(t *testing.T) {
+	p := &process.LinearTrend{Slope: 2, Intercept: 5, Noise: dist.BoundedNormal(1.5, 8)}
+	series := p.Generate(stats.NewRNG(12), 500)
+	rep, err := Detect(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != KindLinearTrend {
+		t.Fatalf("Kind = %v", rep.Kind)
+	}
+	// Rebasing by 500: forecasting Δ=1 from an empty-ish history at the new
+	// origin should track the trend at original time 500.
+	shifted := rep.Rebase(500)
+	h := process.NewHistory(0) // t0 = 0 on the new clock
+	got := meanOf(shifted.Forecast(h, 1))
+	want := float64(2*(500+1) + 5)
+	if math.Abs(got-want) > 4 {
+		t.Fatalf("rebased forecast mean %v, want ~%v", got, want)
+	}
+	// Markov models are unchanged by Rebase.
+	walk := &process.GaussianWalk{Sigma: 1, Init: 0}
+	wSeries := walk.Generate(stats.NewRNG(13), 1000)
+	wRep, err := Detect(wSeries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wRep.Rebase(100) != wRep.Proc {
+		t.Fatal("Markov model should be time-invariant under Rebase")
+	}
+}
+
+func TestRebaseGeneralTrend(t *testing.T) {
+	g := &process.GeneralTrend{
+		F:     func(tm int) int { return tm / 2 },
+		Noise: dist.BoundedNormal(1.5, 8),
+	}
+	series := g.Generate(stats.NewRNG(14), 800)
+	rep, err := Detect(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, ok := rep.Rebase(800).(*process.GeneralTrend)
+	if !ok {
+		t.Fatalf("rebased type = %T", rep.Rebase(800))
+	}
+	if got, want := gt.F(0), 400; got < want-3 || got > want+3 {
+		t.Fatalf("rebased F(0) = %d, want ~%d", got, want)
+	}
+}

@@ -1,0 +1,65 @@
+package policy
+
+import (
+	"stochstream/internal/core"
+	"stochstream/internal/join"
+	"stochstream/internal/stats"
+)
+
+// Clairvoyant replays the offline optimum's cache schedule as an online
+// policy: it keeps exactly the tuples whose OPT-offline hold interval covers
+// the current time and discards everything else. Running it through the
+// simulator realizes the flow solution tuple for tuple, which both validates
+// that the compressed formulation corresponds to an executable cache trace
+// (Theorem 2's correspondence, executed) and provides a policy-shaped OPT
+// for harnesses that only speak join.Policy.
+type Clairvoyant struct {
+	// R and S are the full streams the schedule was computed for; Reset
+	// recomputes the optimum for the run's cache size/window/band.
+	R, S []int
+
+	// hold[stream] maps arrival time → scheduled release time.
+	hold [2]map[int]int
+	// Result is the offline optimum computed at Reset.
+	Result core.OptOfflineResult
+}
+
+// Name implements join.Policy.
+func (p *Clairvoyant) Name() string { return "OPT-OFFLINE" }
+
+// EagerEvict implements join.EagerEvictor: unscheduled tuples are discarded
+// immediately, even while the cache has room, exactly as the schedule says.
+func (p *Clairvoyant) EagerEvict() {}
+
+// Reset implements join.Policy.
+func (p *Clairvoyant) Reset(cfg join.Config, _ *stats.RNG) {
+	if p.R == nil || p.S == nil {
+		panic("policy: Clairvoyant requires the full streams")
+	}
+	p.Result = core.OptOfflineBandJoin(p.R, p.S, cfg.CacheSize, cfg.Band, cfg.Window)
+	p.hold = [2]map[int]int{{}, {}}
+	for _, h := range p.Result.Schedule {
+		p.hold[h.Stream][h.Arrived] = h.Until
+	}
+}
+
+// Evict implements join.Policy: discard every candidate not scheduled to
+// remain cached past the current step.
+func (p *Clairvoyant) Evict(st *join.State, cands []join.Tuple, n int) []int {
+	var evict []int
+	for i, c := range cands {
+		until, scheduled := p.hold[c.Stream][c.Arrived]
+		// A tuple is kept only while its next scheduled match is still
+		// ahead; at the step of its final match it has collected everything
+		// and is released.
+		if !scheduled || until <= st.Time {
+			evict = append(evict, i)
+		}
+	}
+	// The schedule never holds more than the cache size, so the eviction
+	// set always covers the required count; assert cheaply.
+	if len(evict) < n {
+		panic("policy: Clairvoyant schedule overflows the cache")
+	}
+	return evict
+}

@@ -1,0 +1,62 @@
+package policy
+
+import (
+	"fmt"
+
+	"stochstream/internal/core"
+	"stochstream/internal/join"
+	"stochstream/internal/stats"
+)
+
+// FlowExpect is the online min-cost-flow algorithm of Section 3: at every
+// replacement decision it builds the flow graph over the next Lookahead
+// steps with expected arc benefits and follows the flow's decision for the
+// current time only. It is exact over predetermined replacement sequences
+// but not optimal overall (Section 3.4), and far more expensive than HEEB —
+// the paper keeps its experiments small for this reason.
+type FlowExpect struct {
+	// Lookahead is the parameter l of Section 3.1 (default 10).
+	Lookahead int
+
+	cfg join.Config
+}
+
+// Name implements join.Policy.
+func (p *FlowExpect) Name() string { return "FLOWEXPECT" }
+
+// Reset implements join.Policy.
+func (p *FlowExpect) Reset(cfg join.Config, _ *stats.RNG) {
+	if p.Lookahead == 0 {
+		p.Lookahead = 10
+	}
+	if p.Lookahead < 1 {
+		panic("policy: FlowExpect lookahead must be >= 1")
+	}
+	if cfg.Procs[0] == nil || cfg.Procs[1] == nil {
+		panic("policy: FlowExpect requires stream models")
+	}
+	p.cfg = cfg
+}
+
+// Evict implements join.Policy.
+func (p *FlowExpect) Evict(st *join.State, cands []join.Tuple, n int) []int {
+	cs := make([]core.Candidate, len(cands))
+	for i, c := range cands {
+		cs[i] = core.Candidate{Value: c.Value, Stream: c.Stream, Age: st.Time - c.Arrived}
+	}
+	dec, err := core.FlowExpectStepWindow(cs, st.Procs(), st.Hists, len(cands)-n, p.Lookahead, p.cfg.Window)
+	if err != nil {
+		panic(fmt.Sprintf("policy: FlowExpect step failed: %v", err))
+	}
+	keep := make(map[int]bool, len(dec.Keep))
+	for _, i := range dec.Keep {
+		keep[i] = true
+	}
+	out := make([]int, 0, n)
+	for i := range cands {
+		if !keep[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,371 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"stochstream/internal/core"
+	"stochstream/internal/dist"
+	"stochstream/internal/join"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+// HEEBMode selects how the HEEB policy computes its scores (Section 4.4's
+// implementation techniques).
+type HEEBMode int
+
+// HEEB scoring modes.
+const (
+	// HEEBDirect recomputes H_x from the model at every decision.
+	HEEBDirect HEEBMode = iota
+	// HEEBIncremental maintains per-tuple H values with the Corollary 3
+	// time-incremental update (independent streams, Lexp only); new
+	// arrivals are scored directly.
+	HEEBIncremental
+	// HEEBPrecomputedH1 scores through a precomputed h1 curve (Theorem
+	// 5(2)); both streams must be φ1 = 1 normal forecasters (random walks).
+	HEEBPrecomputedH1
+	// HEEBPrecomputedH2 scores through a precomputed h2 surface (Theorem
+	// 5(1)); both streams must be AR(1) normal forecasters.
+	HEEBPrecomputedH2
+	// HEEBValueIncremental exploits Corollary 5 for linear-trend streams:
+	// the score of a tuple with value v at time t depends only on the
+	// offset v − slope·t, so scores are computed once per distinct offset
+	// and reused forever. Falls back to direct scoring when a partner
+	// stream is not a LinearTrend or when a window/band is active.
+	HEEBValueIncremental
+)
+
+// String implements fmt.Stringer.
+func (m HEEBMode) String() string {
+	switch m {
+	case HEEBDirect:
+		return "direct"
+	case HEEBIncremental:
+		return "incremental"
+	case HEEBPrecomputedH1:
+		return "h1"
+	case HEEBPrecomputedH2:
+		return "h2"
+	case HEEBValueIncremental:
+		return "value-incremental"
+	}
+	return fmt.Sprintf("HEEBMode(%d)", int(m))
+}
+
+// HEEBOptions configures the HEEB policy.
+type HEEBOptions struct {
+	// Mode selects the scoring implementation. Default: HEEBDirect.
+	Mode HEEBMode
+	// Alpha is Lexp's α. When zero it is derived from LifetimeEstimate.
+	Alpha float64
+	// LifetimeEstimate is the a-priori mean cached-tuple lifetime used to
+	// derive α when Alpha is zero. When it is also zero, the cache size is
+	// used (the paper's choice for WALK and REAL).
+	LifetimeEstimate float64
+	// Adaptive re-derives α from the observed mean tuple lifetime (the
+	// adaptive-α technique the paper lists as future work). It applies to
+	// HEEBDirect only.
+	Adaptive bool
+	// AdaptiveDecay is the lifetime tracker's smoothing factor (default
+	// 0.05).
+	AdaptiveDecay float64
+	// FallbackHorizon bounds the HEEB sum when L does not decay (default
+	// 1000).
+	FallbackHorizon int
+	// ControlPoints is the per-axis control grid size for HEEBPrecomputedH2
+	// (default 5 — the paper's 25 control points).
+	ControlPoints int
+	// DominancePrefilter first discards a dominated subset identified via
+	// Corollary 2 and only scores the remainder. Optimal decisions are then
+	// guaranteed for the prefiltered tuples; the ablation benchmarks
+	// measure its cost.
+	DominancePrefilter bool
+	// PrefilterHorizon is the tabulation horizon for prefilter ECBs
+	// (default 64).
+	PrefilterHorizon int
+}
+
+// HEEB is the paper's heuristic of estimated expected benefit as a
+// replacement policy: it scores every candidate with H_x and discards the
+// lowest.
+type HEEB struct {
+	Opts HEEBOptions
+
+	cfg     join.Config
+	alpha   float64
+	tracker *stats.LifetimeTracker
+	// incremental state: per-tuple H and its last update time.
+	inc map[int]*heebEntry
+	// value-incremental state: offset (v − slope·t) → H, per stream.
+	offsetH [2]map[int]float64
+	// precomputed forms, indexed by the stream whose model they tabulate
+	// (a tuple is scored against its partner's model).
+	h1 [2]*core.H1
+	h2 [2]*core.H2
+}
+
+type heebEntry struct {
+	h    float64
+	last int
+}
+
+// NewHEEB returns a HEEB policy with the given options.
+func NewHEEB(opts HEEBOptions) *HEEB {
+	if opts.FallbackHorizon == 0 {
+		opts.FallbackHorizon = 1000
+	}
+	if opts.ControlPoints == 0 {
+		opts.ControlPoints = 5
+	}
+	if opts.AdaptiveDecay == 0 {
+		opts.AdaptiveDecay = 0.05
+	}
+	if opts.PrefilterHorizon == 0 {
+		opts.PrefilterHorizon = 64
+	}
+	return &HEEB{Opts: opts}
+}
+
+// Name implements join.Policy.
+func (p *HEEB) Name() string { return "HEEB" }
+
+// Reset implements join.Policy.
+func (p *HEEB) Reset(cfg join.Config, _ *stats.RNG) {
+	p.cfg = cfg
+	p.alpha = p.Opts.Alpha
+	if p.alpha == 0 {
+		est := p.Opts.LifetimeEstimate
+		if est == 0 {
+			est = float64(cfg.CacheSize)
+		}
+		p.alpha = stats.AlphaForLifetime(est)
+	}
+	p.tracker = stats.NewLifetimeTracker(p.Opts.AdaptiveDecay)
+	p.inc = make(map[int]*heebEntry)
+	p.offsetH = [2]map[int]float64{{}, {}}
+	p.h1 = [2]*core.H1{}
+	p.h2 = [2]*core.H2{}
+	switch p.Opts.Mode {
+	case HEEBPrecomputedH1:
+		for s := 0; s < 2; s++ {
+			p.h1[s] = p.buildH1(cfg, s)
+		}
+	case HEEBPrecomputedH2:
+		for s := 0; s < 2; s++ {
+			p.h2[s] = p.buildH2(cfg, s)
+		}
+	}
+}
+
+func (p *HEEB) lexp() core.LFunc { return core.LExp{Alpha: p.alpha} }
+
+// tupleL wraps Lexp with the sliding window clip when windows are active.
+func (p *HEEB) tupleL(now int, tp join.Tuple) core.LFunc {
+	l := core.LFunc(p.lexp())
+	if p.cfg.Window > 0 {
+		l = core.LWindow{Inner: l, Remaining: tp.Arrived + p.cfg.Window - now}
+	}
+	return l
+}
+
+func (p *HEEB) buildH1(cfg join.Config, stream int) *core.H1 {
+	nf, ok := cfg.Procs[stream].(process.NormalForecaster)
+	if !ok {
+		panic(fmt.Sprintf("policy: HEEB h1 mode requires a NormalForecaster for stream %d", stream))
+	}
+	sigma, drift := walkParams(cfg.Procs[stream])
+	r := int(math.Ceil(6*sigma*math.Sqrt(3*p.alpha))) + 5
+	lo := -r + min(0, int(3*drift*p.alpha))
+	hi := r + max(0, int(3*drift*p.alpha))
+	h1, err := core.PrecomputeH1(nf, p.lexp(), lo, hi, 1, p.Opts.FallbackHorizon)
+	if err != nil {
+		panic(fmt.Sprintf("policy: HEEB h1 precomputation failed: %v", err))
+	}
+	return h1
+}
+
+func (p *HEEB) buildH2(cfg join.Config, stream int) *core.H2 {
+	ar, ok := cfg.Procs[stream].(*process.AR1)
+	if !ok {
+		panic(fmt.Sprintf("policy: HEEB h2 mode requires an AR1 model for stream %d", stream))
+	}
+	mean := ar.Phi0 / (1 - ar.Phi1)
+	sd := ar.Sigma / math.Sqrt(1-ar.Phi1*ar.Phi1)
+	lo := int(mean - 4*sd)
+	hi := int(mean + 4*sd)
+	n := p.Opts.ControlPoints
+	h2, err := core.PrecomputeH2(ar, p.lexp(), lo, hi, lo, hi, n, n, p.Opts.FallbackHorizon)
+	if err != nil {
+		panic(fmt.Sprintf("policy: HEEB h2 precomputation failed: %v", err))
+	}
+	return h2
+}
+
+// walkParams extracts (sigma, drift) from a random-walk-like process.
+func walkParams(pr process.Process) (sigma, drift float64) {
+	switch w := pr.(type) {
+	case *process.GaussianWalk:
+		return w.Sigma, w.Drift
+	case *process.AR1:
+		return w.Sigma, w.Phi0
+	default:
+		return 1, 0
+	}
+}
+
+// Evict implements join.Policy.
+func (p *HEEB) Evict(st *join.State, cands []join.Tuple, n int) []int {
+	if p.Opts.Adaptive && p.tracker.N() > 0 {
+		p.alpha = p.tracker.Alpha(p.Opts.LifetimeEstimate)
+	}
+
+	evict := make([]int, 0, n)
+	remaining := map[int]bool{}
+	for i := range cands {
+		remaining[i] = true
+	}
+
+	if p.Opts.DominancePrefilter {
+		ecbs := make([]core.ECB, len(cands))
+		for i, c := range cands {
+			partner := c.Stream.Partner()
+			b := core.BandJoinECB(st.Procs()[partner], st.Hists[partner], c.Value, p.cfg.Band, p.Opts.PrefilterHorizon)
+			if p.cfg.Window > 0 {
+				b = core.WindowECB(b, c.Arrived, st.Time, p.cfg.Window)
+			}
+			ecbs[i] = b
+		}
+		for _, i := range core.DominatedSubset(ecbs, n) {
+			evict = append(evict, i)
+			delete(remaining, i)
+		}
+	}
+
+	if len(evict) < n {
+		live := make([]join.Tuple, 0, len(remaining))
+		liveIdx := make([]int, 0, len(remaining))
+		for i := range cands {
+			if remaining[i] {
+				live = append(live, cands[i])
+				liveIdx = append(liveIdx, i)
+			}
+		}
+		liveScores := make([]float64, len(live))
+		for i, c := range live {
+			liveScores[i] = p.score(st, c)
+		}
+		for _, j := range evictLowest(liveScores, live, n-len(evict)) {
+			evict = append(evict, liveIdx[j])
+		}
+	}
+
+	// Track observed lifetimes for adaptive α.
+	for _, i := range evict {
+		p.tracker.Observe(cands[i].Arrived, st.Time)
+		delete(p.inc, cands[i].ID)
+	}
+	return evict
+}
+
+// score computes H for one candidate according to the configured mode.
+// Band joins are handled by the direct and incremental modes (band
+// probabilities slot into the same sums); precomputed forms tabulate the
+// equijoin score, so they fall back to direct scoring under a band.
+func (p *HEEB) score(st *join.State, tp join.Tuple) float64 {
+	partner := tp.Stream.Partner()
+	if p.cfg.Band > 0 {
+		switch p.Opts.Mode {
+		case HEEBIncremental:
+			return p.scoreIncremental(st, tp)
+		default:
+			proc := st.Procs()[partner]
+			return core.BandJoinH(proc, st.Hists[partner], tp.Value, p.cfg.Band, p.tupleL(st.Time, tp), p.Opts.FallbackHorizon)
+		}
+	}
+	switch p.Opts.Mode {
+	case HEEBPrecomputedH1:
+		return p.clipWindow(st, tp, p.h1[partner].At(st.Hists[partner].Last(), tp.Value))
+	case HEEBPrecomputedH2:
+		return p.clipWindow(st, tp, p.h2[partner].At(st.Hists[partner].Last(), tp.Value))
+	case HEEBIncremental:
+		return p.scoreIncremental(st, tp)
+	case HEEBValueIncremental:
+		return p.scoreValueIncremental(st, tp)
+	default:
+		proc := st.Procs()[partner]
+		return core.JoinH(proc, st.Hists[partner], tp.Value, p.tupleL(st.Time, tp), p.Opts.FallbackHorizon)
+	}
+}
+
+// scoreValueIncremental implements Corollary 5: for a linear-trend partner,
+// translate the (value, time) pair to its time-invariant offset and reuse
+// any previously computed H for that offset.
+func (p *HEEB) scoreValueIncremental(st *join.State, tp join.Tuple) float64 {
+	partner := tp.Stream.Partner()
+	proc := st.Procs()[partner]
+	lt, ok := proc.(*process.LinearTrend)
+	if !ok || p.cfg.Window > 0 {
+		return core.JoinH(proc, st.Hists[partner], tp.Value, p.tupleL(st.Time, tp), p.Opts.FallbackHorizon)
+	}
+	offset := tp.Value - lt.Slope*st.Time
+	if h, ok := p.offsetH[partner][offset]; ok {
+		return h
+	}
+	h := core.JoinH(proc, st.Hists[partner], tp.Value, p.lexp(), p.Opts.FallbackHorizon)
+	p.offsetH[partner][offset] = h
+	return h
+}
+
+// clipWindow zeroes the precomputed score for expired tuples under window
+// semantics (the precomputed forms tabulate the unwindowed H).
+func (p *HEEB) clipWindow(st *join.State, tp join.Tuple, h float64) float64 {
+	if p.cfg.Window > 0 && tp.Arrived+p.cfg.Window-st.Time <= 0 {
+		return 0
+	}
+	return h
+}
+
+// scoreIncremental maintains H via Corollary 3. The update requires
+// independent streams and no window clipping; Reset panics are avoided by
+// validating lazily here.
+func (p *HEEB) scoreIncremental(st *join.State, tp join.Tuple) float64 {
+	partner := tp.Stream.Partner()
+	proc := st.Procs()[partner]
+	if !proc.Independent() || p.cfg.Window > 0 {
+		// Fall back to direct scoring where Corollary 3 does not apply.
+		return core.BandJoinH(proc, st.Hists[partner], tp.Value, p.cfg.Band, p.tupleL(st.Time, tp), p.Opts.FallbackHorizon)
+	}
+	e, ok := p.inc[tp.ID]
+	if !ok {
+		h := core.BandJoinH(proc, st.Hists[partner], tp.Value, p.cfg.Band, p.lexp(), p.Opts.FallbackHorizon)
+		p.inc[tp.ID] = &heebEntry{h: h, last: st.Time}
+		return h
+	}
+	// Catch up one Corollary 3 step per elapsed time step. For independent
+	// streams the forecast of time u does not depend on the conditioning
+	// point, so the current history serves for all intermediate steps. The
+	// recurrence holds verbatim for band probabilities.
+	for e.last < st.Time {
+		u := e.last + 1 // absolute time being folded in
+		pNow := core.BandProb(forecastAt(proc, st.Hists[partner], u), tp.Value, p.cfg.Band)
+		e.h = core.JoinHStep(e.h, p.alpha, pNow)
+		e.last++
+	}
+	return e.h
+}
+
+// forecastAt returns the PMF of the partner's arrival at absolute time u,
+// evaluated from the current history (valid for independent streams, where
+// conditioning does not matter).
+func forecastAt(proc process.Process, h *process.History, u int) dist.PMF {
+	delta := u - h.T0()
+	if delta >= 1 {
+		return proc.Forecast(h, delta)
+	}
+	// u is already observed: the "probability" seen from u-1 of the value
+	// at u — recompute from a truncated history.
+	trunc := process.NewHistory(h.Values()[:u]...)
+	return proc.Forecast(trunc, 1)
+}

@@ -1,0 +1,561 @@
+package policy
+
+import (
+	"testing"
+
+	"stochstream/internal/core"
+	"stochstream/internal/dist"
+	"stochstream/internal/join"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+func mkState(t0 int, rHist, sHist []int, procs [2]process.Process, cfg join.Config) *join.State {
+	return &join.State{
+		Time:   t0,
+		Hists:  [2]*process.History{process.NewHistory(rHist...), process.NewHistory(sHist...)},
+		Config: cfg,
+	}
+}
+
+func tup(id, v int, s core.StreamID, arrived int) join.Tuple {
+	return join.Tuple{ID: id, Value: v, Stream: s, Arrived: arrived}
+}
+
+func TestEvictLowest(t *testing.T) {
+	cands := []join.Tuple{tup(0, 1, 0, 0), tup(1, 2, 0, 0), tup(2, 3, 0, 0)}
+	got := evictLowest([]float64{0.5, 0.1, 0.9}, cands, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Fatalf("evictLowest = %v, want [1 0]", got)
+	}
+	// Ties break by tuple ID (older first).
+	got = evictLowest([]float64{0.5, 0.5, 0.5}, cands, 1)
+	if got[0] != 0 {
+		t.Fatalf("tie-break = %v, want oldest (0)", got)
+	}
+}
+
+func TestRandValidAndSeeded(t *testing.T) {
+	p := &Rand{}
+	cands := []join.Tuple{tup(0, 1, 0, 0), tup(1, 2, 1, 0), tup(2, 3, 0, 1), tup(3, 4, 1, 1)}
+	st := mkState(1, []int{1, 3}, []int{2, 4}, [2]process.Process{}, join.Config{CacheSize: 2})
+	p.Reset(st.Config, stats.NewRNG(5))
+	a := p.Evict(st, cands, 2)
+	p.Reset(st.Config, stats.NewRNG(5))
+	b := p.Evict(st, cands, 2)
+	if len(a) != 2 || a[0] == a[1] {
+		t.Fatalf("invalid eviction %v", a)
+	}
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatal("same seed gave different evictions")
+	}
+}
+
+func TestRandEvictsExpiredFirst(t *testing.T) {
+	expired := map[int]bool{7: true}
+	p := &Rand{Lifetime: func(_ int, tp join.Tuple) int {
+		if expired[tp.Value] {
+			return 0
+		}
+		return 10
+	}}
+	cands := []join.Tuple{tup(0, 1, 0, 0), tup(1, 7, 0, 0), tup(2, 3, 1, 1)}
+	st := mkState(1, nil, nil, [2]process.Process{}, join.Config{CacheSize: 2})
+	for seed := uint64(0); seed < 20; seed++ {
+		p.Reset(st.Config, stats.NewRNG(seed))
+		got := p.Evict(st, cands, 1)
+		if got[0] != 1 {
+			t.Fatalf("seed %d: evicted %d, want the expired tuple (1)", seed, got[0])
+		}
+	}
+}
+
+func TestProbEvictsLeastFrequentInPartnerHistory(t *testing.T) {
+	p := &Prob{}
+	st := mkState(4,
+		[]int{10, 10, 10, 11, 12}, // R history: 10 frequent
+		[]int{20, 21, 21, 21, 22}, // S history: 21 frequent
+		[2]process.Process{}, join.Config{CacheSize: 2})
+	p.Reset(st.Config, stats.NewRNG(1))
+	// Candidates from S side are scored against R's history; from R side
+	// against S's history.
+	cands := []join.Tuple{
+		tup(0, 10, core.StreamS, 0), // p = 3/5 (R history)
+		tup(1, 11, core.StreamS, 1), // p = 1/5
+		tup(2, 21, core.StreamR, 2), // p = 3/5 (S history)
+		tup(3, 25, core.StreamR, 3), // p = 0
+	}
+	got := p.Evict(st, cands, 2)
+	want := map[int]bool{1: true, 3: true}
+	for _, i := range got {
+		if !want[i] {
+			t.Fatalf("PROB evicted %v, want {1, 3}", got)
+		}
+	}
+}
+
+func TestProbDiscardsFreshArrivalsUnderTrend(t *testing.T) {
+	// With an increasing trend, new values have never been seen in the
+	// partner history, so PROB discards them — the pathology of Section 6.3.
+	p := &Prob{}
+	rh := make([]int, 50)
+	sh := make([]int, 50)
+	for i := range rh {
+		rh[i] = i
+		sh[i] = i
+	}
+	st := mkState(49, rh, sh, [2]process.Process{}, join.Config{CacheSize: 2})
+	p.Reset(st.Config, stats.NewRNG(1))
+	cands := []join.Tuple{
+		tup(0, 40, core.StreamS, 40), // seen in partner history
+		tup(1, 55, core.StreamS, 49), // ahead of the trend: never seen
+	}
+	got := p.Evict(st, cands, 1)
+	if got[0] != 1 {
+		t.Fatalf("PROB evicted %d, want the fresh arrival", got[0])
+	}
+}
+
+func TestLifeWeighsLifetime(t *testing.T) {
+	// Two tuples equally frequent; LIFE keeps the longer-lived one.
+	life := func(_ int, tp join.Tuple) int { return tp.Value } // lifetime = value, for the test
+	p := &Life{Lifetime: life}
+	st := mkState(3, []int{5, 30, 5, 30}, []int{0, 0, 0, 0}, [2]process.Process{}, join.Config{CacheSize: 1})
+	p.Reset(st.Config, stats.NewRNG(1))
+	cands := []join.Tuple{
+		tup(0, 5, core.StreamS, 0),  // freq 1/2, lifetime 5
+		tup(1, 30, core.StreamS, 1), // freq 1/2, lifetime 30
+	}
+	got := p.Evict(st, cands, 1)
+	if got[0] != 0 {
+		t.Fatalf("LIFE evicted %d, want the short-lived tuple", got[0])
+	}
+}
+
+func TestLifeRequiresLifetime(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LIFE without lifetime did not panic")
+		}
+	}()
+	(&Life{}).Reset(join.Config{}, stats.NewRNG(1))
+}
+
+func trendConfig(cache int) (join.Config, [2]process.Process) {
+	procs := [2]process.Process{
+		&process.LinearTrend{Slope: 1, Intercept: -1, Noise: dist.BoundedNormal(1, 10)},
+		&process.LinearTrend{Slope: 1, Intercept: 0, Noise: dist.BoundedNormal(2, 15)},
+	}
+	return join.Config{CacheSize: cache, Warmup: 0, Procs: procs}, procs
+}
+
+func TestHEEBDirectPrefersUpstreamTuples(t *testing.T) {
+	cfg, procs := trendConfig(2)
+	p := NewHEEB(HEEBOptions{Mode: HEEBDirect, LifetimeEstimate: 3})
+	p.Reset(cfg, stats.NewRNG(1))
+	t0 := 50
+	rh := make([]int, t0+1)
+	sh := make([]int, t0+1)
+	for i := range rh {
+		rh[i], sh[i] = i-1, i
+	}
+	st := &join.State{Time: t0, Hists: [2]*process.History{process.NewHistory(rh...), process.NewHistory(sh...)}, Config: cfg}
+	_ = procs
+	cands := []join.Tuple{
+		tup(0, t0-12, core.StreamS, t0-12), // behind R's window: near-zero H
+		tup(1, t0, core.StreamS, t0),       // near the trend: high H
+		tup(2, t0+3, core.StreamR, t0),     // slightly ahead: decent H
+	}
+	got := p.Evict(st, cands, 1)
+	if got[0] != 0 {
+		t.Fatalf("HEEB evicted %d, want the expired tuple 0", got[0])
+	}
+}
+
+func TestHEEBIncrementalMatchesDirectDecisions(t *testing.T) {
+	cfg, _ := trendConfig(8)
+	rng := stats.NewRNG(42)
+	r := cfg.Procs[0].Generate(rng.Split(), 400)
+	s := cfg.Procs[1].Generate(rng.Split(), 400)
+	direct := join.Run(r, s, NewHEEB(HEEBOptions{Mode: HEEBDirect, LifetimeEstimate: 3}), cfg, stats.NewRNG(7))
+	incr := join.Run(r, s, NewHEEB(HEEBOptions{Mode: HEEBIncremental, LifetimeEstimate: 3}), cfg, stats.NewRNG(7))
+	if direct.TotalJoins != incr.TotalJoins {
+		t.Fatalf("direct %d joins != incremental %d joins", direct.TotalJoins, incr.TotalJoins)
+	}
+}
+
+func TestHEEBWalkH1RunsAndBeatsRand(t *testing.T) {
+	procs := [2]process.Process{
+		&process.GaussianWalk{Sigma: 1},
+		&process.GaussianWalk{Sigma: 1},
+	}
+	cfg := join.Config{CacheSize: 10, Warmup: -1, Procs: procs}
+	rng := stats.NewRNG(3)
+	r := procs[0].Generate(rng.Split(), 2000)
+	s := procs[1].Generate(rng.Split(), 2000)
+	heeb := join.Run(r, s, NewHEEB(HEEBOptions{Mode: HEEBPrecomputedH1}), cfg, stats.NewRNG(1))
+	rand := join.Run(r, s, &Rand{}, cfg, stats.NewRNG(1))
+	if heeb.Joins <= rand.Joins {
+		t.Fatalf("HEEB(h1) = %d joins, RAND = %d; expected HEEB to win", heeb.Joins, rand.Joins)
+	}
+}
+
+func TestHEEBAdaptiveAlphaAdjusts(t *testing.T) {
+	cfg, _ := trendConfig(5)
+	p := NewHEEB(HEEBOptions{Mode: HEEBDirect, LifetimeEstimate: 3, Adaptive: true})
+	rng := stats.NewRNG(11)
+	r := cfg.Procs[0].Generate(rng.Split(), 300)
+	s := cfg.Procs[1].Generate(rng.Split(), 300)
+	res := join.Run(r, s, p, cfg, stats.NewRNG(2))
+	if res.TotalJoins == 0 {
+		t.Fatal("adaptive HEEB produced no joins at all")
+	}
+	// After the run the tracker has observations and alpha has moved off
+	// the prior.
+	if p.tracker.N() == 0 {
+		t.Fatal("lifetime tracker saw no evictions")
+	}
+	prior := stats.AlphaForLifetime(3)
+	if p.alpha == prior {
+		t.Fatal("alpha never adapted")
+	}
+}
+
+func TestHEEBDominancePrefilterKeepsDecisionsReasonable(t *testing.T) {
+	cfg, _ := trendConfig(6)
+	rng := stats.NewRNG(21)
+	r := cfg.Procs[0].Generate(rng.Split(), 500)
+	s := cfg.Procs[1].Generate(rng.Split(), 500)
+	plain := join.Run(r, s, NewHEEB(HEEBOptions{Mode: HEEBDirect, LifetimeEstimate: 3}), cfg, stats.NewRNG(1))
+	pre := join.Run(r, s, NewHEEB(HEEBOptions{Mode: HEEBDirect, LifetimeEstimate: 3, DominancePrefilter: true}), cfg, stats.NewRNG(1))
+	// The prefilter only replaces HEEB choices with provably-optimal ones;
+	// results should be close (identical in most runs, never catastrophic).
+	lo := plain.Joins - plain.Joins/5
+	if pre.Joins < lo {
+		t.Fatalf("prefilter degraded joins: %d vs %d", pre.Joins, plain.Joins)
+	}
+}
+
+func TestHEEBWindowClipsScores(t *testing.T) {
+	cfg, _ := trendConfig(2)
+	cfg.Window = 3
+	p := NewHEEB(HEEBOptions{Mode: HEEBDirect, LifetimeEstimate: 3})
+	p.Reset(cfg, stats.NewRNG(1))
+	t0 := 30
+	rh := make([]int, t0+1)
+	sh := make([]int, t0+1)
+	for i := range rh {
+		rh[i], sh[i] = i-1, i
+	}
+	st := &join.State{Time: t0, Hists: [2]*process.History{process.NewHistory(rh...), process.NewHistory(sh...)}, Config: cfg}
+	// Same value, but one arrived long ago (outside the window).
+	inWin := tup(0, t0+1, core.StreamS, t0)
+	expired := tup(1, t0+1, core.StreamS, t0-10)
+	got := p.Evict(st, []join.Tuple{inWin, expired}, 1)
+	if got[0] != 1 {
+		t.Fatalf("window HEEB evicted %d, want the expired tuple", got[0])
+	}
+}
+
+func TestFlowExpectMatchesOfflineOptimumOnDeterministicStreams(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 10; trial++ {
+		n := 6 + rng.IntN(4)
+		k := 1 + rng.IntN(2)
+		r := make([]int, n)
+		s := make([]int, n)
+		for i := range r {
+			r[i] = rng.IntN(3)
+			s[i] = rng.IntN(3)
+		}
+		procs := [2]process.Process{
+			&process.Deterministic{Seq: r},
+			&process.Deterministic{Seq: s},
+		}
+		cfg := join.Config{CacheSize: k, Warmup: 0, Procs: procs}
+		fe := &FlowExpect{Lookahead: n}
+		got := join.Run(r, s, fe, cfg, stats.NewRNG(1))
+		want := core.OptOfflineJoin(r, s, k, 0)
+		if got.TotalJoins != want.Total {
+			t.Fatalf("trial %d: FlowExpect %d != OPT %d (r=%v s=%v k=%d)",
+				trial, got.TotalJoins, want.Total, r, s, k)
+		}
+	}
+}
+
+func TestFlowExpectRequiresModels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FlowExpect without models did not panic")
+		}
+	}()
+	(&FlowExpect{}).Reset(join.Config{CacheSize: 1}, stats.NewRNG(1))
+}
+
+func TestHEEBModeString(t *testing.T) {
+	for m, want := range map[HEEBMode]string{
+		HEEBDirect: "direct", HEEBIncremental: "incremental",
+		HEEBPrecomputedH1: "h1", HEEBPrecomputedH2: "h2", HEEBMode(9): "HEEBMode(9)",
+	} {
+		if got := m.String(); got != want {
+			t.Fatalf("String(%d) = %q", int(m), got)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (&Rand{}).Name() != "RAND" || (&Prob{}).Name() != "PROB" ||
+		(&Life{}).Name() != "LIFE" || (&FlowExpect{}).Name() != "FLOWEXPECT" ||
+		NewHEEB(HEEBOptions{}).Name() != "HEEB" {
+		t.Fatal("a policy name is wrong")
+	}
+}
+
+func TestHEEBValueIncrementalMatchesDirectDecisions(t *testing.T) {
+	cfg, _ := trendConfig(8)
+	rng := stats.NewRNG(43)
+	r := cfg.Procs[0].Generate(rng.Split(), 500)
+	s := cfg.Procs[1].Generate(rng.Split(), 500)
+	direct := join.Run(r, s, NewHEEB(HEEBOptions{Mode: HEEBDirect, LifetimeEstimate: 3}), cfg, stats.NewRNG(7))
+	vi := NewHEEB(HEEBOptions{Mode: HEEBValueIncremental, LifetimeEstimate: 3})
+	viRes := join.Run(r, s, vi, cfg, stats.NewRNG(7))
+	if direct.TotalJoins != viRes.TotalJoins {
+		t.Fatalf("direct %d joins != value-incremental %d joins", direct.TotalJoins, viRes.TotalJoins)
+	}
+	// The offset cache is populated and bounded by the noise supports: the
+	// trend keeps offsets inside the noise band, so the cache stays small
+	// even over long runs (the whole point of Corollary 5).
+	cached := len(vi.offsetH[0]) + len(vi.offsetH[1])
+	if cached == 0 {
+		t.Fatal("offset cache unused")
+	}
+	if cached > 200 {
+		t.Fatalf("offset cache grew unboundedly: %d entries", cached)
+	}
+}
+
+func TestHEEBValueIncrementalFallsBackForMarkovStreams(t *testing.T) {
+	procs := [2]process.Process{
+		&process.GaussianWalk{Sigma: 1},
+		&process.GaussianWalk{Sigma: 1},
+	}
+	cfg := join.Config{CacheSize: 5, Warmup: 0, Procs: procs}
+	rng := stats.NewRNG(3)
+	r := procs[0].Generate(rng.Split(), 300)
+	s := procs[1].Generate(rng.Split(), 300)
+	vi := NewHEEB(HEEBOptions{Mode: HEEBValueIncremental})
+	res := join.Run(r, s, vi, cfg, stats.NewRNG(1))
+	if len(vi.offsetH[0])+len(vi.offsetH[1]) != 0 {
+		t.Fatal("offset cache must stay empty for non-trend streams")
+	}
+	direct := join.Run(r, s, NewHEEB(HEEBOptions{Mode: HEEBDirect}), cfg, stats.NewRNG(1))
+	if res.TotalJoins != direct.TotalJoins {
+		t.Fatalf("fallback diverged: %d vs %d", res.TotalJoins, direct.TotalJoins)
+	}
+}
+
+// Replaying the offline optimum's schedule through the simulator must
+// achieve exactly the flow's result count — the flow solution is a real
+// cache trace, not just a bound.
+func TestClairvoyantRealizesOptimum(t *testing.T) {
+	rng := stats.NewRNG(71)
+	for trial := 0; trial < 25; trial++ {
+		n := 20 + rng.IntN(120)
+		k := 1 + rng.IntN(5)
+		vals := 2 + rng.IntN(6)
+		r := make([]int, n)
+		s := make([]int, n)
+		for i := range r {
+			r[i] = rng.IntN(vals)
+			s[i] = rng.IntN(vals)
+		}
+		window := 0
+		if rng.IntN(2) == 1 {
+			window = 3 + rng.IntN(10)
+		}
+		cv := &Clairvoyant{R: r, S: s}
+		cfg := join.Config{CacheSize: k, Warmup: 0, Window: window}
+		res := join.Run(r, s, cv, cfg, stats.NewRNG(1))
+		if res.TotalJoins != cv.Result.Total {
+			t.Fatalf("trial %d (n=%d k=%d w=%d): replay %d != flow optimum %d",
+				trial, n, k, window, res.TotalJoins, cv.Result.Total)
+		}
+	}
+}
+
+func TestClairvoyantBandJoin(t *testing.T) {
+	r := []int{10, 0, 0, 0}
+	s := []int{99, 12, 99, 11}
+	cv := &Clairvoyant{R: r, S: s}
+	cfg := join.Config{CacheSize: 1, Warmup: 0, Band: 2}
+	res := join.Run(r, s, cv, cfg, stats.NewRNG(1))
+	// R(10) matches S arrivals 12 (t=1) and 11 (t=3) within band 2.
+	if res.TotalJoins != 2 || cv.Result.Total != 2 {
+		t.Fatalf("replay %d, optimum %d, want 2", res.TotalJoins, cv.Result.Total)
+	}
+}
+
+func TestClairvoyantRequiresStreams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing streams did not panic")
+		}
+	}()
+	(&Clairvoyant{}).Reset(join.Config{CacheSize: 1}, stats.NewRNG(1))
+}
+
+func TestHEEBJoiningH2ModeOnAR1Streams(t *testing.T) {
+	procs := [2]process.Process{
+		&process.AR1{Phi0: 10, Phi1: 0.6, Sigma: 4, Init: 25},
+		&process.AR1{Phi0: 10, Phi1: 0.6, Sigma: 4, Init: 25},
+	}
+	cfg := join.Config{CacheSize: 6, Warmup: -1, Procs: procs}
+	rng := stats.NewRNG(13)
+	r := procs[0].Generate(rng.Split(), 1500)
+	s := procs[1].Generate(rng.Split(), 1500)
+	h2 := join.Run(r, s, NewHEEB(HEEBOptions{Mode: HEEBPrecomputedH2}), cfg, stats.NewRNG(1))
+	rnd := join.Run(r, s, &Rand{}, cfg, stats.NewRNG(1))
+	if h2.Joins <= rnd.Joins {
+		t.Fatalf("HEEB(h2) %d <= RAND %d on AR(1) streams", h2.Joins, rnd.Joins)
+	}
+	// h2 mode clips expired tuples to zero under a window.
+	winCfg := cfg
+	winCfg.Window = 5
+	win := join.Run(r, s, NewHEEB(HEEBOptions{Mode: HEEBPrecomputedH2}), winCfg, stats.NewRNG(1))
+	if win.Joins > h2.Joins {
+		t.Fatalf("windowed h2 produced more joins: %d > %d", win.Joins, h2.Joins)
+	}
+}
+
+func TestHEEBH2ModeRejectsNonAR1(t *testing.T) {
+	procs := [2]process.Process{
+		&process.GaussianWalk{Sigma: 1},
+		&process.GaussianWalk{Sigma: 1},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("h2 mode on walks did not panic")
+		}
+	}()
+	NewHEEB(HEEBOptions{Mode: HEEBPrecomputedH2}).Reset(join.Config{CacheSize: 2, Procs: procs}, stats.NewRNG(1))
+}
+
+func TestHEEBH1ModeRejectsNonForecaster(t *testing.T) {
+	procs := [2]process.Process{
+		&process.Stationary{P: dist.NewUniform(0, 3)},
+		&process.Stationary{P: dist.NewUniform(0, 3)},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("h1 mode on stationary streams did not panic")
+		}
+	}()
+	NewHEEB(HEEBOptions{Mode: HEEBPrecomputedH1}).Reset(join.Config{CacheSize: 2, Procs: procs}, stats.NewRNG(1))
+}
+
+func TestClairvoyantMetadata(t *testing.T) {
+	cv := &Clairvoyant{R: []int{1, 2}, S: []int{2, 1}}
+	if cv.Name() != "OPT-OFFLINE" {
+		t.Fatalf("Name = %q", cv.Name())
+	}
+	cv.EagerEvict() // marker method; must exist for the simulator contract
+	var _ join.EagerEvictor = cv
+}
+
+func TestWalkParamsDefaults(t *testing.T) {
+	// Unknown process types fall back to (1, 0) so the h1 range stays sane.
+	sigma, drift := walkParams(&process.Stationary{P: dist.NewUniform(0, 1)})
+	if sigma != 1 || drift != 0 {
+		t.Fatalf("defaults = %v, %v", sigma, drift)
+	}
+	sigma, drift = walkParams(&process.AR1{Phi0: 2, Phi1: 1, Sigma: 3})
+	if sigma != 3 || drift != 2 {
+		t.Fatalf("AR1 params = %v, %v", sigma, drift)
+	}
+}
+
+func TestReservoirMaintainsUniformSample(t *testing.T) {
+	// Feed arrivals with increasing timestamps; the reservoir keeps a
+	// uniform sample over arrival order, so the mean kept arrival time
+	// should be near the middle of the run.
+	procs := [2]process.Process{
+		&process.Stationary{P: dist.NewUniform(0, 99)},
+		&process.Stationary{P: dist.NewUniform(0, 99)},
+	}
+	cfg := join.Config{CacheSize: 20, Warmup: 0, Procs: procs}
+	n := 2000
+	rng := stats.NewRNG(3)
+	r := procs[0].Generate(rng.Split(), n)
+	s := procs[1].Generate(rng.Split(), n)
+	var meanArrived stats.Summary
+	for trial := uint64(0); trial < 30; trial++ {
+		res := &Reservoir{}
+		join.Run(r, s, res, cfg, stats.NewRNG(trial))
+		// Snapshot via a follow-up eviction call is awkward; instead rerun
+		// tracking through a wrapper policy below.
+		_ = res
+		probe := &reservoirProbe{inner: &Reservoir{}}
+		join.Run(r, s, probe, cfg, stats.NewRNG(trial))
+		for _, tp := range probe.final {
+			meanArrived.Add(float64(tp.Arrived))
+		}
+	}
+	mid := float64(n) / 2
+	if meanArrived.Mean() < mid*0.85 || meanArrived.Mean() > mid*1.15 {
+		t.Fatalf("mean kept arrival %v, want ~%v (uniform over time)", meanArrived.Mean(), mid)
+	}
+}
+
+// reservoirProbe records the cache contents at the final eviction.
+type reservoirProbe struct {
+	inner *Reservoir
+	final []join.Tuple
+}
+
+func (p *reservoirProbe) Name() string { return "probe" }
+func (p *reservoirProbe) Reset(cfg join.Config, rng *stats.RNG) {
+	p.inner.Reset(cfg, rng)
+	p.final = nil
+}
+func (p *reservoirProbe) Evict(st *join.State, cands []join.Tuple, n int) []int {
+	evict := p.inner.Evict(st, cands, n)
+	drop := map[int]bool{}
+	for _, i := range evict {
+		drop[i] = true
+	}
+	p.final = p.final[:0]
+	for i, c := range cands {
+		if !drop[i] {
+			p.final = append(p.final, c)
+		}
+	}
+	return evict
+}
+
+func TestReservoirLosesToHEEBUnderTrend(t *testing.T) {
+	// The related-work claim: sampling is ineffective for MAX-subset.
+	cfg, _ := trendConfig(10)
+	cfg.Warmup = -1
+	rng := stats.NewRNG(8)
+	r := cfg.Procs[0].Generate(rng.Split(), 2500)
+	s := cfg.Procs[1].Generate(rng.Split(), 2500)
+	heeb := join.Run(r, s, NewHEEB(HEEBOptions{LifetimeEstimate: 3}), cfg, stats.NewRNG(1))
+	sample := join.Run(r, s, &Reservoir{}, cfg, stats.NewRNG(1))
+	if sample.Joins*2 > heeb.Joins {
+		t.Fatalf("reservoir %d not far below HEEB %d", sample.Joins, heeb.Joins)
+	}
+}
+
+func TestReservoirTinyCache(t *testing.T) {
+	// Cache of 1 exercises the bump-an-arrival path; the run must satisfy
+	// the simulator's eviction-count contract throughout.
+	procs := [2]process.Process{
+		&process.Stationary{P: dist.NewUniform(0, 4)},
+		&process.Stationary{P: dist.NewUniform(0, 4)},
+	}
+	cfg := join.Config{CacheSize: 1, Warmup: 0, Procs: procs}
+	rng := stats.NewRNG(2)
+	r := procs[0].Generate(rng.Split(), 500)
+	s := procs[1].Generate(rng.Split(), 500)
+	join.Run(r, s, &Reservoir{}, cfg, stats.NewRNG(1)) // must not panic
+}

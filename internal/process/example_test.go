@@ -1,0 +1,57 @@
+package process_test
+
+import (
+	"fmt"
+
+	"stochstream/internal/dist"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+// A linear trend forecasts by shifting its noise to the future trend value.
+func ExampleLinearTrend_Forecast() {
+	lt := &process.LinearTrend{Slope: 2, Intercept: 1, Noise: dist.NewUniform(-1, 1)}
+	h := process.NewHistory(1, 3, 5) // observed through t0 = 2
+	f := lt.Forecast(h, 3)           // time 5: trend 2*5+1 = 11
+	lo, hi := f.Support()
+	fmt.Printf("support [%d, %d], Pr{11} = %.3f\n", lo, hi, f.Prob(11))
+	// Output:
+	// support [10, 12], Pr{11} = 0.333
+}
+
+// AR(1) forecasts revert toward the stationary mean as the horizon grows.
+func ExampleAR1_ForecastNormal() {
+	ar := &process.AR1{Phi0: 5, Phi1: 0.5, Sigma: 1}
+	m1, _ := ar.ForecastNormal(20, 1)
+	mInf, _ := ar.ForecastNormal(20, 100)
+	fmt.Printf("1-step mean %.1f, long-run mean %.1f\n", m1, mInf)
+	// Output:
+	// 1-step mean 15.0, long-run mean 10.0
+}
+
+// Generation is deterministic in the seed.
+func ExampleStationary_Generate() {
+	s := &process.Stationary{P: dist.NewUniform(0, 9)}
+	a := s.Generate(stats.NewRNG(7), 5)
+	b := s.Generate(stats.NewRNG(7), 5)
+	fmt.Println(fmt.Sprint(a) == fmt.Sprint(b))
+	// Output:
+	// true
+}
+
+// A deterministic cycle chain forecasts its future states exactly.
+func ExampleMarkovChain() {
+	m, err := process.NewMarkovChain(0, [][]float64{
+		{0, 1, 0},
+		{0, 0, 1},
+		{1, 0, 0},
+	}, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	h := process.NewHistory(0)
+	fmt.Println(m.Forecast(h, 1).Prob(1), m.Forecast(h, 2).Prob(2), m.Forecast(h, 3).Prob(0))
+	// Output:
+	// 1 1 1
+}

@@ -1,0 +1,197 @@
+// Package process models input streams as discrete-time stochastic processes
+// {X_t}, exactly as in Section 2 of the paper: at every time step a stream
+// produces one tuple whose join-attribute value is a random variable. Each
+// model can both generate sample paths and forecast the conditional
+// distribution Pr{X_{t0+Δ} = v | x̄_{t0}} of a future value given the
+// observed history, which is the quantity every ECB and HEEB computation in
+// internal/core consumes.
+package process
+
+import (
+	"math"
+
+	"stochstream/internal/dist"
+	"stochstream/internal/stats"
+)
+
+// NoValue is the join-attribute value used for tuples that can never join
+// (the paper's "−" tuples) and for forecasts past the end of a deterministic
+// sequence. It is far outside every experiment's value domain.
+const NoValue = math.MinInt32
+
+// Process is a stochastic stream model.
+type Process interface {
+	// Forecast returns the conditional distribution of X_{t0+delta} given
+	// the history h observed through time t0 = h.T0(). delta must be >= 1.
+	Forecast(h *History, delta int) dist.PMF
+	// Generate samples a path of n values starting at time 0.
+	Generate(rng *stats.RNG, n int) []int
+	// Independent reports whether the per-step random variables are
+	// mutually independent. Time- and value-incremental HEEB updates
+	// (Corollaries 3–5) require independence.
+	Independent() bool
+}
+
+// NormalForecaster is implemented by models whose Δ-step forecast is a
+// discretized normal with a closed-form mean and standard deviation
+// (Gaussian random walks and AR(1) streams). HEEB's precomputation uses it
+// to avoid materializing a PMF table per horizon step.
+type NormalForecaster interface {
+	// ForecastNormal returns the mean and standard deviation of
+	// X_{t0+delta} conditioned on X_{t0} = last.
+	ForecastNormal(last int, delta int) (mean, sd float64)
+}
+
+// History is the observed prefix of one stream: Values[t] is the join
+// attribute produced at time t, and T0 is the current (last observed) time.
+// The zero value is an empty history.
+type History struct {
+	vals []int
+}
+
+// NewHistory returns a history pre-populated with the given observations.
+func NewHistory(vals ...int) *History {
+	h := &History{}
+	h.vals = append(h.vals, vals...)
+	return h
+}
+
+// Append records the next observation.
+func (h *History) Append(v int) { h.vals = append(h.vals, v) }
+
+// Len returns the number of observations.
+func (h *History) Len() int { return len(h.vals) }
+
+// T0 returns the current time (index of the last observation), or -1 when
+// nothing has been observed.
+func (h *History) T0() int { return len(h.vals) - 1 }
+
+// At returns the observation at time t.
+func (h *History) At(t int) int { return h.vals[t] }
+
+// Last returns the most recent observation; it panics on an empty history.
+func (h *History) Last() int { return h.vals[len(h.vals)-1] }
+
+// Values returns the underlying observations; callers must not modify it.
+func (h *History) Values() []int { return h.vals }
+
+// Deterministic is the offline-stream model of Section 5.1: the whole
+// sequence is known in advance, so Pr{X_t = Seq[t]} = 1. Forecasts past the
+// end of the sequence are point masses at NoValue.
+type Deterministic struct {
+	Seq []int
+}
+
+// Forecast implements Process.
+func (d *Deterministic) Forecast(h *History, delta int) dist.PMF {
+	checkDelta(delta)
+	t := h.T0() + delta
+	if t < 0 || t >= len(d.Seq) {
+		return dist.NewPointMass(NoValue)
+	}
+	return dist.NewPointMass(d.Seq[t])
+}
+
+// Generate implements Process by replaying the sequence (truncating or
+// padding with NoValue as needed).
+func (d *Deterministic) Generate(_ *stats.RNG, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		if i < len(d.Seq) {
+			out[i] = d.Seq[i]
+		} else {
+			out[i] = NoValue
+		}
+	}
+	return out
+}
+
+// Independent implements Process. Degenerate (point-mass) variables are
+// trivially independent.
+func (d *Deterministic) Independent() bool { return true }
+
+// Stationary is the stationary independent model of Section 5.2: one
+// time-invariant distribution P for every step.
+type Stationary struct {
+	P dist.PMF
+}
+
+// Forecast implements Process.
+func (s *Stationary) Forecast(_ *History, delta int) dist.PMF {
+	checkDelta(delta)
+	return s.P
+}
+
+// Generate implements Process.
+func (s *Stationary) Generate(rng *stats.RNG, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = dist.Sample(s.P, rng.Float64())
+	}
+	return out
+}
+
+// Independent implements Process.
+func (s *Stationary) Independent() bool { return true }
+
+// LinearTrend is the Section 5.3/5.4 model X_t = Slope·t + Intercept + Y_t
+// with i.i.d. zero-mean noise Y. The TOWER, ROOF and FLOOR workloads are
+// linear trends with bounded normal or bounded uniform noise; a stream
+// lagging k steps behind another has Intercept lowered by k·Slope.
+type LinearTrend struct {
+	Slope     int
+	Intercept int
+	Noise     dist.PMF
+}
+
+// TrendAt returns the deterministic trend component f(t).
+func (l *LinearTrend) TrendAt(t int) int { return l.Slope*t + l.Intercept }
+
+// Forecast implements Process.
+func (l *LinearTrend) Forecast(h *History, delta int) dist.PMF {
+	checkDelta(delta)
+	return dist.Shift(l.Noise, l.TrendAt(h.T0()+delta))
+}
+
+// Generate implements Process.
+func (l *LinearTrend) Generate(rng *stats.RNG, n int) []int {
+	out := make([]int, n)
+	for t := range out {
+		out[t] = l.TrendAt(t) + dist.Sample(l.Noise, rng.Float64())
+	}
+	return out
+}
+
+// Independent implements Process.
+func (l *LinearTrend) Independent() bool { return true }
+
+// GeneralTrend generalizes LinearTrend to an arbitrary trend function f(t);
+// Section 5.3's caching analysis holds for any non-decreasing f.
+type GeneralTrend struct {
+	F     func(t int) int
+	Noise dist.PMF
+}
+
+// Forecast implements Process.
+func (g *GeneralTrend) Forecast(h *History, delta int) dist.PMF {
+	checkDelta(delta)
+	return dist.Shift(g.Noise, g.F(h.T0()+delta))
+}
+
+// Generate implements Process.
+func (g *GeneralTrend) Generate(rng *stats.RNG, n int) []int {
+	out := make([]int, n)
+	for t := range out {
+		out[t] = g.F(t) + dist.Sample(g.Noise, rng.Float64())
+	}
+	return out
+}
+
+// Independent implements Process.
+func (g *GeneralTrend) Independent() bool { return true }
+
+func checkDelta(delta int) {
+	if delta < 1 {
+		panic("process: Forecast requires delta >= 1")
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// AR1Fit is a fitted first-order autoregressive model
+// X_t = Phi0 + Phi1·X_{t-1} + Y_t with Y_t ~ N(0, Sigma²).
+type AR1Fit struct {
+	Phi0  float64 // constant drift
+	Phi1  float64 // autoregressive coefficient
+	Sigma float64 // innovation standard deviation
+	N     int     // number of transitions used
+}
+
+// StationaryMean returns the long-run mean Phi0/(1−Phi1); it is only
+// meaningful for |Phi1| < 1.
+func (f AR1Fit) StationaryMean() float64 { return f.Phi0 / (1 - f.Phi1) }
+
+// StationaryStdDev returns the long-run standard deviation
+// Sigma/√(1−Phi1²) for |Phi1| < 1.
+func (f AR1Fit) StationaryStdDev() float64 {
+	return f.Sigma / math.Sqrt(1-f.Phi1*f.Phi1)
+}
+
+// ErrShortSeries is returned when a series is too short to fit a model.
+var ErrShortSeries = errors.New("stats: series too short to fit")
+
+// FitAR1 fits an AR(1) model by conditional maximum likelihood, which for
+// Gaussian innovations coincides with least squares of X_t on X_{t-1}. This
+// is the "standard MLE procedure" the paper runs offline on the REAL data.
+func FitAR1(series []float64) (AR1Fit, error) {
+	n := len(series) - 1
+	if n < 2 {
+		return AR1Fit{}, ErrShortSeries
+	}
+	var sx, sy, sxx, sxy float64
+	for t := 1; t < len(series); t++ {
+		x, y := series[t-1], series[t]
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return AR1Fit{}, errors.New("stats: degenerate series (constant)")
+	}
+	phi1 := (fn*sxy - sx*sy) / den
+	phi0 := (sy - phi1*sx) / fn
+	var rss float64
+	for t := 1; t < len(series); t++ {
+		r := series[t] - phi0 - phi1*series[t-1]
+		rss += r * r
+	}
+	return AR1Fit{Phi0: phi0, Phi1: phi1, Sigma: math.Sqrt(rss / fn), N: n}, nil
+}
+
+// FitAR1Int fits an AR(1) model to an integer series (the stream models in
+// this module carry integer join-attribute values).
+func FitAR1Int(series []int) (AR1Fit, error) {
+	f := make([]float64, len(series))
+	for i, v := range series {
+		f[i] = float64(v)
+	}
+	return FitAR1(f)
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of the series.
+func Autocorrelation(series []float64, k int) float64 {
+	n := len(series)
+	if k < 0 || k >= n {
+		return 0
+	}
+	var mean float64
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(n)
+	var num, den float64
+	for t := 0; t < n; t++ {
+		d := series[t] - mean
+		den += d * d
+		if t+k < n {
+			num += d * (series[t+k] - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+// LoadRealTrace builds the REAL workload from an actual reference trace
+// instead of the synthetic series — e.g. the Melbourne temperature data set
+// the paper uses, for users who have it. The reader supplies one observation
+// per line (plain numbers; '#'-prefixed lines and blank lines are skipped;
+// a trailing CSV column layout of "value" or "date,value" is accepted, in
+// which case the last field is parsed). Values are multiplied by scale and
+// rounded to the paper's 0.1-unit buckets (scale 10), and the AR(1) model is
+// fitted by the same offline MLE the synthetic pipeline uses.
+func LoadRealTrace(r io.Reader, scale int) (RealWorkload, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	var refs []int
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if i := strings.LastIndexByte(text, ','); i >= 0 {
+			text = strings.TrimSpace(text[i+1:])
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return RealWorkload{}, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		refs = append(refs, int(math.Round(v*float64(scale))))
+	}
+	if err := sc.Err(); err != nil {
+		return RealWorkload{}, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(refs) < 10 {
+		return RealWorkload{}, fmt.Errorf("workload: trace too short (%d observations)", len(refs))
+	}
+	fit, err := stats.FitAR1Int(refs)
+	if err != nil {
+		return RealWorkload{}, fmt.Errorf("workload: AR(1) fit failed: %w", err)
+	}
+	return RealWorkload{Name: "REAL(trace)", Refs: refs, Model: process.FromFit(fit), Fit: fit}, nil
+}
