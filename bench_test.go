@@ -6,6 +6,7 @@ import (
 
 	"stochstream/internal/core"
 	"stochstream/internal/dist"
+	"stochstream/internal/engine"
 	"stochstream/internal/experiment"
 	"stochstream/internal/join"
 	"stochstream/internal/mincostflow"
@@ -14,6 +15,7 @@ import (
 	"stochstream/internal/policy"
 	"stochstream/internal/process"
 	"stochstream/internal/stats"
+	"stochstream/internal/telemetry"
 	"stochstream/internal/workload"
 )
 
@@ -302,6 +304,38 @@ func BenchmarkAblationControlPoints(b *testing.B) {
 		})
 	}
 }
+
+// benchStepEngine drives one fixed 2000-step HEEB run through the engine
+// operator per iteration; reg == nil is the bare configuration.
+func benchStepEngine(b *testing.B, reg *telemetry.Registry) {
+	b.Helper()
+	procs := [2]process.Process{
+		&process.LinearTrend{Slope: 1, Intercept: -1, Noise: dist.BoundedNormal(2, 12)},
+		&process.LinearTrend{Slope: 1, Intercept: 0, Noise: dist.BoundedNormal(3, 15)},
+	}
+	const n = 2000
+	rng := stats.NewRNG(21)
+	r := procs[0].Generate(rng.Split(), n)
+	s := procs[1].Generate(rng.Split(), n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := engine.NewJoin(engine.Config{CacheSize: 10, Procs: procs, Seed: 1, Telemetry: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for t := 0; t < n; t++ {
+			j.Step(engine.Tuple{Key: r[t]}, engine.Tuple{Key: s[t]})
+		}
+	}
+}
+
+// BenchmarkStepBare / BenchmarkStepInstrumented bound the telemetry layer's
+// hot-path cost: the instrumented run adds per-step clock reads and atomic
+// writes plus a sampled decision-trace re-score; the target recorded in
+// BENCH_telemetry.json is < 10% overhead.
+func BenchmarkStepBare(b *testing.B)         { benchStepEngine(b, nil) }
+func BenchmarkStepInstrumented(b *testing.B) { benchStepEngine(b, telemetry.NewRegistry()) }
 
 func itoa(n int) string {
 	if n == 0 {

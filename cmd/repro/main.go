@@ -7,6 +7,8 @@
 //	repro -figure 6 -chart           # ASCII chart
 //	repro -figure 13 -csv            # CSV rows
 //	repro -figure 13 -real-data f    # use an actual reference trace
+//	repro -figure 8 -metrics         # append a Prometheus telemetry snapshot
+//	repro -figure 8 -trace 10        # dump the last 10 eviction decisions
 //	repro -list                      # show available figures
 //
 // Each figure prints the same series the paper plots; EXPERIMENTS.md records
@@ -14,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -48,9 +51,17 @@ func run(args []string, stdout io.Writer) error {
 		asCSV      = fs.Bool("csv", false, "emit CSV instead of a text table")
 		asChart    = fs.Bool("chart", false, "render an ASCII chart instead of a text table")
 		realTrace  = fs.String("real-data", "", "reference trace file for the REAL figures (one value per line or CSV; e.g. the Melbourne temperatures)")
+		metrics    = fs.Bool("metrics", false, "emit a Prometheus-text telemetry snapshot (step latencies, policy decisions, solver counters, recent decision traces) after the figures")
+		traceN     = fs.Int("trace", 0, "emit the last N decision-trace records as JSON lines (implies telemetry collection)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	collect := *metrics || *traceN > 0
+	if collect {
+		stochstream.EnableTelemetry()
+		defer stochstream.DisableTelemetry()
 	}
 
 	if *list {
@@ -114,6 +125,29 @@ func run(args []string, stdout io.Writer) error {
 		default:
 			fig.Render(stdout)
 			fmt.Fprintf(stdout, "  [figure %s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if collect {
+		reg := stochstream.Telemetry()
+		if *metrics {
+			reg.WritePrometheus(stdout)
+			// Recent eviction decisions ride along as comment lines, so one
+			// -metrics dump shows both where time went and what the policy
+			// chose (and why, via the per-candidate scores).
+			n := *traceN
+			if n == 0 {
+				n = 5
+			}
+			if err := reg.WriteTrace(stdout, n); err != nil {
+				return err
+			}
+		} else if *traceN > 0 {
+			enc := json.NewEncoder(stdout)
+			for _, rec := range reg.Trace().Last(*traceN) {
+				if err := enc.Encode(rec); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

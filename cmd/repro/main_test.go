@@ -72,6 +72,51 @@ func TestRunFigure6WithFlags(t *testing.T) {
 	}
 }
 
+func TestRunMetricsFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-figure", "8", "-metrics", "-runs", "1", "-len", "300"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The acceptance surface: step-latency buckets, policy-labeled metrics
+	// and at least one decision-trace record with per-candidate scores.
+	for _, want := range []string{
+		"# TYPE join_step_latency_ns histogram",
+		"join_step_latency_ns_bucket",
+		"join_steps_total",
+		`policy_decisions_total{policy="HEEB"}`,
+		"# decision_trace ",
+		`"policy":"HEEB"`,
+		`"score":`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTraceFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-figure", "8", "-trace", "3", "-runs", "1", "-len", "300"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "# TYPE") {
+		t.Fatal("-trace alone must not dump the full metric set")
+	}
+	jsonLines := 0
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, `{"step":`) {
+			jsonLines++
+		}
+	}
+	if jsonLines == 0 || jsonLines > 3 {
+		t.Fatalf("trace lines = %d, want 1..3:\n%s", jsonLines, out)
+	}
+}
+
 func TestRunRealDataFlag(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "trace.csv")

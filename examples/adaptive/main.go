@@ -13,6 +13,10 @@ import (
 )
 
 func main() {
+	// Collect telemetry for the whole pipeline; the snapshot printed at exit
+	// doubles as an integration smoke test of the observability layer.
+	reg := stochstream.EnableTelemetry()
+
 	// Ground-truth generators (unknown to the pipeline).
 	truthR := &stochstream.LinearTrend{Slope: 1, Intercept: -1, Noise: stochstream.BoundedNormal(2, 12)}
 	truthS := &stochstream.LinearTrend{Slope: 1, Intercept: 0, Noise: stochstream.BoundedNormal(3, 15)}
@@ -69,6 +73,20 @@ func main() {
 	fmt.Println("\nlearned models recover nearly all of the benefit of knowing the")
 	fmt.Println("true stream statistics — the framework degrades gracefully when")
 	fmt.Println("statistics must be estimated online.")
+
+	// Telemetry snapshot: where the time went and what the policies decided.
+	snap := reg.Snapshot()
+	stepLat := snap.Histograms["join_step_latency_ns"]
+	fmt.Println("\ntelemetry snapshot at exit:")
+	fmt.Printf("  steps=%d results=%d evictions=%d\n",
+		snap.Counters["join_steps_total"], snap.Counters["join_results_total"], snap.Counters["join_evictions_total"])
+	fmt.Printf("  step latency p50=%.0fns p90=%.0fns p99=%.0fns\n", stepLat.P50, stepLat.P90, stepLat.P99)
+	fmt.Printf("  decision-trace records retained: %d\n", len(snap.Trace))
+	if len(snap.Trace) > 0 {
+		last := snap.Trace[len(snap.Trace)-1]
+		fmt.Printf("  last decision: step %d, %s scored %d candidates, evicted %d\n",
+			last.Step, last.Policy, len(last.Candidates), last.Need)
+	}
 }
 
 func pct(a, b int) float64 {

@@ -10,12 +10,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"stochstream/internal/core"
 	"stochstream/internal/join"
 	"stochstream/internal/policy"
 	"stochstream/internal/process"
 	"stochstream/internal/stats"
+	"stochstream/internal/telemetry"
 )
 
 // Tuple is a stream tuple flowing through the operator. Payload carries the
@@ -56,6 +58,11 @@ type Config struct {
 	Policy join.Policy
 	// Seed drives the policy's randomness.
 	Seed uint64
+	// Telemetry, when non-nil, instruments the operator: per-step latency
+	// histogram and pair/eviction counters on Step, and the policy wrapped
+	// with telemetry.InstrumentedPolicy (scoring latency, decision counters,
+	// sampled decision-trace records). nil keeps the hot path bare.
+	Telemetry *telemetry.Registry
 }
 
 // Metrics is a snapshot of the operator's counters.
@@ -81,6 +88,13 @@ type Join struct {
 	nextID int
 	time   int
 	m      Metrics
+
+	// Telemetry handles, resolved once in NewJoin so Step pays only clock
+	// reads and atomic writes; all nil when Config.Telemetry is nil.
+	stepLatency *telemetry.Histogram
+	stepCount   *telemetry.Counter
+	pairCount   *telemetry.Counter
+	evictCount  *telemetry.Counter
 }
 
 type entry struct {
@@ -101,10 +115,19 @@ func NewJoin(cfg Config) (*Join, error) {
 			pol = &randPolicy{}
 		}
 	}
+	if cfg.Telemetry != nil {
+		pol = telemetry.InstrumentPolicy(pol, cfg.Telemetry)
+	}
 	j := &Join{
 		cfg:    cfg,
 		policy: pol,
 		hists:  [2]*process.History{process.NewHistory(), process.NewHistory()},
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		j.stepLatency = reg.Histogram("engine_step_latency_ns")
+		j.stepCount = reg.Counter("engine_steps_total")
+		j.pairCount = reg.Counter("engine_pairs_total")
+		j.evictCount = reg.Counter("engine_evictions_total")
 	}
 	simCfg := join.Config{
 		CacheSize: cfg.CacheSize,
@@ -123,6 +146,10 @@ func NewJoin(cfg Config) (*Join, error) {
 // arrivals are joined and emitted too — a real operator must deliver them
 // even though replacement policies cannot influence them.
 func (j *Join) Step(r, s Tuple) []Pair {
+	var start time.Time
+	if j.stepLatency != nil {
+		start = time.Now()
+	}
 	t := j.time
 	j.time++
 	j.m.Steps++
@@ -173,7 +200,7 @@ func (j *Join) Step(r, s Tuple) []Pair {
 	need := len(cands) - j.cfg.CacheSize
 	if need <= 0 {
 		j.cache = cands
-		j.m.CacheLen = len(j.cache)
+		j.record(start, len(out), 0)
 		return out
 	}
 	tuples := make([]join.Tuple, len(cands))
@@ -199,12 +226,29 @@ func (j *Join) Step(r, s Tuple) []Pair {
 		}
 	}
 	j.cache = kept
-	j.m.CacheLen = len(j.cache)
+	j.record(start, len(out), need)
 	return out
 }
 
-// Metrics returns the operator's counters.
-func (j *Join) Metrics() Metrics { return j.m }
+// record publishes one step's telemetry; a no-op without a registry.
+func (j *Join) record(start time.Time, pairs, evictions int) {
+	if j.stepLatency == nil {
+		return
+	}
+	j.stepLatency.ObserveDuration(time.Since(start).Nanoseconds())
+	j.stepCount.Inc()
+	j.pairCount.Add(int64(pairs))
+	j.evictCount.Add(int64(evictions))
+}
+
+// Metrics returns the operator's counters. CacheLen is recomputed from the
+// live cache at snapshot time, so it is accurate on every path — including
+// before the first step and on steps that admit without evicting.
+func (j *Join) Metrics() Metrics {
+	m := j.m
+	m.CacheLen = len(j.cache)
+	return m
+}
 
 // Snapshot returns the cached tuples (keys and streams) in cache order, for
 // observability and tests.

@@ -8,6 +8,8 @@ package join
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"stochstream/internal/core"
 	"stochstream/internal/process"
@@ -93,6 +95,33 @@ type EagerEvictor interface {
 	EagerEvict()
 }
 
+// Observer receives run-time signals from Run. It exists so the telemetry
+// layer can watch every simulation in the process (experiment harnesses build
+// their configs internally, so per-run plumbing is not an option) without
+// this package importing it.
+type Observer interface {
+	// WrapPolicy may replace the policy before a run starts (the telemetry
+	// implementation wraps it with latency and decision instrumentation).
+	WrapPolicy(p Policy) Policy
+	// ObserveStep is called once per simulated step with the step's latency
+	// and the result/eviction counts it produced.
+	ObserveStep(latencyNs int64, results, evictions int)
+}
+
+// observer is the process-wide Run observer; nil means no instrumentation
+// and costs a single atomic load per run (not per step).
+var observer atomic.Pointer[Observer]
+
+// SetObserver installs (or, with nil, removes) the process-wide Run
+// observer. telemetry.EnableGlobal is the usual caller.
+func SetObserver(o Observer) {
+	if o == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&o)
+}
+
 // Result summarizes one run.
 type Result struct {
 	// Joins is the number of result tuples produced after the warm-up
@@ -117,6 +146,11 @@ func Run(r, s []int, p Policy, cfg Config, rng *stats.RNG) Result {
 	if cfg.CacheSize < 1 {
 		panic("join: cache size must be >= 1")
 	}
+	var obs Observer
+	if ptr := observer.Load(); ptr != nil {
+		obs = *ptr
+		p = obs.WrapPolicy(p)
+	}
 	p.Reset(cfg, rng)
 
 	warmup := cfg.EffectiveWarmup()
@@ -135,6 +169,11 @@ func Run(r, s []int, p Policy, cfg Config, rng *stats.RNG) Result {
 	}
 
 	for t := 0; t < len(r); t++ {
+		var stepStart time.Time
+		if obs != nil {
+			stepStart = time.Now()
+		}
+		stepEvictions := 0
 		newR := newTuple(r[t], core.StreamR, t)
 		newS := newTuple(s[t], core.StreamS, t)
 		hists[core.StreamR].Append(newR.Value)
@@ -188,6 +227,7 @@ func Run(r, s []int, p Policy, cfg Config, rng *stats.RNG) Result {
 			evict := p.Evict(st, candidates, need)
 			validateEviction(p, evict, len(candidates), need, eager)
 			res.Evictions += len(evict)
+			stepEvictions = len(evict)
 			drop := make(map[int]bool, len(evict))
 			for _, i := range evict {
 				drop[i] = true
@@ -212,6 +252,10 @@ func Run(r, s []int, p Policy, cfg Config, rng *stats.RNG) Result {
 				frac = float64(nr) / float64(len(cache))
 			}
 			res.OccupancyR = append(res.OccupancyR, frac)
+		}
+
+		if obs != nil {
+			obs.ObserveStep(time.Since(stepStart).Nanoseconds(), joins, stepEvictions)
 		}
 	}
 	return res

@@ -69,6 +69,7 @@ func (g *IntGraph) MinCostFlow(source, sink int, target int64) (IntResult, error
 	if target <= 0 {
 		return IntResult{}, nil
 	}
+	statCostScalingSolves.Add(1)
 	flow := g.maxFlow(source, sink, target)
 	if flow == 0 {
 		return IntResult{}, ErrDisconnected
@@ -157,8 +158,13 @@ func (g *IntGraph) refineLoop() {
 	}
 	price := make([]int64, g.n)
 	eps := maxC * n
+	var pushes, relabels int64
+	defer func() {
+		statPushes.Add(pushes)
+		statRelabels.Add(relabels)
+	}()
 	for {
-		g.refine(eps, price, n)
+		g.refine(eps, price, n, &pushes, &relabels)
 		if eps == 1 {
 			// Scaled costs are multiples of n, so 1-optimality in them is
 			// exact optimality in the original integer costs.
@@ -174,7 +180,7 @@ func (g *IntGraph) refineLoop() {
 // refine restores ε-optimality: saturate every residual arc with negative
 // reduced cost, then discharge nodes with positive excess by pushing along
 // admissible arcs and relabeling.
-func (g *IntGraph) refine(eps int64, price []int64, n int64) {
+func (g *IntGraph) refine(eps int64, price []int64, n int64, pushes, relabels *int64) {
 	scaledCost := func(a int32) int64 {
 		return g.arcs[a].cost * n
 	}
@@ -227,6 +233,7 @@ func (g *IntGraph) refine(eps int64, price []int64, n int64) {
 					inQueue[to] = true
 				}
 				pushed = true
+				*pushes++
 				if excess[v] == 0 {
 					break
 				}
@@ -253,6 +260,7 @@ func (g *IntGraph) refine(eps int64, price []int64, n int64) {
 					break
 				}
 				price[v] -= best + eps
+				*relabels++
 			}
 		}
 	}

@@ -93,12 +93,15 @@ func (g *Graph) MinCostFlow(source, sink, target int) (Result, error) {
 	}
 	pot := g.initialPotentials(source)
 	var res Result
+	var dijkstraRuns, augmentations int64
 	distTo := make([]float64, g.n)
 	parentArc := make([]int32, g.n)
 	for res.Flow < target {
+		dijkstraRuns++
 		if !g.dijkstra(source, sink, pot, distTo, parentArc) {
 			break
 		}
+		augmentations++
 		// Bottleneck along the shortest path, capped by remaining demand.
 		bottleneck := int32(target - res.Flow)
 		for v := sink; v != source; {
@@ -122,6 +125,9 @@ func (g *Graph) MinCostFlow(source, sink, target int) (Result, error) {
 			}
 		}
 	}
+	statSolves.Add(1)
+	statDijkstra.Add(dijkstraRuns)
+	statAugmentations.Add(augmentations)
 	if res.Flow == 0 {
 		return res, ErrDisconnected
 	}
@@ -195,6 +201,7 @@ func (g *Graph) dagPotentials(source int, order []int32) []float64 {
 }
 
 func (g *Graph) bellmanFord(source int) []float64 {
+	statBellmanFord.Add(1)
 	d := make([]float64, g.n)
 	for i := range d {
 		d[i] = math.Inf(1)

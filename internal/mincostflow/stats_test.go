@@ -1,0 +1,57 @@
+package mincostflow
+
+import "testing"
+
+// The stats counters are process-wide, so this test serializes with the rest
+// of the package (Go runs same-package tests sequentially by default).
+func TestStatsCountSolverWork(t *testing.T) {
+	ResetStats()
+	if s := ReadStats(); s != (Stats{}) {
+		t.Fatalf("reset left %+v", s)
+	}
+
+	// One SSP solve: two unit paths from 0 to 2.
+	g := New(3)
+	g.AddArc(0, 1, 2, 1)
+	g.AddArc(1, 2, 2, 1)
+	g.AddArc(0, 2, 1, 5)
+	if _, err := g.MinCostFlow(0, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	s := ReadStats()
+	if s.Solves != 1 {
+		t.Fatalf("solves = %d, want 1", s.Solves)
+	}
+	if s.Augmentations < 2 {
+		t.Fatalf("augmentations = %d, want >= 2 (two distinct paths)", s.Augmentations)
+	}
+	if s.DijkstraRuns < s.Augmentations {
+		t.Fatalf("dijkstra runs %d < augmentations %d", s.DijkstraRuns, s.Augmentations)
+	}
+	if s.CostScalingSolves != 0 {
+		t.Fatalf("cost-scaling counted %d without a solve", s.CostScalingSolves)
+	}
+
+	// One cost-scaling solve on the integer graph.
+	ig := NewInt(3)
+	ig.AddArc(0, 1, 2, 1)
+	ig.AddArc(1, 2, 2, 1)
+	if _, err := ig.MinCostFlow(0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	s2 := ReadStats()
+	if s2.CostScalingSolves != 1 {
+		t.Fatalf("cost-scaling solves = %d, want 1", s2.CostScalingSolves)
+	}
+	if s2.Pushes == 0 {
+		t.Fatal("cost-scaling solve recorded no pushes")
+	}
+	if s2.Solves != 1 {
+		t.Fatalf("SSP solves changed to %d", s2.Solves)
+	}
+
+	ResetStats()
+	if s := ReadStats(); s != (Stats{}) {
+		t.Fatalf("second reset left %+v", s)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stochstream/internal/core"
+	"stochstream/internal/dist"
 	"stochstream/internal/join"
 	"stochstream/internal/stats"
 )
@@ -59,4 +60,35 @@ func (p *FlowExpect) Evict(st *join.State, cands []join.Tuple, n int) []int {
 		}
 	}
 	return out
+}
+
+// ScoreCandidates returns each candidate's total expected arc benefit over
+// the look-ahead window: the sum over offsets 1..l of the probability that
+// the partner's arrival matches it (zeroed once the tuple ages past the
+// window), i.e. the benefit the Section 3.1 graph assigns to the path that
+// keeps the tuple for the whole horizon. These are the numbers on the
+// candidate's horizontal arcs; the telemetry decision trace records them
+// (telemetry.CandidateScorer). The flow's actual choice can differ — it
+// weighs candidates jointly against undetermined future arrivals — which is
+// exactly the discrepancy worth seeing in a trace.
+func (p *FlowExpect) ScoreCandidates(st *join.State, cands []join.Tuple) []float64 {
+	var fc [2][]dist.PMF
+	forecast := func(s core.StreamID, off int) dist.PMF {
+		for len(fc[s]) < off {
+			fc[s] = append(fc[s], st.Procs()[s].Forecast(st.Hists[s], len(fc[s])+1))
+		}
+		return fc[s][off-1]
+	}
+	scores := make([]float64, len(cands))
+	for i, c := range cands {
+		partner := c.Stream.Partner()
+		age := st.Time - c.Arrived
+		for off := 1; off <= p.Lookahead; off++ {
+			if p.cfg.Window > 0 && age+off > p.cfg.Window {
+				break
+			}
+			scores[i] += forecast(partner, off).Prob(c.Value)
+		}
+	}
+	return scores
 }

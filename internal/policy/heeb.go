@@ -269,6 +269,18 @@ func (p *HEEB) Evict(st *join.State, cands []join.Tuple, n int) []int {
 	return evict
 }
 
+// ScoreCandidates returns the H_x value of every candidate under the
+// configured scoring mode — the numbers Evict compares. The telemetry
+// layer's decision trace uses it to record why each victim was chosen
+// (telemetry.CandidateScorer).
+func (p *HEEB) ScoreCandidates(st *join.State, cands []join.Tuple) []float64 {
+	scores := make([]float64, len(cands))
+	for i, c := range cands {
+		scores[i] = p.score(st, c)
+	}
+	return scores
+}
+
 // score computes H for one candidate according to the configured mode.
 // Band joins are handled by the direct and incremental modes (band
 // probabilities slot into the same sums); precomputed forms tabulate the

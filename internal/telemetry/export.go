@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Snapshot is a point-in-time view of every metric in a registry, plus the
+// retained decision trace. It is the JSON export schema.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Trace      []DecisionRecord             `json:"trace,omitempty"`
+}
+
+// Snapshot captures all metrics. Gauge functions are evaluated here, not on
+// the hot path.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	funcs := make(map[string]func() float64, len(r.gaugeFuncs))
+	for k, v := range r.gaugeFuncs {
+		funcs[k] = v
+	}
+	r.mu.RUnlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)+len(funcs)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+		Trace:      r.trace.Records(),
+	}
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, fn := range funcs {
+		s.Gauges[k] = fn()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the full snapshot (metrics and trace) as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format: counters with TYPE counter, gauges with TYPE gauge, histograms as
+// cumulative le-buckets with _sum/_count plus derived p50/p90/p99 gauges.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		base, labels := splitName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n", base)
+		fmt.Fprintf(w, "%s %d\n", joinName(base, labels), s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		base, labels := splitName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", base)
+		fmt.Fprintf(w, "%s %g\n", joinName(base, labels), s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		base, labels := splitName(name)
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "# TYPE %s histogram\n", base)
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%g", h.Bounds[i])
+			}
+			// Elide interior empty buckets to keep the exposition readable;
+			// cumulative counts stay exact because cum carries through.
+			if c == 0 && i > 0 && i < len(h.Counts)-1 {
+				continue
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", base, joinLabels(labels, `le="`+le+`"`), cum)
+		}
+		fmt.Fprintf(w, "%s_sum%s %g\n", base, joinLabels(labels), h.Sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", base, joinLabels(labels), h.Count)
+		fmt.Fprintf(w, "%s_p50%s %g\n", base, joinLabels(labels), h.P50)
+		fmt.Fprintf(w, "%s_p90%s %g\n", base, joinLabels(labels), h.P90)
+		fmt.Fprintf(w, "%s_p99%s %g\n", base, joinLabels(labels), h.P99)
+	}
+}
+
+// WriteTrace writes the newest n decision records (oldest first) as
+// `# decision_trace <json>` comment lines — valid inside a Prometheus text
+// exposition, so -metrics output can carry both.
+func (r *Registry) WriteTrace(w io.Writer, n int) error {
+	for _, rec := range r.trace.Last(n) {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "# decision_trace %s\n", b)
+	}
+	return nil
+}
+
+// splitName separates an optional brace-delimited label set from a metric
+// name: `evictions_total{policy="HEEB"}` → ("evictions_total", `policy="HEEB"`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// joinName re-attaches a label set to a base name.
+func joinName(base, labels string) string {
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}
+
+// joinLabels merges label fragments into one brace-delimited set (empty when
+// no fragment is non-empty).
+func joinLabels(fragments ...string) string {
+	var parts []string
+	for _, f := range fragments {
+		if f != "" {
+			parts = append(parts, f)
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

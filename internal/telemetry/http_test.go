@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("req_total").Add(2)
+	reg.Histogram("lat_ns").Observe(500)
+	reg.Trace().Record(DecisionRecord{Step: 1, Policy: "HEEB", Need: 1})
+	reg.Trace().Record(DecisionRecord{Step: 2, Policy: "HEEB", Need: 1})
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "req_total 2") {
+		t.Fatalf("/metrics: %d\n%s", code, body)
+	}
+	if !strings.Contains(body, "# TYPE lat_ns histogram") {
+		t.Fatalf("/metrics missing histogram:\n%s", body)
+	}
+
+	code, body = get("/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json: %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json invalid: %v", err)
+	}
+	if snap.Counters["req_total"] != 2 {
+		t.Fatalf("json snapshot = %+v", snap)
+	}
+
+	code, body = get("/trace?n=1")
+	if code != http.StatusOK {
+		t.Fatalf("/trace: %d", code)
+	}
+	var recs []DecisionRecord
+	if err := json.Unmarshal([]byte(body), &recs); err != nil {
+		t.Fatalf("/trace body %q: %v", body, err)
+	}
+	if len(recs) != 1 || recs[0].Step != 2 {
+		t.Fatalf("trace records = %+v, want just the newest (step 2)", recs)
+	}
+
+	if code, _ := get("/debug/vars"); code != http.StatusOK {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+}
+
+func TestServeBindsAndShutsDown(t *testing.T) {
+	reg := NewRegistry()
+	srv, addr, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if addr == "" || !strings.Contains(addr, ":") {
+		t.Fatalf("addr = %q", addr)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import "sync"
+
+// TraceCandidate is one candidate tuple as the policy saw it at a decision:
+// its key, stream, arrival time, the policy's score (HEEB's H_x value,
+// FlowExpect's expected arc benefit) and whether it was chosen for eviction.
+type TraceCandidate struct {
+	Key     int     `json:"key"`
+	Stream  string  `json:"stream"`
+	Arrived int     `json:"arrived"`
+	Score   float64 `json:"score"`
+	Evicted bool    `json:"evicted"`
+}
+
+// DecisionRecord is one eviction decision: the step it happened at, the
+// policy that made it, how many victims were required, and the full scored
+// candidate set. It is what lets a paper-vs-implementation discrepancy be
+// replayed: the record shows exactly which H_x values the policy compared.
+type DecisionRecord struct {
+	Step       int              `json:"step"`
+	Policy     string           `json:"policy"`
+	Need       int              `json:"need"`
+	Candidates []TraceCandidate `json:"candidates"`
+}
+
+// DecisionTrace is a fixed-capacity ring buffer of decision records. Record
+// is O(1) and overwrites the oldest entry when full; Records returns a
+// chronological copy. A mutex (not atomics) is fine here: decisions are rare
+// next to per-step metric writes, and a record is a composite value.
+type DecisionTrace struct {
+	mu    sync.Mutex
+	buf   []DecisionRecord
+	next  int
+	total uint64
+}
+
+// NewDecisionTrace returns a trace holding the last capacity records.
+func NewDecisionTrace(capacity int) *DecisionTrace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &DecisionTrace{buf: make([]DecisionRecord, 0, capacity)}
+}
+
+// Record appends one decision, evicting the oldest when the ring is full.
+func (t *DecisionTrace) Record(rec DecisionRecord) {
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, rec)
+	} else {
+		t.buf[t.next] = rec
+		t.next = (t.next + 1) % cap(t.buf)
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Records returns the retained records, oldest first.
+func (t *DecisionTrace) Records() []DecisionRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]DecisionRecord, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Last returns the newest n records, oldest first (all of them when n exceeds
+// the retained count).
+func (t *DecisionTrace) Last(n int) []DecisionRecord {
+	recs := t.Records()
+	if n < len(recs) {
+		recs = recs[len(recs)-n:]
+	}
+	return recs
+}
+
+// Total returns the number of records ever written (including overwritten
+// ones).
+func (t *DecisionTrace) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

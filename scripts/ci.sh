@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's one-command gate: vet, build, then the full test suite
+# under the race detector (the telemetry registry and the engine's concurrent
+# Run path are exercised by -race tests). Run from the repo root:
+#
+#   ./scripts/ci.sh
+#
+# Extra go-test flags pass through, e.g. ./scripts/ci.sh -run Telemetry -v
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race "$@" ./...

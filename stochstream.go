@@ -46,6 +46,7 @@ import (
 	"stochstream/internal/policy"
 	"stochstream/internal/process"
 	"stochstream/internal/stats"
+	"stochstream/internal/telemetry"
 	"stochstream/internal/workload"
 )
 
@@ -420,6 +421,39 @@ type UnknownFigureError struct{ ID string }
 func (e *UnknownFigureError) Error() string {
 	return "stochstream: unknown figure " + e.ID + " (valid: 6..19, a1, a2)"
 }
+
+// Telemetry (see internal/telemetry and docs/observability.md): counters,
+// gauges, latency histograms with p50/p90/p99, a decision trace recording
+// per-candidate policy scores at each eviction, and Prometheus/JSON/HTTP
+// export surfaces.
+type (
+	// TelemetryRegistry holds named metrics and the decision trace.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is the point-in-time JSON export schema.
+	TelemetrySnapshot = telemetry.Snapshot
+	// DecisionRecord is one traced eviction with per-candidate scores.
+	DecisionRecord = telemetry.DecisionRecord
+	// TraceCandidate is one scored candidate inside a DecisionRecord.
+	TraceCandidate = telemetry.TraceCandidate
+)
+
+// Telemetry entry points.
+var (
+	// Telemetry returns the process-wide registry.
+	Telemetry = telemetry.Default
+	// EnableTelemetry turns on process-wide instrumentation: every RunJoin
+	// step is timed, every policy is wrapped with decision instrumentation,
+	// and the flow-solver counters are surfaced. Returns the registry.
+	EnableTelemetry = telemetry.EnableGlobal
+	// DisableTelemetry removes the process-wide hooks (collected metrics
+	// stay readable).
+	DisableTelemetry = telemetry.DisableGlobal
+	// NewTelemetryRegistry builds a private registry for per-operator use
+	// (OperatorConfig.Telemetry).
+	NewTelemetryRegistry = telemetry.NewRegistry
+	// InstrumentPolicy wraps a policy with latency/decision telemetry.
+	InstrumentPolicy = telemetry.InstrumentPolicy
+)
 
 // Interpolation and flow-solver access for advanced use.
 type (
