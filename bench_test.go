@@ -337,6 +337,61 @@ func benchStepEngine(b *testing.B, reg *telemetry.Registry) {
 func BenchmarkStepBare(b *testing.B)         { benchStepEngine(b, nil) }
 func BenchmarkStepInstrumented(b *testing.B) { benchStepEngine(b, telemetry.NewRegistry()) }
 
+// benchmarkStepHot measures one operator Step at steady state (cache full,
+// every step probes, scores all candidates and evicts) — the hot path the
+// BENCH_hotpath.json trajectory tracks. LifetimeEstimate is pinned so α (and
+// with it the HEEB summation horizon) does not scale with the cache size and
+// the cache-size axis isolates candidate-count effects.
+func benchmarkStepHot(b *testing.B, cacheSize, band int, opts policy.HEEBOptions) {
+	b.Helper()
+	procs := [2]process.Process{
+		&process.LinearTrend{Slope: 1, Intercept: -1, Noise: dist.BoundedNormal(2, 12)},
+		&process.LinearTrend{Slope: 1, Intercept: 0, Noise: dist.BoundedNormal(3, 15)},
+	}
+	warm := cacheSize/2 + 4 // steps until the cache is full and evicting
+	n := warm + b.N
+	rng := stats.NewRNG(21)
+	r := procs[0].Generate(rng.Split(), n)
+	s := procs[1].Generate(rng.Split(), n)
+	j, err := engine.NewJoin(engine.Config{
+		CacheSize: cacheSize,
+		Band:      band,
+		Procs:     procs,
+		Policy:    policy.NewHEEB(opts),
+		Seed:      1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for t := 0; t < warm; t++ {
+		j.Step(engine.Tuple{Key: r[t]}, engine.Tuple{Key: s[t]})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for t := warm; t < n; t++ {
+		j.Step(engine.Tuple{Key: r[t]}, engine.Tuple{Key: s[t]})
+	}
+}
+
+// hotOpts is the HEEB configuration the hot-path trajectory is measured
+// under: direct scoring with a pinned lifetime estimate.
+func hotOpts() policy.HEEBOptions {
+	return policy.HEEBOptions{Mode: policy.HEEBDirect, LifetimeEstimate: 32}
+}
+
+func BenchmarkStepHotEquiCache64(b *testing.B)   { benchmarkStepHot(b, 64, 0, hotOpts()) }
+func BenchmarkStepHotEquiCache256(b *testing.B)  { benchmarkStepHot(b, 256, 0, hotOpts()) }
+func BenchmarkStepHotEquiCache1024(b *testing.B) { benchmarkStepHot(b, 1024, 0, hotOpts()) }
+func BenchmarkStepHotBandCache256(b *testing.B)  { benchmarkStepHot(b, 256, 4, hotOpts()) }
+
+// The opt-in parallel scorer on the same workload; the speedup over
+// BenchmarkStepHotEquiCache256 is what the Parallel option buys.
+func BenchmarkStepHotEquiCache256Parallel(b *testing.B) {
+	o := hotOpts()
+	o.Parallel = true
+	benchmarkStepHot(b, 256, 0, o)
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

@@ -70,6 +70,14 @@ func FlowExpectStep(cands []Candidate, procs [2]process.Process, hists [2]*proce
 // (Section 7): a tuple's benefit arcs are zeroed from the step its age
 // exceeds window. window = 0 means regular semantics.
 func FlowExpectStepWindow(cands []Candidate, procs [2]process.Process, hists [2]*process.History, cacheSize, l, window int) (FlowDecision, error) {
+	return FlowExpectStepCached(cands, NewForecastCache(procs, hists), cacheSize, l, window)
+}
+
+// FlowExpectStepCached is FlowExpectStepWindow reading every arc's forecast
+// from a caller-owned per-decision ForecastCache, so the graph construction
+// shares forecasts with whatever else the decision computes (and reuses the
+// cache's capacity across decisions).
+func FlowExpectStepCached(cands []Candidate, fc *ForecastCache, cacheSize, l, window int) (FlowDecision, error) {
 	if l < 1 {
 		return FlowDecision{}, errors.New("core: FlowExpect look-ahead must be >= 1")
 	}
@@ -109,14 +117,7 @@ func FlowExpectStepWindow(cands []Candidate, procs [2]process.Process, hists [2]
 		return entities[e].arriveOff
 	}
 
-	// Forecast cache: PMFs of each stream's arrival at offset 1..l.
-	var fc [2][]dist.PMF
-	forecast := func(s StreamID, off int) dist.PMF {
-		for len(fc[s]) < off {
-			fc[s] = append(fc[s], procs[s].Forecast(hists[s], len(fc[s])+1))
-		}
-		return fc[s][off-1]
-	}
+	forecast := fc.At
 	// benefit(e, off): expected result tuples produced by keeping entity e
 	// in cache through the arrival at offset off (time t0+off). Under
 	// window semantics a tuple older than the window earns nothing.

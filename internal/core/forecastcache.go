@@ -1,0 +1,69 @@
+package core
+
+import (
+	"stochstream/internal/dist"
+	"stochstream/internal/process"
+)
+
+// ForecastCache memoizes the conditional forecasts Pr{X^s_{t0+Δt} = · | x̄_{t0}}
+// of both streams for one replacement decision. Every HEEB score and every
+// FlowExpect graph arc at a decision conditions on the same histories, so the
+// Δt-step partner forecast is identical for every candidate — yet the seed
+// implementation re-derived it per candidate per horizon step, making the
+// number of Forecast calls O(candidates × horizon) instead of O(horizon).
+// Policies hold one cache, Rebind it at the start of each decision, and share
+// it across all candidates of that decision.
+//
+// A ForecastCache is not safe for concurrent mutation. Parallel scorers must
+// Warm the needed horizon first; once a Δt is materialized, At is a read-only
+// slice access and may be called from multiple goroutines.
+type ForecastCache struct {
+	procs [2]process.Process
+	hists [2]*process.History
+	fc    [2][]dist.PMF
+}
+
+// NewForecastCache returns a cache over the given models and histories. Nil
+// processes are allowed as long as At is never called for their stream.
+func NewForecastCache(procs [2]process.Process, hists [2]*process.History) *ForecastCache {
+	return &ForecastCache{procs: procs, hists: hists}
+}
+
+// Rebind invalidates every memoized forecast and points the cache at the
+// given histories, keeping the slice capacity. Call it at the start of each
+// decision: the histories advance between decisions, so forecasts memoized at
+// an earlier t0 are stale even when the pointers are unchanged.
+func (c *ForecastCache) Rebind(procs [2]process.Process, hists [2]*process.History) {
+	c.procs = procs
+	c.hists = hists
+	c.fc[0] = c.fc[0][:0]
+	c.fc[1] = c.fc[1][:0]
+}
+
+// At returns the Δt-step forecast of stream s, memoizing it (and any missing
+// shorter horizon) on first use. dt must be >= 1.
+func (c *ForecastCache) At(s StreamID, dt int) dist.PMF {
+	f := c.fc[s]
+	if len(f) < dt {
+		// Write the header back only when the cache actually grew: a warmed
+		// read must be a pure load so concurrent readers don't race on the
+		// slice header store.
+		for len(f) < dt {
+			f = append(f, c.procs[s].Forecast(c.hists[s], len(f)+1))
+		}
+		c.fc[s] = f
+	}
+	return f[dt-1]
+}
+
+// Warm materializes forecasts 1..horizon of stream s so that subsequent At
+// calls up to that horizon mutate nothing — the prewarm step parallel scoring
+// relies on before fanning out read-only workers.
+func (c *ForecastCache) Warm(s StreamID, horizon int) {
+	if horizon >= 1 {
+		c.At(s, horizon)
+	}
+}
+
+// Len returns how many horizon steps of stream s are currently materialized.
+func (c *ForecastCache) Len(s StreamID) int { return len(c.fc[s]) }

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"stochstream/internal/dist"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+func fcFixture(t *testing.T) ([2]process.Process, [2]*process.History) {
+	t.Helper()
+	procs := [2]process.Process{
+		&process.LinearTrend{Slope: 1, Intercept: -2, Noise: dist.BoundedNormal(2, 9)},
+		&process.AR1{Phi0: 10, Phi1: 0.6, Sigma: 3, Init: 25},
+	}
+	rng := stats.NewRNG(7)
+	hists := [2]*process.History{
+		process.NewHistory(procs[0].Generate(rng.Split(), 40)...),
+		process.NewHistory(procs[1].Generate(rng.Split(), 40)...),
+	}
+	return procs, hists
+}
+
+// The cache must hand back the same forecasts the process would produce, and
+// computing each exactly once must be observable through Len.
+func TestForecastCacheMemoizes(t *testing.T) {
+	procs, hists := fcFixture(t)
+	fc := NewForecastCache(procs, hists)
+	for _, s := range []StreamID{StreamR, StreamS} {
+		for dt := 1; dt <= 12; dt++ {
+			got := fc.At(s, dt)
+			want := procs[s].Forecast(hists[s], dt)
+			for v := -30; v <= 60; v++ {
+				if got.Prob(v) != want.Prob(v) {
+					t.Fatalf("stream %v dt %d v %d: cached %g != direct %g", s, dt, v, got.Prob(v), want.Prob(v))
+				}
+			}
+		}
+		if fc.Len(s) != 12 {
+			t.Fatalf("stream %v Len = %d, want 12", s, fc.Len(s))
+		}
+		// Re-reading a shorter horizon must not grow the cache.
+		fc.At(s, 3)
+		if fc.Len(s) != 12 {
+			t.Fatalf("stream %v Len after re-read = %d", s, fc.Len(s))
+		}
+	}
+}
+
+func TestForecastCacheRebindInvalidates(t *testing.T) {
+	procs, hists := fcFixture(t)
+	fc := NewForecastCache(procs, hists)
+	before := fc.At(StreamR, 1).Prob(hists[0].Last() + 1)
+	// Advance the history; without Rebind the stale forecast would survive.
+	hists[0].Append(hists[0].Last() + 1)
+	hists[1].Append(hists[1].Last())
+	fc.Rebind(procs, hists)
+	if fc.Len(StreamR) != 0 || fc.Len(StreamS) != 0 {
+		t.Fatalf("Rebind kept %d/%d forecasts", fc.Len(StreamR), fc.Len(StreamS))
+	}
+	after := fc.At(StreamR, 1)
+	want := procs[0].Forecast(hists[0], 1)
+	if after.Prob(0) != want.Prob(0) {
+		t.Fatalf("rebound forecast mismatch: %g != %g", after.Prob(0), want.Prob(0))
+	}
+	_ = before
+}
+
+// The cached scoring forms must be bitwise-identical to the direct ones: the
+// loops are shared kernels, so any drift here is a real regression.
+func TestCachedScoringBitwiseEqualsDirect(t *testing.T) {
+	procs, hists := fcFixture(t)
+	fc := NewForecastCache(procs, hists)
+	l := LExp{Alpha: 12}
+	lt := TabulateL(l, 0)
+	for v := -10; v <= 50; v += 3 {
+		for _, s := range []StreamID{StreamR, StreamS} {
+			direct := JoinH(procs[s], hists[s], v, l, 0)
+			cached := JoinHCached(fc, s, v, l, 0)
+			if direct != cached {
+				t.Fatalf("JoinH stream %v v %d: direct %v != cached %v", s, v, direct, cached)
+			}
+			tabbed := JoinHCached(fc, s, v, lt, 0)
+			if direct != tabbed {
+				t.Fatalf("JoinH stream %v v %d: direct %v != tabulated-L %v", s, v, direct, tabbed)
+			}
+			bd := BandJoinH(procs[s], hists[s], v, 3, l, 0)
+			bc := BandJoinHCached(fc, s, v, 3, l, 0)
+			if bd != bc {
+				t.Fatalf("BandJoinH stream %v v %d: direct %v != cached %v", s, v, bd, bc)
+			}
+			ed := BandJoinECB(procs[s], hists[s], v, 2, 32)
+			ec := BandJoinECBCached(fc, s, v, 2, 32)
+			for i := range ed {
+				if ed[i] != ec[i] {
+					t.Fatalf("BandJoinECB stream %v v %d dt %d: %v != %v", s, v, i+1, ed[i], ec[i])
+				}
+			}
+		}
+	}
+}
+
+// LTable must be value-for-value interchangeable with its inner function,
+// inside and beyond the tabulated horizon, with and without a window clip.
+func TestLTableMatchesInner(t *testing.T) {
+	l := LExp{Alpha: 7}
+	lt := TabulateL(l, 0)
+	horizon := HorizonFor(l, 0)
+	for dt := 1; dt <= horizon+10; dt++ {
+		if lt.At(dt) != l.At(dt) {
+			t.Fatalf("LTable.At(%d) = %v, inner %v", dt, lt.At(dt), l.At(dt))
+		}
+	}
+	if lt.Horizon(DefaultEps) != l.Horizon(DefaultEps) {
+		t.Fatalf("Horizon %d != %d", lt.Horizon(DefaultEps), l.Horizon(DefaultEps))
+	}
+	wTab := LWindow{Inner: lt, Remaining: 5}
+	wDir := LWindow{Inner: l, Remaining: 5}
+	for dt := 1; dt <= 12; dt++ {
+		if wTab.At(dt) != wDir.At(dt) {
+			t.Fatalf("windowed LTable.At(%d) = %v, want %v", dt, wTab.At(dt), wDir.At(dt))
+		}
+	}
+	if err := CheckLProperties(lt, horizon, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FlowExpectStepCached must decide exactly as the uncached entry point.
+func TestFlowExpectStepCachedEquivalent(t *testing.T) {
+	procs, hists := fcFixture(t)
+	cands := make([]Candidate, 9)
+	for i := range cands {
+		cands[i] = Candidate{Value: 20 + i, Stream: StreamID(i % 2), Age: i % 4}
+	}
+	for _, window := range []int{0, 3} {
+		want, err := FlowExpectStepWindow(cands, procs, hists, 6, 8, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc := NewForecastCache(procs, hists)
+		got, err := FlowExpectStepCached(cands, fc, 6, 8, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Keep) != len(want.Keep) || got.ExpectedBenefit != want.ExpectedBenefit {
+			t.Fatalf("window %d: cached %+v != direct %+v", window, got, want)
+		}
+		for i := range got.Keep {
+			if got.Keep[i] != want.Keep[i] {
+				t.Fatalf("window %d: keep[%d] = %d, want %d", window, i, got.Keep[i], want.Keep[i])
+			}
+		}
+	}
+}

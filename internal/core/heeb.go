@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"stochstream/internal/dist"
 	"stochstream/internal/process"
 )
 
@@ -41,20 +42,35 @@ func HFromECB(b ECB, l LFunc) float64 {
 	return h
 }
 
-// JoinH computes HEEB's score for a candidate tuple with value v in the
-// joining problem, via the equivalent form
-// H_x = Σ_{Δt≥1} Pr{X^partner_{t0+Δt} = v | x̄_{t0}}·L(Δt)
-// (Section 4.3). fallbackHorizon bounds the sum when L does not decay.
-func JoinH(partner process.Process, h *process.History, v int, l LFunc, fallbackHorizon int) float64 {
+// joinHSum is the summation kernel shared by JoinH and JoinHCached: both
+// paths run the identical loop over the identical forecasts, so the cached
+// variant is bitwise-equal to the direct one — the property the differential
+// harness in internal/engine asserts.
+func joinHSum(forecast func(dt int) dist.PMF, v int, l LFunc, fallbackHorizon int) float64 {
 	horizon := HorizonFor(l, fallbackHorizon)
 	var sum float64
 	for dt := 1; dt <= horizon; dt++ {
-		p := partner.Forecast(h, dt).Prob(v)
+		p := forecast(dt).Prob(v)
 		if p != 0 {
 			sum += p * l.At(dt)
 		}
 	}
 	return sum
+}
+
+// JoinH computes HEEB's score for a candidate tuple with value v in the
+// joining problem, via the equivalent form
+// H_x = Σ_{Δt≥1} Pr{X^partner_{t0+Δt} = v | x̄_{t0}}·L(Δt)
+// (Section 4.3). fallbackHorizon bounds the sum when L does not decay.
+func JoinH(partner process.Process, h *process.History, v int, l LFunc, fallbackHorizon int) float64 {
+	return joinHSum(func(dt int) dist.PMF { return partner.Forecast(h, dt) }, v, l, fallbackHorizon)
+}
+
+// JoinHCached is JoinH reading the partner forecasts from a per-decision
+// ForecastCache instead of re-deriving them: scoring k candidates of a
+// decision costs O(horizon) Forecast calls in total instead of O(k·horizon).
+func JoinHCached(fc *ForecastCache, partner StreamID, v int, l LFunc, fallbackHorizon int) float64 {
+	return joinHSum(func(dt int) dist.PMF { return fc.At(partner, dt) }, v, l, fallbackHorizon)
 }
 
 // CacheH computes HEEB's score for a candidate database tuple with value v

@@ -89,6 +89,38 @@ func (l LExp) Horizon(eps float64) int {
 	return int(math.Ceil(l.Alpha*math.Log(1/eps))) + 1
 }
 
+// LTable is an LFunc whose leading values are tabulated once and then read
+// from a slice: the HEEB summation evaluates L(Δt) per candidate per horizon
+// step, which for LExp means a math.Exp call each — identical across all
+// candidates of a decision. Values beyond the table (and Horizon) delegate to
+// the inner function, so an LTable is value-for-value interchangeable with
+// the LFunc it tabulates.
+type LTable struct {
+	inner LFunc
+	vals  []float64
+}
+
+// TabulateL tabulates l over Δt = 1..HorizonFor(l, fallbackHorizon).
+func TabulateL(l LFunc, fallbackHorizon int) LTable {
+	horizon := HorizonFor(l, fallbackHorizon)
+	vals := make([]float64, horizon)
+	for dt := 1; dt <= horizon; dt++ {
+		vals[dt-1] = l.At(dt)
+	}
+	return LTable{inner: l, vals: vals}
+}
+
+// At implements LFunc.
+func (l LTable) At(dt int) float64 {
+	if dt <= len(l.vals) {
+		return l.vals[dt-1]
+	}
+	return l.inner.At(dt)
+}
+
+// Horizon implements LFunc by delegating to the tabulated function.
+func (l LTable) Horizon(eps float64) int { return l.inner.Horizon(eps) }
+
 // LWindow clips an inner L function to sliding-window semantics (Section 7):
 // the survival probability is zero from the step the tuple leaves the
 // window. Remaining is the number of steps the tuple has left inside the

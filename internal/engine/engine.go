@@ -4,12 +4,21 @@
 // replacement policy under the cache budget, and exposes cache snapshots and
 // running metrics. The batch simulator in internal/join is the measurement
 // harness; this is the adoption surface.
+//
+// The hot path is indexed: equijoins probe a per-stream hash index on the
+// join key, band joins probe a per-stream ordered (value, ID) index, and
+// window expiry is a binary-search prefix cut instead of a scan. All
+// per-step scratch (candidate tuples, eviction marks, match buffers, the
+// output slice) is reused across steps. ReferenceJoin in this package is the
+// obvious linear-scan implementation with identical semantics; the
+// differential tests hold the two byte-identical.
 package engine
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"stochstream/internal/core"
@@ -74,7 +83,11 @@ type Metrics struct {
 	Pairs         int
 	SameTimePairs int
 	Evictions     int
-	CacheLen      int
+	// Expired counts window-expired tuples pruned from the cache before
+	// candidate assembly. Pruned slots are immediately reusable, so they
+	// never consume replacement decisions.
+	Expired  int
+	CacheLen int
 }
 
 // Join is a step-driven binary stream join operator. It is not safe for
@@ -84,17 +97,38 @@ type Join struct {
 	policy join.Policy
 	hists  [2]*process.History
 	state  *join.State
+	// cache holds the admitted entries in ascending ID order, which is also
+	// arrival order — Step appends fresh IDs and evictions preserve order.
+	// Two invariants follow: Arrived is nondecreasing along the slice (so
+	// window expiry is a prefix), and iterating the cache front to back is
+	// the seed implementation's emission order.
 	cache  []entry
 	nextID int
 	time   int
 	m      Metrics
 
+	// equi indexes the cache for Band == 0: per stream, join key → IDs of
+	// cached entries with that key, ascending. Empty buckets are deleted so
+	// a drifting key domain (the trend models) cannot leak memory.
+	equi [2]map[int][]int
+	// ord indexes the cache for Band > 0: per stream, (value, ID) ascending,
+	// probed by binary search over the band interval.
+	ord [2][]valID
+
+	// Step-scoped scratch, reused across steps.
+	out    []Pair
+	tuples []join.Tuple
+	drop   []bool
+	probeR []int
+	probeS []int
+
 	// Telemetry handles, resolved once in NewJoin so Step pays only clock
 	// reads and atomic writes; all nil when Config.Telemetry is nil.
-	stepLatency *telemetry.Histogram
-	stepCount   *telemetry.Counter
-	pairCount   *telemetry.Counter
-	evictCount  *telemetry.Counter
+	stepLatency  *telemetry.Histogram
+	stepCount    *telemetry.Counter
+	pairCount    *telemetry.Counter
+	evictCount   *telemetry.Counter
+	expiredCount *telemetry.Counter
 }
 
 type entry struct {
@@ -102,19 +136,15 @@ type entry struct {
 	payload interface{}
 }
 
+// valID is one ordered-index posting.
+type valID struct{ v, id int }
+
 // NewJoin validates the configuration and builds the operator.
 func NewJoin(cfg Config) (*Join, error) {
 	if cfg.CacheSize < 1 {
 		return nil, errors.New("engine: cache size must be >= 1")
 	}
-	pol := cfg.Policy
-	if pol == nil {
-		if cfg.Procs[0] != nil && cfg.Procs[1] != nil {
-			pol = newDefaultHEEB()
-		} else {
-			pol = &randPolicy{}
-		}
-	}
+	pol := defaultPolicy(cfg)
 	if cfg.Telemetry != nil {
 		pol = telemetry.InstrumentPolicy(pol, cfg.Telemetry)
 	}
@@ -123,11 +153,15 @@ func NewJoin(cfg Config) (*Join, error) {
 		policy: pol,
 		hists:  [2]*process.History{process.NewHistory(), process.NewHistory()},
 	}
+	if cfg.Band == 0 {
+		j.equi = [2]map[int][]int{{}, {}}
+	}
 	if reg := cfg.Telemetry; reg != nil {
 		j.stepLatency = reg.Histogram("engine_step_latency_ns")
 		j.stepCount = reg.Counter("engine_steps_total")
 		j.pairCount = reg.Counter("engine_pairs_total")
 		j.evictCount = reg.Counter("engine_evictions_total")
+		j.expiredCount = reg.Counter("engine_expired_total")
 	}
 	simCfg := join.Config{
 		CacheSize: cfg.CacheSize,
@@ -145,6 +179,9 @@ func NewJoin(cfg Config) (*Join, error) {
 // model) and returns the result pairs produced at this step. Same-time
 // arrivals are joined and emitted too — a real operator must deliver them
 // even though replacement policies cannot influence them.
+//
+// The returned slice is owned by the operator and valid only until the next
+// Step call; callers that retain pairs must copy them.
 func (j *Join) Step(r, s Tuple) []Pair {
 	var start time.Time
 	if j.stepLatency != nil {
@@ -157,77 +194,207 @@ func (j *Join) Step(r, s Tuple) []Pair {
 	j.hists[core.StreamS].Append(s.Key)
 	j.state.Time = t
 
-	var out []Pair
-	match := func(a, b int) bool {
-		if a == process.NoValue || b == process.NoValue {
-			return false
-		}
-		d := a - b
-		if d < 0 {
-			d = -d
-		}
-		return d <= j.cfg.Band
-	}
-	for _, c := range j.cache {
-		if j.cfg.Window > 0 && t-c.t.Arrived > j.cfg.Window {
-			continue
-		}
-		ct := Tuple{Key: c.t.Value, Payload: c.payload}
-		switch c.t.Stream {
-		case core.StreamR:
-			if match(c.t.Value, s.Key) {
-				out = append(out, Pair{Time: t, R: ct, S: s})
-			}
-		case core.StreamS:
-			if match(c.t.Value, r.Key) {
-				out = append(out, Pair{Time: t, R: r, S: ct})
-			}
-		}
-	}
-	if match(r.Key, s.Key) {
-		out = append(out, Pair{Time: t, R: r, S: s, SameTime: true})
-		j.m.SameTimePairs++
-	}
-	j.m.Pairs += len(out)
+	j.pruneExpired(t)
+	out := j.emitMatches(t, r, s)
 
-	// Admission + replacement, mirroring the simulator's candidate order.
-	newEntries := []entry{
-		{t: join.Tuple{ID: j.nextID, Value: r.Key, Stream: core.StreamR, Arrived: t}, payload: r.Payload},
-		{t: join.Tuple{ID: j.nextID + 1, Value: s.Key, Stream: core.StreamS, Arrived: t}, payload: s.Payload},
-	}
+	// Admission + replacement, mirroring the simulator's candidate order:
+	// cached entries in cache order, then the two arrivals.
+	rT := join.Tuple{ID: j.nextID, Value: r.Key, Stream: core.StreamR, Arrived: t}
+	sT := join.Tuple{ID: j.nextID + 1, Value: s.Key, Stream: core.StreamS, Arrived: t}
 	j.nextID += 2
-	cands := append(append(make([]entry, 0, len(j.cache)+2), j.cache...), newEntries...)
-	need := len(cands) - j.cfg.CacheSize
+	need := len(j.cache) + 2 - j.cfg.CacheSize
 	if need <= 0 {
-		j.cache = cands
+		j.admit(entry{t: rT, payload: r.Payload})
+		j.admit(entry{t: sT, payload: s.Payload})
 		j.record(start, len(out), 0)
 		return out
 	}
-	tuples := make([]join.Tuple, len(cands))
-	for i, c := range cands {
-		tuples[i] = c.t
+	j.tuples = j.tuples[:0]
+	for i := range j.cache {
+		j.tuples = append(j.tuples, j.cache[i].t)
 	}
-	evict := j.policy.Evict(j.state, tuples, need)
+	j.tuples = append(j.tuples, rT, sT)
+	evict := j.policy.Evict(j.state, j.tuples, need)
 	if len(evict) != need {
 		panic(fmt.Sprintf("engine: policy %s returned %d evictions, need %d", j.policy.Name(), len(evict), need))
 	}
-	drop := make(map[int]bool, need)
+	total := len(j.tuples)
+	if cap(j.drop) < total {
+		j.drop = make([]bool, total)
+	}
+	drop := j.drop[:total]
 	for _, i := range evict {
-		if i < 0 || i >= len(cands) || drop[i] {
+		if i < 0 || i >= total || drop[i] {
 			panic(fmt.Sprintf("engine: policy %s returned invalid eviction %d", j.policy.Name(), i))
 		}
 		drop[i] = true
 	}
 	j.m.Evictions += need
-	kept := j.cache[:0]
-	for i, c := range cands {
-		if !drop[i] {
-			kept = append(kept, c)
+	nCached := total - 2
+	kept := j.cache[:0] // forward compaction: write index never passes read index
+	for i := 0; i < nCached; i++ {
+		if drop[i] {
+			j.indexRemove(&j.cache[i])
+		} else {
+			kept = append(kept, j.cache[i])
 		}
 	}
 	j.cache = kept
+	if !drop[nCached] {
+		j.admit(entry{t: rT, payload: r.Payload})
+	}
+	if !drop[nCached+1] {
+		j.admit(entry{t: sT, payload: s.Payload})
+	}
+	for _, i := range evict {
+		drop[i] = false
+	}
 	j.record(start, len(out), need)
 	return out
+}
+
+// pruneExpired evicts every window-expired entry before candidate assembly.
+// Arrival times are nondecreasing along the ID-ordered cache, so the expired
+// entries form a prefix found by binary search.
+func (j *Join) pruneExpired(t int) {
+	w := j.cfg.Window
+	if w <= 0 || len(j.cache) == 0 {
+		return
+	}
+	cut := sort.Search(len(j.cache), func(i int) bool { return t-j.cache[i].t.Arrived <= w })
+	if cut == 0 {
+		return
+	}
+	for i := 0; i < cut; i++ {
+		j.indexRemove(&j.cache[i])
+	}
+	j.m.Expired += cut
+	if j.expiredCount != nil {
+		j.expiredCount.Add(int64(cut))
+	}
+	j.cache = append(j.cache[:0], j.cache[cut:]...)
+}
+
+// emitMatches probes the index with both arrivals and emits the resulting
+// pairs in cache (ID) order — exactly the order a front-to-back linear scan
+// produces — followed by the same-time pair if the arrivals match.
+func (j *Join) emitMatches(t int, r, s Tuple) []Pair {
+	out := j.out[:0]
+	rm := j.probeMatches(core.StreamR, s.Key, j.probeR[:0])
+	sm := j.probeMatches(core.StreamS, r.Key, j.probeS[:0])
+	j.probeR, j.probeS = rm, sm
+	// Merge the two ID-ascending match lists; an entry appears in at most
+	// one of them (they are disjoint streams).
+	i, k := 0, 0
+	for i < len(rm) || k < len(sm) {
+		if k >= len(sm) || (i < len(rm) && rm[i] < sm[k]) {
+			e := j.entryByID(rm[i])
+			i++
+			out = append(out, Pair{Time: t, R: Tuple{Key: e.t.Value, Payload: e.payload}, S: s})
+		} else {
+			e := j.entryByID(sm[k])
+			k++
+			out = append(out, Pair{Time: t, R: r, S: Tuple{Key: e.t.Value, Payload: e.payload}})
+		}
+	}
+	if keysMatch(r.Key, s.Key, j.cfg.Band) {
+		out = append(out, Pair{Time: t, R: r, S: s, SameTime: true})
+		j.m.SameTimePairs++
+	}
+	j.m.Pairs += len(out)
+	j.out = out
+	return out
+}
+
+// probeMatches appends the IDs of cached entries on the given stream whose
+// value joins an arrival with key k, in ascending ID order.
+func (j *Join) probeMatches(side core.StreamID, k int, ids []int) []int {
+	if k == process.NoValue {
+		return ids
+	}
+	if j.cfg.Band == 0 {
+		return append(ids, j.equi[side][k]...)
+	}
+	ord := j.ord[side]
+	lo, hi := k-j.cfg.Band, k+j.cfg.Band
+	n0 := len(ids)
+	i := sort.Search(len(ord), func(x int) bool { return ord[x].v >= lo })
+	for ; i < len(ord) && ord[i].v <= hi; i++ {
+		ids = append(ids, ord[i].id)
+	}
+	// The interval is value-ordered; restore ID order for emission.
+	sort.Ints(ids[n0:])
+	return ids
+}
+
+// entryByID locates a cached entry by its (index-supplied, hence present)
+// ID via binary search over the ID-ordered cache.
+func (j *Join) entryByID(id int) *entry {
+	i := sort.Search(len(j.cache), func(k int) bool { return j.cache[k].t.ID >= id })
+	return &j.cache[i]
+}
+
+// admit appends an entry to the cache and indexes it. Admissions always
+// carry the largest IDs seen so far, preserving the cache's ID order.
+func (j *Join) admit(e entry) {
+	j.cache = append(j.cache, e)
+	j.indexAdd(&j.cache[len(j.cache)-1])
+}
+
+func (j *Join) indexAdd(e *entry) {
+	if e.t.Value == process.NoValue {
+		return // can never join; not worth a posting
+	}
+	if j.cfg.Band == 0 {
+		j.equi[e.t.Stream][e.t.Value] = append(j.equi[e.t.Stream][e.t.Value], e.t.ID)
+		return
+	}
+	ord := j.ord[e.t.Stream]
+	x := valID{v: e.t.Value, id: e.t.ID}
+	i := sort.Search(len(ord), func(k int) bool {
+		return ord[k].v > x.v || (ord[k].v == x.v && ord[k].id >= x.id)
+	})
+	ord = append(ord, valID{})
+	copy(ord[i+1:], ord[i:])
+	ord[i] = x
+	j.ord[e.t.Stream] = ord
+}
+
+func (j *Join) indexRemove(e *entry) {
+	if e.t.Value == process.NoValue {
+		return
+	}
+	if j.cfg.Band == 0 {
+		b := j.equi[e.t.Stream]
+		ids := b[e.t.Value]
+		i := sort.SearchInts(ids, e.t.ID)
+		ids = append(ids[:i], ids[i+1:]...)
+		if len(ids) == 0 {
+			delete(b, e.t.Value)
+		} else {
+			b[e.t.Value] = ids
+		}
+		return
+	}
+	ord := j.ord[e.t.Stream]
+	i := sort.Search(len(ord), func(k int) bool {
+		return ord[k].v > e.t.Value || (ord[k].v == e.t.Value && ord[k].id >= e.t.ID)
+	})
+	j.ord[e.t.Stream] = append(ord[:i], ord[i+1:]...)
+}
+
+// keysMatch reports whether two join keys match under the band predicate;
+// NoValue never matches (and is kept away from the band arithmetic, whose
+// interval endpoints would be meaningless near it).
+func keysMatch(a, b, band int) bool {
+	if a == process.NoValue || b == process.NoValue {
+		return false
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= band
 }
 
 // record publishes one step's telemetry; a no-op without a registry.
@@ -287,6 +454,18 @@ func (j *Join) Run(ctx context.Context, in <-chan Input, out chan<- Pair) error 
 			}
 		}
 	}
+}
+
+// defaultPolicy resolves Config.Policy: HEEB when models are available,
+// RAND otherwise.
+func defaultPolicy(cfg Config) join.Policy {
+	if cfg.Policy != nil {
+		return cfg.Policy
+	}
+	if cfg.Procs[0] != nil && cfg.Procs[1] != nil {
+		return newDefaultHEEB()
+	}
+	return &randPolicy{}
 }
 
 // newDefaultHEEB builds the default model-driven policy: direct HEEB with α

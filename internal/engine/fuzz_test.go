@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"testing"
+
+	"stochstream/internal/join"
+	"stochstream/internal/policy"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+// FuzzStepEquivalence fuzzes the indexed operator against the reference
+// oracle over short random traces. cfgBits packs the configuration so every
+// corpus entry is two uint64s:
+//
+//	bits 0..4   cache size − 1   (1..32)
+//	bits 5..9   window           (0..31; 0 disables)
+//	bits 10..11 band             (0..3)
+//	bits 12..13 policy           (0 HEEB, 1 PROB, 2 RAND, 3 HEEB+parallel)
+//	bit  14     key source       (0 model trace, 1 raw small-domain keys)
+//
+// Raw small-domain keys maximize match density and occasionally inject
+// NoValue arrivals, exercising the index's refusal to post them.
+func FuzzStepEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint64(0))
+	f.Add(uint64(2), uint64(1<<14|3|7<<5))      // cache 4, window 7, raw keys
+	f.Add(uint64(3), uint64(15|2<<10))          // cache 16, band 2
+	f.Add(uint64(4), uint64(7|12<<5|1<<10))     // cache 8, window 12, band 1
+	f.Add(uint64(5), uint64(31|1<<12))          // cache 32, PROB
+	f.Add(uint64(6), uint64(9|2<<12|1<<14))     // cache 10, RAND, raw keys
+	f.Add(uint64(7), uint64(15|3<<12))          // cache 16, HEEB parallel
+	f.Add(uint64(8), uint64(3|20<<5|3<<10|1<<12|1<<14)) // kitchen sink
+	f.Fuzz(func(t *testing.T, seed, cfgBits uint64) {
+		cacheSize := int(cfgBits&31) + 1
+		window := int(cfgBits >> 5 & 31)
+		band := int(cfgBits >> 10 & 3)
+		polSel := int(cfgBits >> 12 & 3)
+		rawKeys := cfgBits>>14&1 == 1
+		const n = 250
+
+		procs := trendProcs()
+		var r, s []int
+		if rawKeys {
+			rng := stats.NewRNG(seed)
+			r, s = make([]int, n), make([]int, n)
+			for i := 0; i < n; i++ {
+				r[i], s[i] = rng.IntN(24), rng.IntN(24)
+				if rng.IntN(16) == 0 {
+					r[i] = process.NoValue
+				}
+				if rng.IntN(16) == 0 {
+					s[i] = process.NoValue
+				}
+			}
+		} else {
+			rng := stats.NewRNG(seed)
+			r = procs[0].Generate(rng.Split(), n)
+			s = procs[1].Generate(rng.Split(), n)
+		}
+
+		mk := func() join.Policy {
+			switch polSel {
+			case 1:
+				return &policy.Prob{}
+			case 2:
+				return &policy.Rand{}
+			case 3:
+				return policy.NewHEEB(policy.HEEBOptions{
+					Mode: policy.HEEBDirect, LifetimeEstimate: 3,
+					Parallel: true, ParallelThreshold: 1,
+				})
+			default:
+				return policy.NewHEEB(policy.HEEBOptions{Mode: policy.HEEBDirect, LifetimeEstimate: 3})
+			}
+		}
+		cfg := Config{CacheSize: cacheSize, Window: window, Band: band, Seed: seed}
+		if polSel == 0 || polSel == 3 {
+			cfg.Procs = procs
+		}
+		cfgOp, cfgRef := cfg, cfg
+		cfgOp.Policy, cfgRef.Policy = mk(), mk()
+		op, err := NewJoin(cfgOp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewReferenceJoin(cfgRef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			po := op.Step(Tuple{Key: r[i]}, Tuple{Key: s[i]})
+			pr := ref.Step(Tuple{Key: r[i]}, Tuple{Key: s[i]})
+			if !pairsEqual(po, pr) {
+				t.Fatalf("step %d pairs diverge (cache %d window %d band %d pol %d raw %v):\n  op  %v\n  ref %v",
+					i, cacheSize, window, band, polSel, rawKeys, po, pr)
+			}
+		}
+		if !snapshotsEqual(op.Snapshot(), ref.Snapshot()) {
+			t.Fatalf("final caches diverge:\n  op  %v\n  ref %v", op.Snapshot(), ref.Snapshot())
+		}
+		if op.Metrics() != ref.Metrics() {
+			t.Fatalf("metrics diverge:\n  op  %+v\n  ref %+v", op.Metrics(), ref.Metrics())
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"stochstream/internal/core"
+	"stochstream/internal/join"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+// ReferenceJoin is the obvious implementation of the operator: a linear scan
+// over the cache for matching, per-step allocations, and a full candidate
+// copy for every replacement decision. It exists as the oracle for the
+// differential and fuzz tests — and for the before/after benchmarks — so the
+// indexed Join can be held byte-identical to something trivially auditable.
+// Its semantics are the operator's semantics, including the eager pruning of
+// window-expired entries before candidate assembly.
+//
+// It ignores Config.Telemetry; instrument the real operator instead.
+type ReferenceJoin struct {
+	cfg    Config
+	policy join.Policy
+	hists  [2]*process.History
+	state  *join.State
+	cache  []entry
+	nextID int
+	time   int
+	m      Metrics
+}
+
+// NewReferenceJoin validates the configuration and builds the oracle.
+func NewReferenceJoin(cfg Config) (*ReferenceJoin, error) {
+	if cfg.CacheSize < 1 {
+		return nil, errors.New("engine: cache size must be >= 1")
+	}
+	j := &ReferenceJoin{
+		cfg:    cfg,
+		policy: defaultPolicy(cfg),
+		hists:  [2]*process.History{process.NewHistory(), process.NewHistory()},
+	}
+	simCfg := join.Config{
+		CacheSize: cfg.CacheSize,
+		Window:    cfg.Window,
+		Band:      cfg.Band,
+		Warmup:    0,
+		Procs:     cfg.Procs,
+	}
+	j.state = &join.State{Hists: j.hists, Config: simCfg, RNG: stats.NewRNG(cfg.Seed)}
+	j.policy.Reset(simCfg, stats.NewRNG(cfg.Seed+1))
+	return j, nil
+}
+
+// Step is Join.Step written the straightforward way. Unlike Join.Step, the
+// returned slice is freshly allocated every call.
+func (j *ReferenceJoin) Step(r, s Tuple) []Pair {
+	t := j.time
+	j.time++
+	j.m.Steps++
+	j.hists[core.StreamR].Append(r.Key)
+	j.hists[core.StreamS].Append(s.Key)
+	j.state.Time = t
+
+	// Eager pruning of window-expired entries, as a plain filter.
+	if j.cfg.Window > 0 {
+		kept := j.cache[:0]
+		for _, c := range j.cache {
+			if t-c.t.Arrived > j.cfg.Window {
+				j.m.Expired++
+				continue
+			}
+			kept = append(kept, c)
+		}
+		j.cache = kept
+	}
+
+	var out []Pair
+	for _, c := range j.cache {
+		ct := Tuple{Key: c.t.Value, Payload: c.payload}
+		switch c.t.Stream {
+		case core.StreamR:
+			if keysMatch(c.t.Value, s.Key, j.cfg.Band) {
+				out = append(out, Pair{Time: t, R: ct, S: s})
+			}
+		case core.StreamS:
+			if keysMatch(c.t.Value, r.Key, j.cfg.Band) {
+				out = append(out, Pair{Time: t, R: r, S: ct})
+			}
+		}
+	}
+	if keysMatch(r.Key, s.Key, j.cfg.Band) {
+		out = append(out, Pair{Time: t, R: r, S: s, SameTime: true})
+		j.m.SameTimePairs++
+	}
+	j.m.Pairs += len(out)
+
+	newEntries := []entry{
+		{t: join.Tuple{ID: j.nextID, Value: r.Key, Stream: core.StreamR, Arrived: t}, payload: r.Payload},
+		{t: join.Tuple{ID: j.nextID + 1, Value: s.Key, Stream: core.StreamS, Arrived: t}, payload: s.Payload},
+	}
+	j.nextID += 2
+	cands := append(append(make([]entry, 0, len(j.cache)+2), j.cache...), newEntries...)
+	need := len(cands) - j.cfg.CacheSize
+	if need <= 0 {
+		j.cache = cands
+		return out
+	}
+	tuples := make([]join.Tuple, len(cands))
+	for i, c := range cands {
+		tuples[i] = c.t
+	}
+	evict := j.policy.Evict(j.state, tuples, need)
+	if len(evict) != need {
+		panic(fmt.Sprintf("engine: policy %s returned %d evictions, need %d", j.policy.Name(), len(evict), need))
+	}
+	drop := make(map[int]bool, need)
+	for _, i := range evict {
+		if i < 0 || i >= len(cands) || drop[i] {
+			panic(fmt.Sprintf("engine: policy %s returned invalid eviction %d", j.policy.Name(), i))
+		}
+		drop[i] = true
+	}
+	j.m.Evictions += need
+	kept := j.cache[:0]
+	for i, c := range cands {
+		if !drop[i] {
+			kept = append(kept, c)
+		}
+	}
+	j.cache = kept
+	return out
+}
+
+// Metrics returns the oracle's counters.
+func (j *ReferenceJoin) Metrics() Metrics {
+	m := j.m
+	m.CacheLen = len(j.cache)
+	return m
+}
+
+// Snapshot returns the cached tuples in cache order.
+func (j *ReferenceJoin) Snapshot() []join.Tuple {
+	out := make([]join.Tuple, len(j.cache))
+	for i, c := range j.cache {
+		out[i] = c.t
+	}
+	return out
+}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"stochstream/internal/core"
-	"stochstream/internal/dist"
 	"stochstream/internal/join"
+	"stochstream/internal/process"
 	"stochstream/internal/stats"
 )
 
@@ -20,6 +20,10 @@ type FlowExpect struct {
 	Lookahead int
 
 	cfg join.Config
+	// fc is the per-decision forecast memo shared between the flow-graph
+	// construction and ScoreCandidates; its capacity is reused across
+	// decisions.
+	fc *core.ForecastCache
 }
 
 // Name implements join.Policy.
@@ -37,6 +41,16 @@ func (p *FlowExpect) Reset(cfg join.Config, _ *stats.RNG) {
 		panic("policy: FlowExpect requires stream models")
 	}
 	p.cfg = cfg
+	p.fc = core.NewForecastCache(cfg.Procs, [2]*process.History{})
+}
+
+// bindDecision rebinds the forecast memo to the current decision.
+func (p *FlowExpect) bindDecision(st *join.State) *core.ForecastCache {
+	if p.fc == nil {
+		p.fc = core.NewForecastCache(st.Procs(), st.Hists)
+	}
+	p.fc.Rebind(st.Procs(), st.Hists)
+	return p.fc
 }
 
 // Evict implements join.Policy.
@@ -45,7 +59,7 @@ func (p *FlowExpect) Evict(st *join.State, cands []join.Tuple, n int) []int {
 	for i, c := range cands {
 		cs[i] = core.Candidate{Value: c.Value, Stream: c.Stream, Age: st.Time - c.Arrived}
 	}
-	dec, err := core.FlowExpectStepWindow(cs, st.Procs(), st.Hists, len(cands)-n, p.Lookahead, p.cfg.Window)
+	dec, err := core.FlowExpectStepCached(cs, p.bindDecision(st), len(cands)-n, p.Lookahead, p.cfg.Window)
 	if err != nil {
 		panic(fmt.Sprintf("policy: FlowExpect step failed: %v", err))
 	}
@@ -72,13 +86,7 @@ func (p *FlowExpect) Evict(st *join.State, cands []join.Tuple, n int) []int {
 // weighs candidates jointly against undetermined future arrivals — which is
 // exactly the discrepancy worth seeing in a trace.
 func (p *FlowExpect) ScoreCandidates(st *join.State, cands []join.Tuple) []float64 {
-	var fc [2][]dist.PMF
-	forecast := func(s core.StreamID, off int) dist.PMF {
-		for len(fc[s]) < off {
-			fc[s] = append(fc[s], st.Procs()[s].Forecast(st.Hists[s], len(fc[s])+1))
-		}
-		return fc[s][off-1]
-	}
+	fc := p.bindDecision(st)
 	scores := make([]float64, len(cands))
 	for i, c := range cands {
 		partner := c.Stream.Partner()
@@ -87,7 +95,7 @@ func (p *FlowExpect) ScoreCandidates(st *join.State, cands []join.Tuple) []float
 			if p.cfg.Window > 0 && age+off > p.cfg.Window {
 				break
 			}
-			scores[i] += forecast(partner, off).Prob(c.Value)
+			scores[i] += fc.At(partner, off).Prob(c.Value)
 		}
 	}
 	return scores

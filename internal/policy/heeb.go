@@ -3,6 +3,8 @@ package policy
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"stochstream/internal/core"
 	"stochstream/internal/dist"
@@ -85,6 +87,27 @@ type HEEBOptions struct {
 	// PrefilterHorizon is the tabulation horizon for prefilter ECBs
 	// (default 64).
 	PrefilterHorizon int
+	// Parallel enables the opt-in worker-pool scoring path: when a decision
+	// has at least ParallelThreshold candidates (and the mode is HEEBDirect,
+	// whose scoring is side-effect free once the decision's forecasts are
+	// prewarmed), candidates are scored by up to ParallelWorkers goroutines.
+	// Each worker writes a disjoint range of the shared score slice, so the
+	// merged result — and therefore every eviction choice — is deterministic
+	// and identical to serial scoring.
+	Parallel bool
+	// ParallelThreshold is the candidate count below which scoring stays
+	// serial even with Parallel set (default 64): goroutine fan-out only pays
+	// for itself on large caches.
+	ParallelThreshold int
+	// ParallelWorkers caps the scoring goroutines (default GOMAXPROCS).
+	ParallelWorkers int
+	// NoMemo disables the per-decision forecast cache and the tabulated
+	// L-value table, restoring the seed implementation's re-derivation of
+	// both per candidate. Scores are bitwise-identical either way (the memo
+	// layers reuse the exact values the direct path computes); the switch
+	// exists so the differential harness and BENCH_hotpath.json can measure
+	// the memoization against the original hot path.
+	NoMemo bool
 }
 
 // HEEB is the paper's heuristic of estimated expected benefit as a
@@ -104,6 +127,15 @@ type HEEB struct {
 	// (a tuple is scored against its partner's model).
 	h1 [2]*core.H1
 	h2 [2]*core.H2
+	// fc is the per-decision forecast memo shared by all candidates of one
+	// Evict/ScoreCandidates call; nil when Opts.NoMemo.
+	fc *core.ForecastCache
+	// ltab caches Lexp's e^{−Δt/α} values for the current α; ltabAlpha
+	// tracks which α the table was built for (adaptive runs re-derive α).
+	ltab      core.LTable
+	ltabAlpha float64
+	// scoreBuf is the reused per-decision score slice.
+	scoreBuf []float64
 }
 
 type heebEntry struct {
@@ -147,6 +179,12 @@ func (p *HEEB) Reset(cfg join.Config, _ *stats.RNG) {
 	p.offsetH = [2]map[int]float64{{}, {}}
 	p.h1 = [2]*core.H1{}
 	p.h2 = [2]*core.H2{}
+	p.fc = nil
+	p.ltabAlpha = 0
+	if !p.Opts.NoMemo {
+		p.fc = core.NewForecastCache(cfg.Procs, [2]*process.History{})
+		p.ensureLTab()
+	}
 	switch p.Opts.Mode {
 	case HEEBPrecomputedH1:
 		for s := 0; s < 2; s++ {
@@ -161,9 +199,38 @@ func (p *HEEB) Reset(cfg join.Config, _ *stats.RNG) {
 
 func (p *HEEB) lexp() core.LFunc { return core.LExp{Alpha: p.alpha} }
 
-// tupleL wraps Lexp with the sliding window clip when windows are active.
+// l returns the survival estimate used for scoring: the tabulated Lexp
+// (value-for-value identical, without the per-Δt math.Exp) unless memoization
+// is disabled.
+func (p *HEEB) l() core.LFunc {
+	if p.Opts.NoMemo {
+		return p.lexp()
+	}
+	return p.ltab
+}
+
+// ensureLTab (re)tabulates the L table when α changed (Reset, or an adaptive
+// re-derivation at the head of Evict).
+func (p *HEEB) ensureLTab() {
+	if p.Opts.NoMemo || p.ltabAlpha == p.alpha {
+		return
+	}
+	p.ltab = core.TabulateL(core.LExp{Alpha: p.alpha}, p.Opts.FallbackHorizon)
+	p.ltabAlpha = p.alpha
+}
+
+// bindDecision points the per-decision memo layers at the current state.
+func (p *HEEB) bindDecision(st *join.State) {
+	p.ensureLTab()
+	if p.fc != nil {
+		p.fc.Rebind(st.Procs(), st.Hists)
+	}
+}
+
+// tupleL wraps the survival estimate with the sliding window clip when
+// windows are active.
 func (p *HEEB) tupleL(now int, tp join.Tuple) core.LFunc {
-	l := core.LFunc(p.lexp())
+	l := p.l()
 	if p.cfg.Window > 0 {
 		l = core.LWindow{Inner: l, Remaining: tp.Arrived + p.cfg.Window - now}
 	}
@@ -220,45 +287,17 @@ func (p *HEEB) Evict(st *join.State, cands []join.Tuple, n int) []int {
 	if p.Opts.Adaptive && p.tracker.N() > 0 {
 		p.alpha = p.tracker.Alpha(p.Opts.LifetimeEstimate)
 	}
+	p.bindDecision(st)
 
-	evict := make([]int, 0, n)
-	remaining := map[int]bool{}
-	for i := range cands {
-		remaining[i] = true
-	}
-
+	var evict []int
 	if p.Opts.DominancePrefilter {
-		ecbs := make([]core.ECB, len(cands))
-		for i, c := range cands {
-			partner := c.Stream.Partner()
-			b := core.BandJoinECB(st.Procs()[partner], st.Hists[partner], c.Value, p.cfg.Band, p.Opts.PrefilterHorizon)
-			if p.cfg.Window > 0 {
-				b = core.WindowECB(b, c.Arrived, st.Time, p.cfg.Window)
-			}
-			ecbs[i] = b
-		}
-		for _, i := range core.DominatedSubset(ecbs, n) {
-			evict = append(evict, i)
-			delete(remaining, i)
-		}
-	}
-
-	if len(evict) < n {
-		live := make([]join.Tuple, 0, len(remaining))
-		liveIdx := make([]int, 0, len(remaining))
-		for i := range cands {
-			if remaining[i] {
-				live = append(live, cands[i])
-				liveIdx = append(liveIdx, i)
-			}
-		}
-		liveScores := make([]float64, len(live))
-		for i, c := range live {
-			liveScores[i] = p.score(st, c)
-		}
-		for _, j := range evictLowest(liveScores, live, n-len(evict)) {
-			evict = append(evict, liveIdx[j])
-		}
+		evict = p.evictPrefiltered(st, cands, n)
+	} else {
+		// The common path scores every candidate in place: no remaining-set
+		// map, no live-subset copies — the candidate indices are the
+		// positions evictLowest already works with.
+		p.scoreBuf = p.scoreAll(st, cands, p.scoreBuf[:0])
+		evict = evictLowest(p.scoreBuf, cands, n)
 	}
 
 	// Track observed lifetimes for adaptive α.
@@ -269,16 +308,121 @@ func (p *HEEB) Evict(st *join.State, cands []join.Tuple, n int) []int {
 	return evict
 }
 
+// evictPrefiltered is the Corollary 2 path: discard a dominated subset
+// first, then score only the remainder.
+func (p *HEEB) evictPrefiltered(st *join.State, cands []join.Tuple, n int) []int {
+	evict := make([]int, 0, n)
+	remaining := make(map[int]bool, len(cands))
+	for i := range cands {
+		remaining[i] = true
+	}
+	ecbs := make([]core.ECB, len(cands))
+	for i, c := range cands {
+		partner := c.Stream.Partner()
+		var b core.ECB
+		if p.fc != nil {
+			b = core.BandJoinECBCached(p.fc, partner, c.Value, p.cfg.Band, p.Opts.PrefilterHorizon)
+		} else {
+			b = core.BandJoinECB(st.Procs()[partner], st.Hists[partner], c.Value, p.cfg.Band, p.Opts.PrefilterHorizon)
+		}
+		if p.cfg.Window > 0 {
+			b = core.WindowECB(b, c.Arrived, st.Time, p.cfg.Window)
+		}
+		ecbs[i] = b
+	}
+	for _, i := range core.DominatedSubset(ecbs, n) {
+		evict = append(evict, i)
+		delete(remaining, i)
+	}
+	if len(evict) < n {
+		live := make([]join.Tuple, 0, len(remaining))
+		liveIdx := make([]int, 0, len(remaining))
+		for i := range cands {
+			if remaining[i] {
+				live = append(live, cands[i])
+				liveIdx = append(liveIdx, i)
+			}
+		}
+		liveScores := p.scoreAll(st, live, nil)
+		for _, j := range evictLowest(liveScores, live, n-len(evict)) {
+			evict = append(evict, liveIdx[j])
+		}
+	}
+	return evict
+}
+
+// scoreAll scores every candidate into out (resized as needed), fanning out
+// to the worker pool when the parallel path is enabled and applicable.
+func (p *HEEB) scoreAll(st *join.State, cands []join.Tuple, out []float64) []float64 {
+	if cap(out) < len(cands) {
+		out = make([]float64, len(cands))
+	} else {
+		out = out[:len(cands)]
+	}
+	if !p.parallelApplicable(len(cands)) {
+		for i, c := range cands {
+			out[i] = p.score(st, c)
+		}
+		return out
+	}
+	// Prewarm the decision's forecasts to the maximum scoring horizon so the
+	// workers only ever read the cache. Each worker owns a contiguous index
+	// range of out, so the merge is deterministic regardless of scheduling.
+	horizon := core.HorizonFor(p.l(), p.Opts.FallbackHorizon)
+	for s := 0; s < 2; s++ {
+		if st.Procs()[s] != nil {
+			p.fc.Warm(core.StreamID(s), horizon)
+		}
+	}
+	workers := p.Opts.ParallelWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	chunk := (len(cands) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(cands); lo += chunk {
+		hi := min(lo+chunk, len(cands))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = p.score(st, cands[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// parallelApplicable gates the worker pool: opt-in, enough candidates to
+// amortize the fan-out, and a scoring mode that is read-only once the
+// decision's forecasts are prewarmed (direct scoring through the memo; the
+// incremental modes mutate per-tuple state and stay serial).
+func (p *HEEB) parallelApplicable(n int) bool {
+	if !p.Opts.Parallel || p.Opts.Mode != HEEBDirect || p.fc == nil {
+		return false
+	}
+	threshold := p.Opts.ParallelThreshold
+	if threshold <= 0 {
+		threshold = DefaultParallelThreshold
+	}
+	return n >= threshold
+}
+
+// DefaultParallelThreshold is the candidate count from which the opt-in
+// parallel scorer fans out (HEEBOptions.ParallelThreshold = 0).
+const DefaultParallelThreshold = 64
+
 // ScoreCandidates returns the H_x value of every candidate under the
 // configured scoring mode — the numbers Evict compares. The telemetry
 // layer's decision trace uses it to record why each victim was chosen
 // (telemetry.CandidateScorer).
 func (p *HEEB) ScoreCandidates(st *join.State, cands []join.Tuple) []float64 {
-	scores := make([]float64, len(cands))
-	for i, c := range cands {
-		scores[i] = p.score(st, c)
-	}
-	return scores
+	p.bindDecision(st)
+	return p.scoreAll(st, cands, nil)
 }
 
 // score computes H for one candidate according to the configured mode.
@@ -292,8 +436,7 @@ func (p *HEEB) score(st *join.State, tp join.Tuple) float64 {
 		case HEEBIncremental:
 			return p.scoreIncremental(st, tp)
 		default:
-			proc := st.Procs()[partner]
-			return core.BandJoinH(proc, st.Hists[partner], tp.Value, p.cfg.Band, p.tupleL(st.Time, tp), p.Opts.FallbackHorizon)
+			return p.bandJoinH(st, partner, tp.Value, p.tupleL(st.Time, tp))
 		}
 	}
 	switch p.Opts.Mode {
@@ -306,9 +449,26 @@ func (p *HEEB) score(st *join.State, tp join.Tuple) float64 {
 	case HEEBValueIncremental:
 		return p.scoreValueIncremental(st, tp)
 	default:
-		proc := st.Procs()[partner]
-		return core.JoinH(proc, st.Hists[partner], tp.Value, p.tupleL(st.Time, tp), p.Opts.FallbackHorizon)
+		return p.joinH(st, partner, tp.Value, p.tupleL(st.Time, tp))
 	}
+}
+
+// joinH routes the direct equijoin score through the per-decision forecast
+// memo when enabled; the two paths are bitwise-identical (shared kernel in
+// internal/core).
+func (p *HEEB) joinH(st *join.State, partner core.StreamID, v int, l core.LFunc) float64 {
+	if p.fc != nil {
+		return core.JoinHCached(p.fc, partner, v, l, p.Opts.FallbackHorizon)
+	}
+	return core.JoinH(st.Procs()[partner], st.Hists[partner], v, l, p.Opts.FallbackHorizon)
+}
+
+// bandJoinH is joinH's band-join counterpart.
+func (p *HEEB) bandJoinH(st *join.State, partner core.StreamID, v int, l core.LFunc) float64 {
+	if p.fc != nil {
+		return core.BandJoinHCached(p.fc, partner, v, p.cfg.Band, l, p.Opts.FallbackHorizon)
+	}
+	return core.BandJoinH(st.Procs()[partner], st.Hists[partner], v, p.cfg.Band, l, p.Opts.FallbackHorizon)
 }
 
 // scoreValueIncremental implements Corollary 5: for a linear-trend partner,
@@ -319,13 +479,13 @@ func (p *HEEB) scoreValueIncremental(st *join.State, tp join.Tuple) float64 {
 	proc := st.Procs()[partner]
 	lt, ok := proc.(*process.LinearTrend)
 	if !ok || p.cfg.Window > 0 {
-		return core.JoinH(proc, st.Hists[partner], tp.Value, p.tupleL(st.Time, tp), p.Opts.FallbackHorizon)
+		return p.joinH(st, partner, tp.Value, p.tupleL(st.Time, tp))
 	}
 	offset := tp.Value - lt.Slope*st.Time
 	if h, ok := p.offsetH[partner][offset]; ok {
 		return h
 	}
-	h := core.JoinH(proc, st.Hists[partner], tp.Value, p.lexp(), p.Opts.FallbackHorizon)
+	h := p.joinH(st, partner, tp.Value, p.l())
 	p.offsetH[partner][offset] = h
 	return h
 }
@@ -347,11 +507,11 @@ func (p *HEEB) scoreIncremental(st *join.State, tp join.Tuple) float64 {
 	proc := st.Procs()[partner]
 	if !proc.Independent() || p.cfg.Window > 0 {
 		// Fall back to direct scoring where Corollary 3 does not apply.
-		return core.BandJoinH(proc, st.Hists[partner], tp.Value, p.cfg.Band, p.tupleL(st.Time, tp), p.Opts.FallbackHorizon)
+		return p.bandJoinH(st, partner, tp.Value, p.tupleL(st.Time, tp))
 	}
 	e, ok := p.inc[tp.ID]
 	if !ok {
-		h := core.BandJoinH(proc, st.Hists[partner], tp.Value, p.cfg.Band, p.lexp(), p.Opts.FallbackHorizon)
+		h := p.bandJoinH(st, partner, tp.Value, p.l())
 		p.inc[tp.ID] = &heebEntry{h: h, last: st.Time}
 		return h
 	}
@@ -361,7 +521,7 @@ func (p *HEEB) scoreIncremental(st *join.State, tp join.Tuple) float64 {
 	// recurrence holds verbatim for band probabilities.
 	for e.last < st.Time {
 		u := e.last + 1 // absolute time being folded in
-		pNow := core.BandProb(forecastAt(proc, st.Hists[partner], u), tp.Value, p.cfg.Band)
+		pNow := core.BandProb(p.forecastAt(proc, partner, st.Hists[partner], u), tp.Value, p.cfg.Band)
 		e.h = core.JoinHStep(e.h, p.alpha, pNow)
 		e.last++
 	}
@@ -370,10 +530,15 @@ func (p *HEEB) scoreIncremental(st *join.State, tp join.Tuple) float64 {
 
 // forecastAt returns the PMF of the partner's arrival at absolute time u,
 // evaluated from the current history (valid for independent streams, where
-// conditioning does not matter).
-func forecastAt(proc process.Process, h *process.History, u int) dist.PMF {
+// conditioning does not matter). Future forecasts go through the decision
+// memo when enabled; already-observed steps condition on a truncated history
+// and cannot be shared.
+func (p *HEEB) forecastAt(proc process.Process, partner core.StreamID, h *process.History, u int) dist.PMF {
 	delta := u - h.T0()
 	if delta >= 1 {
+		if p.fc != nil {
+			return p.fc.At(partner, delta)
+		}
 		return proc.Forecast(h, delta)
 	}
 	// u is already observed: the "probability" seen from u-1 of the value

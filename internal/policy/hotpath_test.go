@@ -1,0 +1,206 @@
+package policy
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"stochstream/internal/core"
+	"stochstream/internal/dist"
+	"stochstream/internal/join"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+// evictLowestSort is the seed implementation of victim selection — a full
+// stable sort — kept as the reference the heap-based evictLowest is checked
+// against.
+func evictLowestSort(scores []float64, cands []join.Tuple, n int) []int {
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] < scores[idx[b]]
+		}
+		return cands[idx[a]].ID < cands[idx[b]].ID
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	return append([]int(nil), idx[:n]...)
+}
+
+// Property: the heap-based top-k selection returns exactly the full sort's
+// first n entries, in the same order, across random score vectors with
+// plenty of ties.
+func TestEvictLowestMatchesSortReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		m := 1 + rng.IntN(40)
+		n := rng.IntN(m + 2) // occasionally n > m
+		cands := make([]join.Tuple, m)
+		scores := make([]float64, m)
+		for i := range cands {
+			cands[i] = join.Tuple{ID: i, Value: rng.IntN(10), Arrived: i / 2}
+			// Coarse quantization forces frequent score ties.
+			scores[i] = float64(rng.IntN(5))
+		}
+		got := evictLowest(scores, cands, n)
+		want := evictLowestSort(scores, cands, n)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// heebDecision builds a mid-run decision state: populated histories and a
+// candidate set drawn from both streams.
+func heebDecision(t *testing.T, seed uint64, window, band, n int) (*join.State, []join.Tuple) {
+	t.Helper()
+	procs := [2]process.Process{
+		&process.LinearTrend{Slope: 1, Intercept: -1, Noise: dist.BoundedNormal(2, 9)},
+		&process.LinearTrend{Slope: 1, Intercept: 0, Noise: dist.BoundedNormal(2, 11)},
+	}
+	rng := stats.NewRNG(seed)
+	hists := [2]*process.History{
+		process.NewHistory(procs[0].Generate(rng.Split(), 60)...),
+		process.NewHistory(procs[1].Generate(rng.Split(), 60)...),
+	}
+	st := &join.State{
+		Time:   59,
+		Hists:  hists,
+		Config: join.Config{CacheSize: n - 2, Window: window, Band: band, Procs: procs},
+		RNG:    stats.NewRNG(seed + 1),
+	}
+	cands := make([]join.Tuple, n)
+	for i := range cands {
+		cands[i] = join.Tuple{
+			ID:      i,
+			Value:   40 + rng.IntN(30),
+			Stream:  core.StreamID(i % 2),
+			Arrived: 30 + rng.IntN(30),
+		}
+	}
+	return st, cands
+}
+
+// The memoized scorer (forecast cache + L table) must score and evict
+// bitwise-identically to the seed path (NoMemo) across window/band configs
+// and scoring modes.
+func TestHEEBMemoMatchesNoMemo(t *testing.T) {
+	for _, tc := range []struct {
+		name         string
+		window, band int
+		mode         HEEBMode
+		prefilter    bool
+	}{
+		{"direct-equi", 0, 0, HEEBDirect, false},
+		{"direct-band", 0, 3, HEEBDirect, false},
+		{"direct-window", 24, 0, HEEBDirect, false},
+		{"direct-window-band", 16, 2, HEEBDirect, false},
+		{"incremental", 0, 1, HEEBIncremental, false},
+		{"value-incremental", 0, 0, HEEBValueIncremental, false},
+		{"direct-prefilter", 0, 0, HEEBDirect, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			st, cands := heebDecision(t, 11, tc.window, tc.band, 34)
+			mk := func(noMemo bool) *HEEB {
+				p := NewHEEB(HEEBOptions{
+					Mode:               tc.mode,
+					LifetimeEstimate:   6,
+					DominancePrefilter: tc.prefilter,
+					NoMemo:             noMemo,
+				})
+				p.Reset(st.Config, stats.NewRNG(3))
+				return p
+			}
+			opt, ref := mk(false), mk(true)
+			optScores := opt.ScoreCandidates(st, cands)
+			refScores := ref.ScoreCandidates(st, cands)
+			for i := range cands {
+				if optScores[i] != refScores[i] {
+					t.Fatalf("cand %d: memo score %v != reference %v", i, optScores[i], refScores[i])
+				}
+			}
+			optEvict := opt.Evict(st, cands, 4)
+			refEvict := ref.Evict(st, cands, 4)
+			if len(optEvict) != len(refEvict) {
+				t.Fatalf("evict lengths differ: %v vs %v", optEvict, refEvict)
+			}
+			for i := range optEvict {
+				if optEvict[i] != refEvict[i] {
+					t.Fatalf("evict[%d]: memo %d != reference %d", i, optEvict[i], refEvict[i])
+				}
+			}
+		})
+	}
+}
+
+// The parallel scorer must produce the same scores and the same eviction
+// choice as the serial scorer; this test also runs under -race in CI,
+// exercising the prewarmed read-only forecast cache contract.
+func TestHEEBParallelScoringMatchesSerial(t *testing.T) {
+	for _, band := range []int{0, 2} {
+		st, cands := heebDecision(t, 23, 0, band, 200)
+		mk := func(parallel bool) *HEEB {
+			p := NewHEEB(HEEBOptions{
+				Mode:              HEEBDirect,
+				LifetimeEstimate:  8,
+				Parallel:          parallel,
+				ParallelThreshold: 1, // force the parallel path
+				ParallelWorkers:   8,
+			})
+			p.Reset(st.Config, stats.NewRNG(3))
+			return p
+		}
+		par, ser := mk(true), mk(false)
+		ps := par.ScoreCandidates(st, cands)
+		ss := ser.ScoreCandidates(st, cands)
+		for i := range cands {
+			if ps[i] != ss[i] {
+				t.Fatalf("band %d cand %d: parallel %v != serial %v", band, i, ps[i], ss[i])
+			}
+		}
+		pe := par.Evict(st, cands, 6)
+		se := ser.Evict(st, cands, 6)
+		if len(pe) != len(se) {
+			t.Fatalf("band %d: evict lengths differ: %v vs %v", band, pe, se)
+		}
+		for i := range pe {
+			if pe[i] != se[i] {
+				t.Fatalf("band %d: parallel evict %v != serial %v", band, pe, se)
+			}
+		}
+	}
+}
+
+// Small-candidate decisions must stay serial even with Parallel set: the
+// threshold gate keeps goroutine fan-out off the common path, and the
+// incremental modes must never fan out (they mutate per-tuple state).
+func TestHEEBParallelThresholdGate(t *testing.T) {
+	st, _ := heebDecision(t, 5, 0, 0, 10)
+	p := NewHEEB(HEEBOptions{Mode: HEEBDirect, LifetimeEstimate: 4, Parallel: true})
+	p.Reset(st.Config, stats.NewRNG(1))
+	if p.parallelApplicable(DefaultParallelThreshold - 1) {
+		t.Fatalf("parallel path chosen below default threshold %d", DefaultParallelThreshold)
+	}
+	if !p.parallelApplicable(DefaultParallelThreshold) {
+		t.Fatal("parallel path not chosen at threshold")
+	}
+	pi := NewHEEB(HEEBOptions{Mode: HEEBIncremental, LifetimeEstimate: 4, Parallel: true, ParallelThreshold: 1})
+	pi.Reset(st.Config, stats.NewRNG(1))
+	if pi.parallelApplicable(1000) {
+		t.Fatal("parallel path chosen for incremental mode")
+	}
+}

@@ -18,20 +18,71 @@ import (
 // this pseudo-window, exactly as the paper configures LIFE, RAND and PROB.
 type Lifetime func(now int, tp join.Tuple) int
 
-// evictLowest returns the indices of the n lowest-scoring candidates,
-// breaking ties by preferring older tuples (smaller ID) for determinism.
+// evictLowest returns the indices of the n lowest-scoring candidates in
+// ascending (score, ID) order, breaking ties by preferring older tuples
+// (smaller ID) for determinism. A steady-state decision selects n = 2 victims
+// out of cacheSize+2 candidates, so instead of fully sorting all candidates
+// (O(N log N)) it keeps a bounded max-heap of the n best victims seen so far
+// (O(N log n)) and only sorts those n at the end. The output is identical to
+// the full stable sort's first n entries: (score, ID) is a total order over
+// distinct candidates, so stability never matters.
 func evictLowest(scores []float64, cands []join.Tuple, n int) []int {
-	idx := make([]int, len(cands))
-	for i := range idx {
-		idx[i] = i
+	if n <= 0 {
+		return []int{}
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		if scores[idx[a]] != scores[idx[b]] {
-			return scores[idx[a]] < scores[idx[b]]
+	// worse reports whether candidate a makes a strictly worse victim than b,
+	// i.e. sorts after it in the ascending (score, ID) order.
+	worse := func(a, b int) bool {
+		if scores[a] != scores[b] {
+			return scores[a] > scores[b]
 		}
-		return cands[idx[a]].ID < cands[idx[b]].ID
-	})
-	return append([]int(nil), idx[:n]...)
+		return cands[a].ID > cands[b].ID
+	}
+	var sel []int
+	if n >= len(cands) {
+		sel = make([]int, len(cands))
+		for i := range sel {
+			sel[i] = i
+		}
+	} else {
+		// Max-heap of the current n victims, rooted at the worst of them.
+		h := make([]int, n)
+		for i := range h {
+			h[i] = i
+		}
+		for i := n/2 - 1; i >= 0; i-- {
+			heapSiftDown(h, i, worse)
+		}
+		for i := n; i < len(cands); i++ {
+			if worse(h[0], i) {
+				h[0] = i
+				heapSiftDown(h, 0, worse)
+			}
+		}
+		sel = h
+	}
+	sort.Slice(sel, func(a, b int) bool { return worse(sel[b], sel[a]) })
+	return sel[:min(n, len(sel))]
+}
+
+// heapSiftDown restores the max-heap property (parent worse than children,
+// per the comparator) below position i.
+func heapSiftDown(h []int, i int, worse func(a, b int) bool) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		top := i
+		if l < len(h) && worse(h[l], h[top]) {
+			top = l
+		}
+		if r < len(h) && worse(h[r], h[top]) {
+			top = r
+		}
+		if top == i {
+			return
+		}
+		h[i], h[top] = h[top], h[i]
+		i = top
+	}
 }
 
 // Rand discards tuples uniformly at random, except that expired tuples (per

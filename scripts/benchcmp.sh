@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# benchcmp.sh — guard the hot-path speedups recorded in BENCH_hotpath.json:
+# runs the BenchmarkStepHot* suite fresh (3 counts) and fails if any
+# benchmark's fresh median ns/op regresses more than the file's
+# regression_gate_percent (25%) past the recorded 'after' median.
+#
+#   ./scripts/benchcmp.sh            # full gate (3 x 50 iterations)
+#   ./scripts/benchcmp.sh -benchtime 20x -count 1   # quicker, noisier
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARGS=(-benchtime 50x -count 3)
+if [ "$#" -gt 0 ]; then
+    ARGS=("$@")
+fi
+
+go test -run '^$' -bench BenchmarkStepHot "${ARGS[@]}" . |
+    tee /dev/stderr |
+    go run ./scripts/benchcmp BENCH_hotpath.json

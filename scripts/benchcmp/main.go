@@ -1,0 +1,118 @@
+// Command benchcmp compares a fresh `go test -bench BenchmarkStepHot` run
+// (read from stdin, standard go-test bench output) against the medians
+// recorded in BENCH_hotpath.json and fails when any benchmark's fresh median
+// regresses past the file's regression gate. scripts/benchcmp.sh wires it up.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type sample struct {
+	MedianNs float64 `json:"median_ns_per_op"`
+}
+
+type benchRecord struct {
+	Before *sample `json:"before"`
+	After  *sample `json:"after"`
+}
+
+type benchFile struct {
+	RegressionGatePercent float64                `json:"regression_gate_percent"`
+	Benchmarks            map[string]benchRecord `json:"benchmarks"`
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp BENCH_hotpath.json < bench-output")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp: parse baseline:", err)
+		os.Exit(2)
+	}
+	gate := base.RegressionGatePercent
+	if gate <= 0 {
+		gate = 25
+	}
+
+	// Collect ns/op samples per benchmark name from the go-test output.
+	fresh := map[string][]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.SplitN(fields[0], "-", 2)[0] // strip -GOMAXPROCS suffix
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err == nil {
+					fresh[name] = append(fresh[name], v)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp: read stdin:", err)
+		os.Exit(2)
+	}
+	if len(fresh) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	failed := false
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rec := base.Benchmarks[name]
+		if rec.After == nil {
+			continue
+		}
+		samples, ok := fresh[name]
+		if !ok {
+			fmt.Printf("%-40s baseline %12.0f ns/op  MISSING from fresh run\n", name, rec.After.MedianNs)
+			failed = true
+			continue
+		}
+		m := median(samples)
+		delta := (m - rec.After.MedianNs) / rec.After.MedianNs * 100
+		status := "ok"
+		if delta > gate {
+			status = fmt.Sprintf("REGRESSION (> %.0f%%)", gate)
+			failed = true
+		}
+		fmt.Printf("%-40s baseline %12.0f  fresh %12.0f  delta %+7.1f%%  %s\n",
+			name, rec.After.MedianNs, m, delta, status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# ci.sh — the repo's one-command gate: vet, build, then the full test suite
-# under the race detector (the telemetry registry and the engine's concurrent
-# Run path are exercised by -race tests). Run from the repo root:
+# ci.sh — the repo's one-command gate: vet, build, the full test suite under
+# the race detector (the telemetry registry, the engine's concurrent Run path
+# and HEEB's parallel scorer are exercised by -race tests), then a short
+# benchmark smoke over the hot-path suite so a build that breaks the
+# benchmarks cannot land. Run from the repo root:
 #
 #   ./scripts/ci.sh
 #
 # Extra go-test flags pass through, e.g. ./scripts/ci.sh -run Telemetry -v
+# For the before/after regression gate, run ./scripts/benchcmp.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
 go test -race "$@" ./...
+go test -run '^$' -bench BenchmarkStep -benchtime 100x .
