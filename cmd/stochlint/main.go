@@ -1,0 +1,103 @@
+// Command stochlint is the multichecker driver for the internal/lintrules
+// analyzer suite: it type-checks the module's packages (offline, stdlib
+// importer only) and runs each analyzer over its scoped package set.
+//
+//	go run ./cmd/stochlint ./...          # the CI invocation
+//	go run ./cmd/stochlint ./internal/... # any go-style patterns work
+//
+// Findings print as file:line:col: [analyzer] message, relative to the
+// working directory when possible, and any finding makes the exit status 1.
+// Suppress a reviewed finding with a `//lint:ignore <analyzer> <reason>`
+// comment on the offending line or the line above; docs/static-analysis.md
+// describes every rule.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"stochstream/internal/lintrules"
+	"stochstream/internal/lintrules/analysis"
+	"stochstream/internal/lintrules/load"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stochlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string) error {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		return err
+	}
+	loader, err := load.NewLoader(root, "")
+	if err != nil {
+		return err
+	}
+	paths, err := loader.List(patterns)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no packages match %v", patterns)
+	}
+	rules := lintrules.Rules()
+	var findings []analysis.Finding
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return err
+		}
+		for _, r := range rules {
+			if !r.Applies(path) {
+				continue
+			}
+			fs, err := analysis.RunAnalyzer(r.Analyzer, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err != nil {
+				return err
+			}
+			findings = append(findings, fs...)
+		}
+	}
+	if len(findings) == 0 {
+		return nil
+	}
+	wd, _ := os.Getwd()
+	for _, f := range findings {
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+				f.Pos.Filename = rel
+			}
+		}
+		fmt.Println(f)
+	}
+	fmt.Fprintf(os.Stderr, "stochlint: %d finding(s)\n", len(findings))
+	os.Exit(1)
+	return nil
+}
+
+// findModuleRoot walks up from the working directory to the directory
+// containing go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -75,6 +75,17 @@ type Config struct {
 }
 
 // Metrics is a snapshot of the operator's counters.
+//
+// Update semantics (the PR-1 review drift around CacheLen made this worth
+// pinning): Steps, Pairs, SameTimePairs, Evictions and Expired are
+// incremented inline on the Step hot path, so a Metrics value reflects
+// every step completed before the snapshot; CacheLen alone is recomputed
+// from the live cache at snapshot time by Metrics(), so it is exact even
+// before the first step and on admit-without-evict steps. The
+// Config.Telemetry registry carries only the inline class
+// (engine_steps_total, engine_pairs_total, engine_evictions_total and the
+// step-latency histogram); cache occupancy is read via Metrics().
+// See docs/observability.md, "Snapshot semantics".
 type Metrics struct {
 	Steps int
 	// Pairs counts all emitted results; SameTimePairs the subset produced
@@ -185,6 +196,7 @@ func NewJoin(cfg Config) (*Join, error) {
 func (j *Join) Step(r, s Tuple) []Pair {
 	var start time.Time
 	if j.stepLatency != nil {
+		//lint:ignore detsource telemetry latency timing only; the timestamp never feeds a decision
 		start = time.Now()
 	}
 	t := j.time
@@ -402,6 +414,7 @@ func (j *Join) record(start time.Time, pairs, evictions int) {
 	if j.stepLatency == nil {
 		return
 	}
+	//lint:ignore detsource telemetry latency timing only; the duration never feeds a decision
 	j.stepLatency.ObserveDuration(time.Since(start).Nanoseconds())
 	j.stepCount.Inc()
 	j.pairCount.Add(int64(pairs))

@@ -1,0 +1,154 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that the stochlint analyzers
+// use. The build environment for this repository is fully offline (empty
+// module cache, no proxy), so the x/tools module cannot be a dependency;
+// this package keeps the same shape — Analyzer, Pass, Reportf — so the
+// analyzers can be moved onto the real framework by swapping one import
+// when x/tools becomes available.
+//
+// Beyond the x/tools subset, RunAnalyzer implements the repo's suppression
+// directive:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A directive suppresses matching diagnostics on its own line (trailing
+// comment) and on the immediately following line (standalone comment). The
+// reason is mandatory; a bare directive suppresses nothing.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. Run inspects the package held by the
+// Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (interface{}, error)
+}
+
+// Pass is the interface between one Analyzer and one package being checked.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, positioned by token.Pos within the pass's
+// FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a resolved diagnostic: file position plus the analyzer that
+// produced it. This is what drivers print and what tests compare against.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// RunAnalyzer runs a over one type-checked package, applies //lint:ignore
+// suppression, and returns the surviving findings sorted by position.
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sup := collectSuppressions(fset, files)
+	var out []Finding
+	for _, d := range pass.diags {
+		pos := fset.Position(d.Pos)
+		if sup.suppressed(a.Name, pos) {
+			continue
+		}
+		out = append(out, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// suppressions maps file → line → set of suppressed analyzer names ("*"
+// suppresses every analyzer).
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) suppressed(analyzer string, pos token.Position) bool {
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	names := byLine[pos.Line]
+	return names != nil && (names[analyzer] || names["*"])
+}
+
+const ignorePrefix = "//lint:ignore "
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // a reason is mandatory; a bare directive is inert
+				}
+				pos := fset.Position(c.Pos())
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					sup[pos.Filename] = byLine
+				}
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					names := byLine[ln]
+					if names == nil {
+						names = map[string]bool{}
+						byLine[ln] = names
+					}
+					for _, n := range strings.Split(fields[0], ",") {
+						names[strings.TrimSpace(n)] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}

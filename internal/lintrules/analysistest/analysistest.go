@@ -1,0 +1,99 @@
+// Package analysistest runs one analyzer over a corpus package under a
+// testdata/src tree and checks its findings against `// want` expectations,
+// mirroring golang.org/x/tools/go/analysis/analysistest for the offline
+// framework in internal/lintrules/analysis.
+//
+// Corpus layout follows the x/tools GOPATH convention: the package named by
+// pkgPath lives at <testdata>/src/<pkgPath>, and corpora may fake module
+// packages (e.g. a stub stochstream/internal/engine) by placing them under
+// the same tree — the loader resolves overlay packages before anything
+// else, and the standard library resolves normally.
+//
+// Expectations are comments of the form
+//
+//	code() // want "substring-regexp"
+//	code() // want "first" "second"
+//
+// Each finding on a line must match one expectation on that line and vice
+// versa; mismatches in either direction fail the test.
+package analysistest
+
+import (
+	"regexp"
+	"testing"
+
+	"stochstream/internal/lintrules/analysis"
+	"stochstream/internal/lintrules/load"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads <testdata>/src/<pkgPath>, runs a over it, and reports
+// expectation mismatches on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	loader, err := load.NewLoader("", testdata+"/src")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.Load(pkgPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", pkgPath, err)
+	}
+	if pkg.Files == nil {
+		t.Fatalf("load %s: resolved outside the corpus", pkgPath)
+	}
+	findings, err := analysis.RunAnalyzer(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q[1], err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		if i := matchIndex(wants[k], f.Message); i >= 0 {
+			wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+			continue
+		}
+		t.Errorf("unexpected finding: %s", f)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+func matchIndex(res []*regexp.Regexp, msg string) int {
+	for i, re := range res {
+		if re.MatchString(msg) {
+			return i
+		}
+	}
+	return -1
+}

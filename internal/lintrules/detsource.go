@@ -1,0 +1,75 @@
+// Package lintrules is stochlint's analyzer suite: five custom static
+// checks that mechanically enforce the determinism and correctness
+// contracts the paper's guarantees rest on (Theorem 3 dominance optimality
+// and the Corollary 3–5 incremental updates require every replacement
+// decision to be a pure, deterministic function of stream state).
+//
+// The analyzers are built on internal/lintrules/analysis, an offline mirror
+// of the golang.org/x/tools/go/analysis API. cmd/stochlint is the
+// multichecker driver; docs/static-analysis.md documents each rule, its
+// rationale and the //lint:ignore suppression directive.
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"stochstream/internal/lintrules/analysis"
+)
+
+// Detsource forbids nondeterminism sources inside decision packages: wall
+// clock reads (time.Now/Since/Until) and any use of math/rand or
+// math/rand/v2 (the global source, and rand.New whether or not its source
+// is seeded). All randomness in decision code must flow through the seeded,
+// splittable RNGs of internal/stats, and all timestamps must arrive as
+// stream state, so that a replay from the same seed and trace is
+// bit-identical.
+var Detsource = &analysis.Analyzer{
+	Name: "detsource",
+	Doc:  "forbid time.Now and math/rand in decision packages; randomness must flow through internal/stats",
+	Run:  runDetsource,
+}
+
+// wallClockFuncs are the time package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDetsource(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "time.%s in decision package %s: wall-clock reads are nondeterministic under replay; take timestamps from stream state, or //lint:ignore detsource with a reason if the value never feeds a decision", sel.Sel.Name, pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok {
+					return true // types and constants are harmless
+				}
+				switch obj.Name() {
+				case "New":
+					pass.Reportf(sel.Pos(), "rand.New in decision package %s: construct RNGs via internal/stats (stats.NewRNG / RNG.Split) so seeds thread through the experiment", pass.Pkg.Path())
+				case "NewSource", "NewPCG", "NewChaCha8":
+					// Source constructors are inert by themselves; the
+					// rand.New (or direct use) wrapping them is what reports.
+				default:
+					pass.Reportf(sel.Pos(), "global math/rand %s in decision package %s: the process-wide source is unseeded and shared; use the internal/stats RNG threaded through the policy", obj.Name(), pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,87 @@
+package lintrules
+
+import (
+	"bytes"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"stochstream/internal/lintrules/analysis"
+)
+
+// Floateq flags == and != between floating-point (or complex) operands in
+// non-test code. The scoring kernels are required to be bitwise-equal
+// across the direct and cached paths — that equivalence is asserted by
+// dedicated _test.go harnesses, which are outside this analyzer's load set
+// by construction. Everywhere else, exact float comparison is almost always
+// a latent tolerance bug.
+//
+// Two idioms are exempt:
+//
+//   - comparison against an exact constant zero (sentinel/emptiness checks
+//     such as `if w == 0`), which is representable and intentional, and
+//   - `x != x` / `x == x` on the same expression, the canonical NaN test.
+//
+// Anything else should use an epsilon helper (math.Abs(a-b) <= eps) or, for
+// a reviewed exact comparison, carry //lint:ignore floateq with the reason.
+var Floateq = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= on floating-point operands outside the bitwise-equivalence tests",
+	Run:  runFloateq,
+}
+
+func runFloateq(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) || !isFloat(pass, be.Y) {
+				return true
+			}
+			if isExactZero(pass, be.X) || isExactZero(pass, be.Y) {
+				return true
+			}
+			if sameExpr(be.X, be.Y) {
+				return true // x != x: the NaN check
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison: use an epsilon comparison (math.Abs(a-b) <= eps), or //lint:ignore floateq with the reason exact equality is intended", be.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isExactZero reports whether e is a compile-time constant equal to ±0.
+func isExactZero(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	return v.Kind() == constant.Float && constant.Sign(v) == 0
+}
+
+// sameExpr reports whether two expressions are syntactically identical
+// (printed form), the shape of the deliberate NaN self-comparison.
+func sameExpr(a, b ast.Expr) bool {
+	return exprString(a) == exprString(b)
+}
+
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}

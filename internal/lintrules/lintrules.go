@@ -1,0 +1,62 @@
+package lintrules
+
+import (
+	"strings"
+
+	"stochstream/internal/lintrules/analysis"
+)
+
+// Rule pairs an analyzer with the set of packages it applies to. Scoping
+// lives here, in the suite, not in the analyzers: analysistest runs an
+// analyzer directly on a corpus package regardless of scope.
+type Rule struct {
+	Analyzer *analysis.Analyzer
+	// Applies reports whether the analyzer runs on the package with the
+	// given import path.
+	Applies func(pkgPath string) bool
+}
+
+// decisionPkgs are the packages whose code decides replacements: the
+// paper's guarantees require their behavior to be a pure, deterministic
+// function of stream state and seed.
+var decisionPkgs = []string{
+	"stochstream/internal/core",
+	"stochstream/internal/policy",
+	"stochstream/internal/cachepolicy",
+	"stochstream/internal/engine",
+	"stochstream/internal/mincostflow",
+}
+
+// emissionPkgs additionally carry result emission and metric export, whose
+// output must be byte-identical across replays.
+var emissionPkgs = append([]string{
+	"stochstream/internal/join",
+	"stochstream/internal/telemetry",
+}, decisionPkgs...)
+
+func inAny(pkgPath string, roots []string) bool {
+	for _, r := range roots {
+		if pkgPath == r || strings.HasPrefix(pkgPath, r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func everywhere(string) bool { return true }
+
+// Rules returns the stochlint suite with its package scoping.
+func Rules() []Rule {
+	return []Rule{
+		{Detsource, func(p string) bool { return inAny(p, decisionPkgs) }},
+		{Maprange, func(p string) bool { return inAny(p, emissionPkgs) }},
+		{Floateq, everywhere},
+		{Stepretain, everywhere},
+		{Locksafe, everywhere},
+	}
+}
+
+// Analyzers returns the five analyzers without scoping, for tests and docs.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Detsource, Maprange, Floateq, Stepretain, Locksafe}
+}

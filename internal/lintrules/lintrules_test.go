@@ -1,0 +1,72 @@
+package lintrules_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"stochstream/internal/lintrules"
+	"stochstream/internal/lintrules/analysistest"
+)
+
+func testdata(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestDetsource(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Detsource, "detsource")
+}
+
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Maprange, "maprange")
+}
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Floateq, "floateq")
+}
+
+func TestStepretain(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Stepretain, "stepretain")
+}
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Locksafe, "locksafe")
+}
+
+// TestScoping pins the suite's package scoping: detsource must cover
+// exactly the decision packages, maprange additionally the emission/export
+// packages, and the remaining analyzers everything.
+func TestScoping(t *testing.T) {
+	byName := map[string]lintrules.Rule{}
+	for _, r := range lintrules.Rules() {
+		byName[r.Analyzer.Name] = r
+	}
+	if len(byName) != 5 {
+		t.Fatalf("expected 5 rules, got %d", len(byName))
+	}
+	cases := []struct {
+		analyzer string
+		pkg      string
+		want     bool
+	}{
+		{"detsource", "stochstream/internal/policy", true},
+		{"detsource", "stochstream/internal/engine", true},
+		{"detsource", "stochstream/internal/stats", false}, // stats owns the RNGs
+		{"detsource", "stochstream/internal/telemetry", false},
+		{"maprange", "stochstream/internal/telemetry", true},
+		{"maprange", "stochstream/internal/join", true},
+		{"maprange", "stochstream/internal/workload", false},
+		{"floateq", "stochstream/internal/workload", true},
+		{"stepretain", "stochstream", true},
+		{"locksafe", "stochstream/cmd/repro", true},
+	}
+	for _, c := range cases {
+		if got := byName[c.analyzer].Applies(c.pkg); got != c.want {
+			t.Errorf("%s.Applies(%s) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"stochstream/internal/lintrules/analysis"
+)
+
+// Maprange flags `for range` over a map in decision/emission code unless
+// the loop body is order-insensitive. Go randomizes map iteration order, so
+// any order-dependent effect inside such a loop silently breaks replay
+// determinism and the ReferenceJoin differential oracle.
+//
+// A body is accepted as order-insensitive when every statement is one of:
+//
+//   - a write through a map index expression (building another map/set),
+//   - delete(m, k),
+//   - ++/--/+=/-=/|=/&=/^= on an integer-typed variable (commutative over
+//     ints; float accumulation is NOT exempt — it is order-sensitive in the
+//     low bits),
+//   - append to a local slice that a later statement in the same block
+//     passes to a sort call (the sortedKeys idiom),
+//   - an if/block statement whose nested statements all qualify, or a bare
+//     continue.
+//
+// Everything else — emitting output, sends, calls with effects, float sums
+// — is reported. Iterate a sorted key slice instead (cf. telemetry's
+// sortedKeys), or suppress a reviewed loop with //lint:ignore maprange.
+var Maprange = &analysis.Analyzer{
+	Name: "maprange",
+	Doc:  "flag order-dependent iteration over maps in decision/emission paths",
+	Run:  runMaprange,
+}
+
+func runMaprange(pass *analysis.Pass) (interface{}, error) {
+	m := &maprangeChecker{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					m.checkStmts(n.Body.List)
+				}
+			case *ast.FuncLit:
+				m.checkStmts(n.Body.List)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type maprangeChecker struct {
+	pass *analysis.Pass
+}
+
+// checkStmts scans a statement list, reporting map-range loops with
+// order-dependent bodies. Statements after a loop are its sort context: an
+// append inside the loop is fine if a later sibling sorts the slice.
+func (m *maprangeChecker) checkStmts(stmts []ast.Stmt) {
+	for i, s := range stmts {
+		if r, ok := s.(*ast.RangeStmt); ok && m.isMapRange(r) {
+			m.checkMapRange(r, stmts[i+1:])
+		}
+		// Recurse into nested statement lists (the range body included:
+		// nested map-ranges get their own report and sort context).
+		m.recurse(s)
+	}
+}
+
+func (m *maprangeChecker) recurse(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		m.checkStmts(s.List)
+	case *ast.IfStmt:
+		m.checkStmts(s.Body.List)
+		if s.Else != nil {
+			m.recurse(s.Else)
+		}
+	case *ast.ForStmt:
+		m.checkStmts(s.Body.List)
+	case *ast.RangeStmt:
+		m.checkStmts(s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			m.checkStmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			m.checkStmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			m.checkStmts(c.(*ast.CommClause).Body)
+		}
+	case *ast.LabeledStmt:
+		m.recurse(s.Stmt)
+	}
+}
+
+func (m *maprangeChecker) isMapRange(r *ast.RangeStmt) bool {
+	t := m.pass.TypesInfo.Types[r.X].Type
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange validates one map-range loop; rest is the statement list
+// following the loop in its enclosing block, searched for sort calls that
+// legitimize appends made inside the body.
+func (m *maprangeChecker) checkMapRange(r *ast.RangeStmt, rest []ast.Stmt) {
+	var appended []*ast.Ident // slices appended to inside the body
+	if !m.orderInsensitive(r.Body.List, &appended) {
+		m.pass.Reportf(r.Pos(), "map iteration with order-dependent effects in %s: iterate a sorted key slice instead (Go randomizes map order, which breaks replay determinism and the differential oracle)", m.pass.Pkg.Path())
+		return
+	}
+	for _, id := range appended {
+		if !m.sortedLater(id, rest) {
+			m.pass.Reportf(r.Pos(), "map iteration appends to %q which is never sorted afterwards in this block: sort it before use, or iterate a sorted key slice", id.Name)
+			return
+		}
+	}
+}
+
+// orderInsensitive reports whether every statement in the list has only
+// commutative effects, collecting slice idents that are appended to (their
+// order sensitivity is resolved by sortedLater).
+func (m *maprangeChecker) orderInsensitive(stmts []ast.Stmt, appended *[]*ast.Ident) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if !m.orderInsensitiveAssign(s, appended) {
+				return false
+			}
+		case *ast.IncDecStmt:
+			if !m.isIntLvalue(s.X) {
+				return false
+			}
+		case *ast.ExprStmt:
+			// delete(m, k) is the only order-insensitive call form.
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok || !m.isBuiltin(call.Fun, "delete") {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil || s.Else != nil {
+				return false
+			}
+			if !m.orderInsensitive(s.Body.List, appended) {
+				return false
+			}
+		case *ast.BlockStmt:
+			if !m.orderInsensitive(s.List, appended) {
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok.String() != "continue" {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (m *maprangeChecker) orderInsensitiveAssign(s *ast.AssignStmt, appended *[]*ast.Ident) bool {
+	// s = append(s, ...) collects; order sensitivity resolved by a later sort.
+	if id, ok := m.selfAppend(s); ok {
+		*appended = append(*appended, id)
+		return true
+	}
+	switch s.Tok.String() {
+	case "=", ":=":
+		for _, lhs := range s.Lhs {
+			if !m.isMapIndexWrite(lhs) {
+				return false
+			}
+		}
+		return true
+	case "+=", "-=", "|=", "&=", "^=":
+		return len(s.Lhs) == 1 && m.isIntLvalue(s.Lhs[0])
+	}
+	return false
+}
+
+// selfAppend matches `x = append(x, ...)` with x a plain identifier.
+func (m *maprangeChecker) selfAppend(s *ast.AssignStmt) (*ast.Ident, bool) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 || (s.Tok.String() != "=" && s.Tok.String() != ":=") {
+		return nil, false
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || !m.isBuiltin(call.Fun, "append") || len(call.Args) == 0 {
+		return nil, false
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	if !ok || m.pass.TypesInfo.Uses[arg0] == nil || m.pass.TypesInfo.Uses[arg0] != m.objOf(id) {
+		return nil, false
+	}
+	return id, true
+}
+
+func (m *maprangeChecker) objOf(id *ast.Ident) types.Object {
+	if o := m.pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return m.pass.TypesInfo.Defs[id]
+}
+
+func (m *maprangeChecker) isBuiltin(fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = m.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func (m *maprangeChecker) isMapIndexWrite(lhs ast.Expr) bool {
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := m.pass.TypesInfo.Types[ix.X].Type
+	if t == nil {
+		return false
+	}
+	_, ok = t.Underlying().(*types.Map)
+	return ok
+}
+
+func (m *maprangeChecker) isIntLvalue(e ast.Expr) bool {
+	t := m.pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// sortedLater reports whether a statement after the loop passes the
+// appended slice to a sort-package call (sort.Strings(ks), sort.Ints(ks),
+// sort.Slice(ks, ...) and friends).
+func (m *maprangeChecker) sortedLater(id *ast.Ident, rest []ast.Stmt) bool {
+	obj := m.objOf(id)
+	if obj == nil {
+		return false
+	}
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !m.isSortCall(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if aid, ok := an.(*ast.Ident); ok && m.pass.TypesInfo.Uses[aid] == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *maprangeChecker) isSortCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := m.pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	p := pn.Imported().Path()
+	return p == "sort" || p == "slices"
+}

@@ -1,0 +1,51 @@
+// Package detsource is the seeded-violation corpus for the detsource
+// analyzer: wall-clock reads and math/rand in decision code.
+package detsource
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func clockReads() (int64, time.Duration, time.Duration) {
+	start := time.Now()              // want "time.Now in decision package"
+	since := time.Since(start)       // want "time.Since in decision package"
+	until := time.Until(start)       // want "time.Until in decision package"
+	return start.UnixNano(), since, until
+}
+
+func clockSafe() time.Duration {
+	// Constructing durations and parsing are deterministic: not flagged.
+	d := 3 * time.Second
+	t, _ := time.Parse(time.RFC3339, "2005-06-14T00:00:00Z")
+	return d + t.Sub(t)
+}
+
+func suppressed() time.Time {
+	//lint:ignore detsource telemetry-only timing, never feeds a decision
+	return time.Now()
+}
+
+func globalRand() (int, float64) {
+	a := rand.Int()                      // want "global math/rand Int"
+	b := randv2.Float64()                // want "global math/rand Float64"
+	rand.Seed(42)                        // want "global math/rand Seed"
+	randv2.Shuffle(1, func(i, j int) {}) // want "global math/rand Shuffle"
+	return a, b
+}
+
+func adHocRNG() *rand.Rand {
+	// Even a seeded source is forbidden: randomness must thread through
+	// internal/stats so experiment seeds split deterministically.
+	return rand.New(rand.NewSource(7)) // want "rand.New in decision package"
+}
+
+func typesAreFine(r *rand.Rand, s randv2.Source) int {
+	// Mentioning rand types (e.g. accepting an injected generator) is not a
+	// use of the global source.
+	if r == nil || s == nil {
+		return 0
+	}
+	return r.Int()
+}

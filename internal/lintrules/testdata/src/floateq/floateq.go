@@ -1,0 +1,47 @@
+// Package floateq is the seeded-violation corpus for the floateq analyzer:
+// exact equality on floating-point operands.
+package floateq
+
+import "math"
+
+type score float64
+
+func compare(a, b float64) (bool, bool) {
+	eq := a == b  // want "floating-point == comparison"
+	ne := a != b  // want "floating-point != comparison"
+	return eq, ne
+}
+
+func namedFloat(a, b score) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func complexEq(a, b complex128) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func constantNonZero(x float64) bool {
+	return x == 0.1 // want "floating-point == comparison"
+}
+
+func zeroSentinel(x float64) (bool, bool) {
+	// Exact-zero comparisons are sentinel/emptiness checks: exempt.
+	return x == 0, x != 0.0
+}
+
+func nanCheck(x float64) bool {
+	return x != x // the canonical NaN test: exempt
+}
+
+func epsilonHelper(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9 // the blessed form: not a ==/!= at all
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+func documentedExact(a, b float64) bool {
+	//lint:ignore floateq both sides are the same memoized kernel output, bitwise equality is the contract
+	return a == b
+}

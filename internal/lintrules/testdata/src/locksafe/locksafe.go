@@ -1,0 +1,85 @@
+// Package locksafe is the seeded-violation corpus for the locksafe
+// analyzer: lock/atomic-bearing values copied, and telemetry handles
+// constructed outside their constructors.
+package locksafe
+
+import (
+	"sync"
+
+	"stochstream/internal/telemetry"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type wrapper struct{ g guarded }
+
+func copyOnAssign(a guarded) { // want "signature passes locksafe.guarded by value"
+	b := a // want "assignment copies locksafe.guarded by value"
+	_ = &b
+}
+
+func copyNested(w wrapper) { // want "signature passes locksafe.wrapper by value"
+	_ = &w
+}
+
+func byValueReceiver() {
+	var mu sync.Mutex
+	use(mu) // want "call copies sync.Mutex by value"
+	_ = &mu
+}
+
+func use(interface{}) {}
+
+func rangeCopies(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range value copies locksafe.guarded"
+		total += g.n
+	}
+	return total
+}
+
+func returnCopies(w *wrapper) guarded { // want "signature passes locksafe.guarded by value"
+	return w.g // want "return copies locksafe.guarded by value"
+}
+
+func pointersAreFine(g *guarded, w *wrapper) *guarded {
+	usePtr(g)
+	return &w.g
+}
+
+func usePtr(*guarded) {}
+
+func freshValuesAreFine() *guarded {
+	// Composite literals and zero-value declarations construct, not copy.
+	var g guarded
+	g = guarded{}
+	return &g
+}
+
+func literalCounter() *telemetry.Counter {
+	return &telemetry.Counter{} // want "telemetry.Counter constructed by literal"
+}
+
+func literalRegistry() telemetry.Registry { // want "signature passes telemetry.Registry by value"
+	r := telemetry.Registry{} // want "telemetry.Registry constructed by literal"
+	return r                  // want "return copies telemetry.Registry by value"
+}
+
+func zeroValueHandle() {
+	var c telemetry.Counter // want "zero-value telemetry.Counter declared"
+	c.Inc()
+}
+
+func constructorsAreFine() *telemetry.Counter {
+	r := telemetry.NewRegistry()
+	return r.Counter("steps_total")
+}
+
+func suppressed() {
+	var mu sync.Mutex
+	//lint:ignore locksafe deliberately copying a never-locked zero mutex in a test fixture
+	use(mu)
+}

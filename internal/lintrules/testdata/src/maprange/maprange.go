@@ -1,0 +1,108 @@
+// Package maprange is the seeded-violation corpus for the maprange
+// analyzer: order-dependent iteration over maps.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+)
+
+// emitUnsorted writes map entries in iteration order: order-dependent.
+func emitUnsorted(m map[string]int) {
+	for k, v := range m { // want "map iteration with order-dependent effects"
+		fmt.Println(k, v)
+	}
+}
+
+// appendNoSort collects values but never sorts them: the slice order is the
+// randomized map order.
+func appendNoSort(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want "never sorted afterwards"
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// floatSum accumulates floats: addition order changes the low bits.
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "map iteration with order-dependent effects"
+		sum += v
+	}
+	return sum
+}
+
+// sortedKeysIdiom is the blessed pattern: collect keys, sort, iterate.
+func sortedKeysIdiom(m map[string]int) {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	for _, k := range ks {
+		fmt.Println(k, m[k])
+	}
+}
+
+// invert writes only through another map's index: order-insensitive.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// intCount increments integer accumulators: commutative.
+func intCount(m map[string]int) (n, total int) {
+	for _, v := range m {
+		n++
+		total += v
+	}
+	return n, total
+}
+
+// conditionalWrite keeps the allowlist through if/continue nesting.
+func conditionalWrite(m map[string]int, keep map[string]bool) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		if v == 0 {
+			continue
+		}
+		if keep[k] {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// pruneEmpty deletes from another map: order-insensitive.
+func pruneEmpty(index map[int][]int, dead map[int]bool) {
+	for k := range dead {
+		delete(index, k)
+	}
+}
+
+// suppressed shows the escape hatch for a reviewed loop.
+func suppressed(m map[string]int, out chan<- int) {
+	//lint:ignore maprange consumer is an unordered set aggregator, reviewed
+	for _, v := range m {
+		out <- v
+	}
+}
+
+// nestedOrderDependent: the outer loop body is an inner range over a map
+// with an emission — the inner loop is flagged.
+func nestedOrderDependent(mm map[string]map[string]int) {
+	keys := make([]string, 0, len(mm))
+	for k := range mm {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for k2, v := range mm[k] { // want "map iteration with order-dependent effects"
+			fmt.Println(k2, v)
+		}
+	}
+}

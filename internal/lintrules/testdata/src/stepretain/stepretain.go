@@ -1,0 +1,67 @@
+// Package stepretain is the seeded-violation corpus for the stepretain
+// analyzer: retaining engine.Step results beyond the step.
+package stepretain
+
+import "stochstream/internal/engine"
+
+var lastPairs []engine.Pair
+
+type sink struct {
+	pairs  []engine.Pair
+	byStep [][]engine.Pair
+}
+
+func storeInField(j *engine.Join, s *sink, r, t engine.Tuple) {
+	s.pairs = j.Step(r, t) // want "engine.Step result retained"
+}
+
+func storeInGlobal(j *engine.Join, r, t engine.Tuple) {
+	lastPairs = j.Step(r, t) // want "engine.Step result retained"
+}
+
+func storeSubslice(j *engine.Join, s *sink, r, t engine.Tuple) {
+	s.pairs = j.Step(r, t)[:1] // want "engine.Step result retained"
+}
+
+func storeInElement(j *engine.Join, s *sink, r, t engine.Tuple) {
+	s.byStep[0] = j.Step(r, t) // want "engine.Step result retained"
+}
+
+func storeViaLocal(j *engine.Join, s *sink, r, t engine.Tuple) {
+	res := j.Step(r, t)
+	s.pairs = res // want "engine.Step result retained"
+}
+
+func storeInLiteral(j *engine.Join, r, t engine.Tuple) *sink {
+	return &sink{
+		pairs: j.Step(r, t), // want "engine.Step result retained"
+	}
+}
+
+func copyOutIsFine(j *engine.Join, s *sink, r, t engine.Tuple) {
+	// Copying the pairs detaches them from the reused buffer: not flagged.
+	s.pairs = append(s.pairs[:0], j.Step(r, t)...)
+}
+
+func elementCopyIsFine(j *engine.Join, r, t engine.Tuple) engine.Pair {
+	// A Pair is a value: reading one element copies it.
+	res := j.Step(r, t)
+	if len(res) > 0 {
+		return res[0]
+	}
+	return engine.Pair{}
+}
+
+func localUseIsFine(j *engine.Join, r, t engine.Tuple) int {
+	res := j.Step(r, t)
+	n := 0
+	for range res {
+		n++
+	}
+	return n
+}
+
+func suppressed(j *engine.Join, s *sink, r, t engine.Tuple) {
+	//lint:ignore stepretain consumed synchronously before the next Step, reviewed
+	s.pairs = j.Step(r, t)
+}

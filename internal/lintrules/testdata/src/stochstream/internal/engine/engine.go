@@ -1,0 +1,28 @@
+// Package engine is a stub of stochstream/internal/engine for the
+// stepretain corpus: it mirrors the Join.Step signature so the analyzer's
+// type-based matching resolves against the real import path.
+package engine
+
+// Tuple mirrors the real engine's tuple.
+type Tuple struct {
+	Key     int
+	Payload interface{}
+}
+
+// Pair mirrors the real engine's join result.
+type Pair struct {
+	Time     int
+	R, S     Tuple
+	SameTime bool
+}
+
+// Join mirrors the real operator.
+type Join struct{ out []Pair }
+
+// Step mirrors the real Step: the returned slice is valid only until the
+// next call.
+func (j *Join) Step(r, s Tuple) []Pair {
+	j.out = j.out[:0]
+	j.out = append(j.out, Pair{R: r, S: s})
+	return j.out
+}

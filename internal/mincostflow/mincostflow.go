@@ -181,7 +181,7 @@ func (g *Graph) dagPotentials(source int, order []int32) []float64 {
 	}
 	d[source] = 0
 	for _, v := range order {
-		if d[v] == math.Inf(1) {
+		if math.IsInf(d[v], 1) {
 			continue
 		}
 		for _, a := range g.heads[v] {
@@ -193,7 +193,7 @@ func (g *Graph) dagPotentials(source int, order []int32) []float64 {
 		}
 	}
 	for i := range d {
-		if d[i] == math.Inf(1) {
+		if math.IsInf(d[i], 1) {
 			d[i] = 0
 		}
 	}
@@ -235,7 +235,7 @@ func (g *Graph) bellmanFord(source int) []float64 {
 		}
 	}
 	for i := range d {
-		if d[i] == math.Inf(1) {
+		if math.IsInf(d[i], 1) {
 			d[i] = 0
 		}
 	}

@@ -212,6 +212,7 @@ func (p *HEEB) l() core.LFunc {
 // ensureLTab (re)tabulates the L table when α changed (Reset, or an adaptive
 // re-derivation at the head of Evict).
 func (p *HEEB) ensureLTab() {
+	//lint:ignore floateq memo-key check: alpha is stored verbatim, so bitwise equality is the invalidation contract
 	if p.Opts.NoMemo || p.ltabAlpha == p.alpha {
 		return
 	}

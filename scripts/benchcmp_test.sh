@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# benchcmp_test.sh — tests for the perf regression gate itself: feeds the
+# scripts/benchcmp comparator a synthetic baseline plus crafted bench output
+# and asserts the exit codes, so a broken gate cannot silently wave
+# regressions through. Run directly or via scripts/ci.sh:
+#
+#   ./scripts/benchcmp_test.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+cat > "$tmp/baseline.json" <<'EOF'
+{
+  "regression_gate_percent": 25.0,
+  "benchmarks": {
+    "BenchmarkStepHotSynthetic": {
+      "before": {"median_ns_per_op": 10000},
+      "after":  {"median_ns_per_op": 1000}
+    }
+  }
+}
+EOF
+
+fail=0
+check() { # check <name> <want_status|nonzero> <bench output...>
+    local name=$1 want=$2 input=$3 status=0
+    printf '%s\n' "$input" | go run ./scripts/benchcmp "$tmp/baseline.json" > "$tmp/out.txt" 2>&1 || status=$?
+    if [ "$want" = nonzero ] && [ "$status" -ne 0 ]; then want=$status; fi
+    if [ "$status" -ne "$want" ]; then
+        echo "FAIL $name: exit $status, want $want"
+        sed 's/^/    /' "$tmp/out.txt"
+        fail=1
+    else
+        echo "ok   $name (exit $status)"
+    fi
+}
+
+# >25% past the recorded median (1000 -> 2000 ns/op) must fail the gate.
+check "synthetic +100% regression rejected" 1 \
+"BenchmarkStepHotSynthetic-8   50   2000 ns/op
+BenchmarkStepHotSynthetic-8   50   2100 ns/op
+BenchmarkStepHotSynthetic-8   50   1900 ns/op"
+
+# Right at the recorded median must pass.
+check "at-baseline run accepted" 0 \
+"BenchmarkStepHotSynthetic-8   50   1000 ns/op
+BenchmarkStepHotSynthetic-8   50    990 ns/op
+BenchmarkStepHotSynthetic-8   50   1010 ns/op"
+
+# Within the 25% gate (median 1200, +20%) must pass.
+check "within-gate +20% accepted" 0 \
+"BenchmarkStepHotSynthetic-8   50   1200 ns/op"
+
+# A benchmark missing from the fresh run must fail (a deleted benchmark
+# would otherwise dodge the gate forever).
+check "missing benchmark rejected" 1 \
+"BenchmarkSomethingElse-8      50   1000 ns/op"
+
+# Garbage input (no bench lines at all) must fail with a usage error (go
+# run collapses the binary's exit 2 to its own nonzero status).
+check "empty input rejected" nonzero "no benchmarks here"
+
+exit $fail
