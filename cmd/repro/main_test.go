@@ -141,3 +141,57 @@ func TestRunRealDataFlag(t *testing.T) {
 		t.Fatal("missing trace file should error")
 	}
 }
+
+func TestRunCheckpointRestoreFlags(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "demo.ckpt")
+
+	// Phase 1: 300 steps, checkpoint.
+	var first bytes.Buffer
+	if err := run([]string{"-checkpoint", ckpt, "-len", "300", "-seed", "5", "-cache", "8"}, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "steps 300") || !strings.Contains(first.String(), "checkpoint written") {
+		t.Fatalf("checkpoint run output:\n%s", first.String())
+	}
+
+	// Phase 2: restore and replay 200 more steps.
+	var resumed bytes.Buffer
+	if err := run([]string{"-restore", ckpt, "-len", "200", "-seed", "5", "-cache", "8"}, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resumed.String(), "resuming at step 300") {
+		t.Fatalf("restore run output:\n%s", resumed.String())
+	}
+
+	// Reference: 500 uninterrupted steps. Its metrics line must match the
+	// resumed run's exactly — the checkpoint cycle is invisible.
+	var full bytes.Buffer
+	if err := run([]string{"-checkpoint", filepath.Join(dir, "full.ckpt"), "-len", "500", "-seed", "5", "-cache", "8"}, &full); err != nil {
+		t.Fatal(err)
+	}
+	metricsLine := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "demo join") {
+				return line
+			}
+		}
+		return ""
+	}
+	got, want := metricsLine(resumed.String()), metricsLine(full.String())
+	if got == "" || got != want {
+		t.Fatalf("resumed metrics %q, uninterrupted metrics %q", got, want)
+	}
+}
+
+func TestRunRestoreWrongConfig(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "demo.ckpt")
+	if err := run([]string{"-checkpoint", ckpt, "-len", "50", "-seed", "5", "-cache", "8"}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	// A different cache size must be rejected, not silently mis-restored.
+	if err := run([]string{"-restore", ckpt, "-len", "50", "-seed", "5", "-cache", "9"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("restore with a mismatched -cache should error")
+	}
+}

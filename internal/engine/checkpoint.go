@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"stochstream/internal/checkpoint"
+	"stochstream/internal/join"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+// The checkpoint payload is a gob-encoded checkpointWire inside the
+// internal/checkpoint envelope (magic + version + CRC32). Everything the
+// operator needs to replay exactly as an uninterrupted run is captured:
+// the configuration fingerprint (so a restore into a differently configured
+// operator is rejected), the clock and ID counter, the metrics, the cache
+// with payloads, both observed histories, the state RNG, and the policy's
+// private decision state when the policy implements join.StateSnapshotter.
+// Indexes are not serialized — they are a pure function of the cache and are
+// rebuilt on restore.
+//
+// Payloads are stored as interface values, so gob requires their concrete
+// types to be registered; the common scalar types are registered here and
+// callers with richer payloads register them with encoding/gob themselves.
+type checkpointWire struct {
+	CacheSize, Window, Band int
+	Seed                    uint64
+	PolicyName              string
+
+	Time    int
+	NextID  int
+	Metrics Metrics
+	Cache   []cacheEntryWire
+	Hists   [2][]int
+
+	StateRNG       []byte
+	HasPolicyState bool
+	PolicyState    []byte
+}
+
+type cacheEntryWire struct {
+	Tuple   join.Tuple
+	Payload interface{}
+}
+
+func init() {
+	// Interface-typed payloads need registered concrete types; cover the
+	// scalars so the common cases work out of the box. Identical
+	// re-registration elsewhere is a no-op.
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register(uint64(0))
+	gob.Register(float64(0))
+	gob.Register(string(""))
+	gob.Register(bool(false))
+	gob.Register([]byte(nil))
+}
+
+// fingerprint returns the configuration identity a checkpoint is bound to.
+func (j *Join) fingerprint() (int, int, int, uint64, string) {
+	return j.cfg.CacheSize, j.cfg.Window, j.cfg.Band, j.cfg.Seed, unwrapPolicy(j.policy).Name()
+}
+
+// Checkpoint serializes the operator's full state to w. The operator is
+// unchanged and can keep stepping; a later Restore into an operator built
+// with the same Config resumes as if the run had never stopped.
+//
+// Policies that hold private decision state (RNG streams, adaptive
+// trackers — see join.StateSnapshotter) are captured too; policies whose
+// state re-derives from the histories need nothing. A policy with
+// unsnapshottable private state will replay differently after restore —
+// implement StateSnapshotter for it.
+func (j *Join) Checkpoint(w io.Writer) error {
+	size, window, band, seed, polName := j.fingerprint()
+	wire := checkpointWire{
+		CacheSize:  size,
+		Window:     window,
+		Band:       band,
+		Seed:       seed,
+		PolicyName: polName,
+		Time:       j.time,
+		NextID:     j.nextID,
+		Metrics:    j.m,
+		Cache:      make([]cacheEntryWire, len(j.cache)),
+		Hists: [2][]int{
+			append([]int(nil), j.hists[0].Values()...),
+			append([]int(nil), j.hists[1].Values()...),
+		},
+	}
+	for i, e := range j.cache {
+		wire.Cache[i] = cacheEntryWire{Tuple: e.t, Payload: e.payload}
+	}
+	rngBytes, err := j.state.RNG.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("engine: serializing state RNG: %w", err)
+	}
+	wire.StateRNG = rngBytes
+	if s, ok := unwrapPolicy(j.policy).(join.StateSnapshotter); ok {
+		ps, err := s.SnapshotState()
+		if err != nil {
+			return fmt.Errorf("engine: snapshotting policy %s: %w", polName, err)
+		}
+		wire.HasPolicyState = true
+		wire.PolicyState = ps
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return fmt.Errorf("engine: encoding checkpoint: %w", err)
+	}
+	return checkpoint.Write(w, buf.Bytes())
+}
+
+// Restore replaces the operator's state with a checkpoint taken from an
+// operator built with the same Config. Envelope failures (bad magic,
+// unsupported version, checksum mismatch — see internal/checkpoint), decode
+// failures and configuration mismatches are all detected before any state is
+// touched: on such errors the operator continues exactly as it was. Only a
+// failing policy-state restore (possible with a custom StateSnapshotter) can
+// leave the policy partially restored; the engine's own state is still
+// committed atomically after it.
+func (j *Join) Restore(r io.Reader) error {
+	payload, err := checkpoint.Read(r)
+	if err != nil {
+		return err
+	}
+	var wire checkpointWire
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wire); err != nil {
+		return fmt.Errorf("engine: decoding checkpoint payload: %w", err)
+	}
+	size, window, band, seed, polName := j.fingerprint()
+	if wire.CacheSize != size || wire.Window != window || wire.Band != band {
+		return fmt.Errorf("%w: checkpoint (cache=%d, window=%d, band=%d), operator (cache=%d, window=%d, band=%d)",
+			ErrConfigMismatch, wire.CacheSize, wire.Window, wire.Band, size, window, band)
+	}
+	if wire.Seed != seed {
+		return fmt.Errorf("%w: checkpoint seed %d, operator seed %d", ErrConfigMismatch, wire.Seed, seed)
+	}
+	if wire.PolicyName != polName {
+		return fmt.Errorf("%w: checkpoint policy %q, operator policy %q", ErrConfigMismatch, wire.PolicyName, polName)
+	}
+	if err := validateWire(&wire); err != nil {
+		return err
+	}
+	rng := stats.NewRNG(0)
+	if err := rng.UnmarshalBinary(wire.StateRNG); err != nil {
+		return fmt.Errorf("engine: restoring state RNG: %w", err)
+	}
+	// Everything fallible that can run without mutating is done; restore the
+	// policy first (the one mutation that can still fail), then commit.
+	if wire.HasPolicyState {
+		s, ok := unwrapPolicy(j.policy).(join.StateSnapshotter)
+		if !ok {
+			return fmt.Errorf("%w: checkpoint carries state for policy %q, which cannot restore it",
+				ErrConfigMismatch, wire.PolicyName)
+		}
+		if err := s.RestoreState(wire.PolicyState); err != nil {
+			return fmt.Errorf("engine: restoring policy %s: %w", wire.PolicyName, err)
+		}
+	}
+	j.time = wire.Time
+	j.nextID = wire.NextID
+	j.m = wire.Metrics
+	j.hists = [2]*process.History{
+		process.NewHistory(wire.Hists[0]...),
+		process.NewHistory(wire.Hists[1]...),
+	}
+	j.state.Hists = j.hists
+	j.state.Time = wire.Time - 1
+	j.state.RNG = rng
+	j.cache = j.cache[:0]
+	if j.cfg.Band == 0 {
+		j.equi = [2]map[int][]int{{}, {}}
+		j.ord = [2][]valID{}
+	} else {
+		j.equi = [2]map[int][]int{}
+		j.ord = [2][]valID{nil, nil}
+	}
+	for _, e := range wire.Cache {
+		j.admit(entry{t: e.Tuple, payload: e.Payload})
+	}
+	return nil
+}
+
+// validateWire sanity-checks decoded checkpoint state before it is
+// committed, so a payload that passed the checksum but carries impossible
+// state (a hand-edited file with a recomputed CRC) still cannot corrupt the
+// operator.
+func validateWire(wire *checkpointWire) error {
+	bad := func(format string, args ...interface{}) error {
+		return fmt.Errorf("engine: invalid checkpoint state: "+format, args...)
+	}
+	if wire.Time < 0 || wire.NextID < 0 {
+		return bad("time %d, next ID %d", wire.Time, wire.NextID)
+	}
+	if len(wire.Hists[0]) != wire.Time || len(wire.Hists[1]) != wire.Time {
+		return bad("histories of %d and %d observations for %d steps",
+			len(wire.Hists[0]), len(wire.Hists[1]), wire.Time)
+	}
+	if len(wire.Cache) > wire.CacheSize {
+		return bad("%d cached entries for budget %d", len(wire.Cache), wire.CacheSize)
+	}
+	for i, e := range wire.Cache {
+		if e.Tuple.ID < 0 || e.Tuple.ID >= wire.NextID {
+			return bad("entry %d has ID %d outside [0, %d)", i, e.Tuple.ID, wire.NextID)
+		}
+		if e.Tuple.Arrived < 0 || e.Tuple.Arrived >= wire.Time {
+			return bad("entry %d arrived at %d, checkpoint time is %d", i, e.Tuple.Arrived, wire.Time)
+		}
+		if i > 0 && e.Tuple.ID <= wire.Cache[i-1].Tuple.ID {
+			return bad("cache IDs not strictly ascending at %d", i)
+		}
+		if i > 0 && e.Tuple.Arrived < wire.Cache[i-1].Tuple.Arrived {
+			return bad("arrival times not nondecreasing at %d", i)
+		}
+		if int(e.Tuple.Stream) != 0 && int(e.Tuple.Stream) != 1 {
+			return bad("entry %d has stream %d", i, e.Tuple.Stream)
+		}
+	}
+	return nil
+}

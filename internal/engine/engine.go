@@ -16,7 +16,6 @@ package engine
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -152,10 +151,13 @@ type valID struct{ v, id int }
 
 // NewJoin validates the configuration and builds the operator.
 func NewJoin(cfg Config) (*Join, error) {
-	if cfg.CacheSize < 1 {
-		return nil, errors.New("engine: cache size must be >= 1")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	pol := defaultPolicy(cfg)
+	if lad, ok := pol.(*policy.Ladder); ok && cfg.Telemetry != nil {
+		wireDowngrades(lad, cfg.Telemetry)
+	}
 	if cfg.Telemetry != nil {
 		pol = telemetry.InstrumentPolicy(pol, cfg.Telemetry)
 	}
@@ -494,3 +496,10 @@ func (p *randPolicy) Reset(_ join.Config, rng *stats.RNG) { p.rng = rng }
 func (p *randPolicy) Evict(_ *join.State, cands []join.Tuple, n int) []int {
 	return p.rng.Perm(len(cands))[:n]
 }
+
+// SnapshotState implements join.StateSnapshotter: the private RNG is the
+// policy's only state.
+func (p *randPolicy) SnapshotState() ([]byte, error) { return p.rng.MarshalBinary() }
+
+// RestoreState implements join.StateSnapshotter.
+func (p *randPolicy) RestoreState(data []byte) error { return p.rng.UnmarshalBinary(data) }

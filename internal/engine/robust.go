@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"stochstream/internal/join"
+	"stochstream/internal/policy"
+	"stochstream/internal/process"
+	"stochstream/internal/telemetry"
+)
+
+// StepChecked is the fault-tolerant boundary around Step: arrivals are
+// validated before any state changes, and a panic escaping the step (a buggy
+// custom policy, a poisoned model) comes back as an error instead of
+// unwinding the embedding system.
+//
+// Failure semantics differ by class. ErrBadTuple is a clean rejection — the
+// step did not happen, no state was touched, and the operator accepts
+// further steps. ErrStepFailed means the step aborted midway; the cache may
+// be inconsistent, so the caller should Restore from a checkpoint (or
+// rebuild the operator) before continuing. Policies wrapped in a
+// policy.Ladder never reach the ErrStepFailed path for decision failures —
+// the ladder degrades to a simpler rung instead.
+func (j *Join) StepChecked(r, s Tuple) (out []Pair, err error) {
+	if e := checkKey(r.Key); e != nil {
+		return nil, fmt.Errorf("%w: stream R: %v", ErrBadTuple, e)
+	}
+	if e := checkKey(s.Key); e != nil {
+		return nil, fmt.Errorf("%w: stream S: %v", ErrBadTuple, e)
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			out, err = nil, fmt.Errorf("%w: %v", ErrStepFailed, rec)
+		}
+	}()
+	return j.Step(r, s), nil
+}
+
+// checkKey rejects keys outside [MinKey, MaxKey]; the NoValue sentinel (a
+// tuple that can never join) is explicitly allowed.
+func checkKey(k int) error {
+	if k == process.NoValue {
+		return nil
+	}
+	if k < MinKey || k > MaxKey {
+		return fmt.Errorf("key %d outside [%d, %d]", k, MinKey, MaxKey)
+	}
+	return nil
+}
+
+// CheckInvariants verifies the operator's structural invariants: the cache
+// is within budget and in strictly ascending ID order with nondecreasing
+// arrival times and no window-expired entries, and the probe index (hash or
+// ordered, whichever the configuration uses) agrees exactly with the cache
+// contents. It returns nil or an error wrapping ErrInvariant.
+//
+// The walk is linear in the cache and index size, so it is meant for tests
+// and chaos harnesses, not the hot path.
+func (j *Join) CheckInvariants() error {
+	fail := func(format string, args ...interface{}) error {
+		return fmt.Errorf("%w: %s", ErrInvariant, fmt.Sprintf(format, args...))
+	}
+	if len(j.cache) > j.cfg.CacheSize {
+		return fail("cache holds %d entries, budget %d", len(j.cache), j.cfg.CacheSize)
+	}
+	indexable := 0
+	for i := range j.cache {
+		e := &j.cache[i]
+		if e.t.ID < 0 || e.t.ID >= j.nextID {
+			return fail("entry %d has ID %d outside [0, %d)", i, e.t.ID, j.nextID)
+		}
+		if i > 0 {
+			prev := &j.cache[i-1]
+			if e.t.ID <= prev.t.ID {
+				return fail("cache IDs not strictly ascending at %d: %d after %d", i, e.t.ID, prev.t.ID)
+			}
+			if e.t.Arrived < prev.t.Arrived {
+				return fail("arrival times not nondecreasing at %d: %d after %d", i, e.t.Arrived, prev.t.Arrived)
+			}
+		}
+		if e.t.Arrived < 0 || e.t.Arrived >= j.time {
+			return fail("entry %d arrived at %d, operator time is %d", i, e.t.Arrived, j.time)
+		}
+		if w := j.cfg.Window; w > 0 && (j.time-1)-e.t.Arrived > w {
+			return fail("entry %d (arrived %d) expired at time %d under window %d", i, e.t.Arrived, j.time-1, w)
+		}
+		if e.t.Value != process.NoValue {
+			indexable++
+		}
+	}
+	return j.checkIndex(indexable, fail)
+}
+
+// checkIndex verifies index↔cache agreement: every indexable cache entry has
+// exactly one posting under its (stream, value), postings are ordered, and
+// no posting points at a missing entry.
+func (j *Join) checkIndex(indexable int, fail func(string, ...interface{}) error) error {
+	posted := 0
+	if j.cfg.Band == 0 {
+		for side, b := range j.equi {
+			// Sorted keys so a violation is always reported for the same
+			// bucket regardless of map iteration order.
+			vals := make([]int, 0, len(b))
+			for v := range b {
+				vals = append(vals, v)
+			}
+			sort.Ints(vals)
+			for _, v := range vals {
+				ids := b[v]
+				if len(ids) == 0 {
+					return fail("equi index side %d retains empty bucket for value %d", side, v)
+				}
+				for k, id := range ids {
+					if k > 0 && ids[k-1] >= id {
+						return fail("equi bucket (side %d, value %d) not ID-ascending", side, v)
+					}
+					if err := j.checkPosting(side, v, id, fail); err != nil {
+						return err
+					}
+				}
+				posted += len(ids)
+			}
+		}
+	} else {
+		for side, ord := range j.ord {
+			for k, p := range ord {
+				if k > 0 {
+					prev := ord[k-1]
+					if prev.v > p.v || (prev.v == p.v && prev.id >= p.id) {
+						return fail("ordered index side %d not (value, ID)-ascending at %d", side, k)
+					}
+				}
+				if err := j.checkPosting(side, p.v, p.id, fail); err != nil {
+					return err
+				}
+			}
+			posted += len(ord)
+		}
+	}
+	if posted != indexable {
+		return fail("index holds %d postings for %d indexable cache entries", posted, indexable)
+	}
+	return nil
+}
+
+// checkPosting verifies one index posting against the cache.
+func (j *Join) checkPosting(side, v, id int, fail func(string, ...interface{}) error) error {
+	e := j.lookupByID(id)
+	if e == nil {
+		return fail("index posting (side %d, value %d) points at missing ID %d", side, v, id)
+	}
+	if int(e.t.Stream) != side || e.t.Value != v {
+		return fail("index posting (side %d, value %d, ID %d) disagrees with cached (stream %d, value %d)",
+			side, v, id, e.t.Stream, e.t.Value)
+	}
+	return nil
+}
+
+// lookupByID is entryByID without the present-ID precondition: it returns
+// nil when the ID is not cached.
+func (j *Join) lookupByID(id int) *entry {
+	i := sort.Search(len(j.cache), func(k int) bool { return j.cache[k].t.ID >= id })
+	if i == len(j.cache) || j.cache[i].t.ID != id {
+		return nil
+	}
+	return &j.cache[i]
+}
+
+// FallbackCounts reports the degradation ladder's per-rung fallback
+// counters, index-aligned with names, when the configured policy is a
+// policy.Ladder (directly or behind the telemetry wrapper). ok is false for
+// non-ladder policies.
+func (j *Join) FallbackCounts() (names []string, counts []uint64, ok bool) {
+	lad, isLadder := unwrapPolicy(j.policy).(*policy.Ladder)
+	if !isLadder {
+		return nil, nil, false
+	}
+	names = lad.RungNames()
+	counts = make([]uint64, len(names))
+	for i := range counts {
+		counts[i] = lad.FallbackCount(i)
+	}
+	return names, counts, true
+}
+
+// unwrapPolicy strips instrumentation wrappers (anything with an Unwrap
+// method) off a policy.
+func unwrapPolicy(p join.Policy) join.Policy {
+	for {
+		u, ok := p.(interface{ Unwrap() join.Policy })
+		if !ok {
+			return p
+		}
+		p = u.Unwrap()
+	}
+}
+
+// wireDowngrades connects a ladder's downgrade callback to a telemetry
+// registry: one ladder_fallback_total counter per (from, to) edge, plus a
+// record in the downgrade trace. An OnDowngrade the caller installed first
+// keeps firing.
+func wireDowngrades(lad *policy.Ladder, reg *telemetry.Registry) {
+	prev := lad.OnDowngrade
+	lad.OnDowngrade = func(d policy.Downgrade) {
+		if prev != nil {
+			prev(d)
+		}
+		reg.Counter(`ladder_fallback_total{from="` + d.From + `",to="` + d.To + `"}`).Inc()
+		reason := ""
+		if d.Err != nil {
+			reason = d.Err.Error()
+		}
+		reg.Downgrades().Record(telemetry.DowngradeRecord{Step: d.Step, From: d.From, To: d.To, Reason: reason})
+	}
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"stochstream/internal/join"
+	"stochstream/internal/process"
+	"stochstream/internal/stats"
+)
+
+func TestStepCheckedRejectsBadKeys(t *testing.T) {
+	j, err := NewJoin(Config{CacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Step(Tuple{Key: 1}, Tuple{Key: 2})
+	before := j.Metrics()
+	snap := j.Snapshot()
+	for _, tc := range []struct{ r, s int }{
+		{math.MaxInt64, 5},
+		{5, math.MinInt64},
+		{MinKey - 2, 5}, // just below the domain, and not the NoValue sentinel
+	} {
+		if _, err := j.StepChecked(Tuple{Key: tc.r}, Tuple{Key: tc.s}); !errors.Is(err, ErrBadTuple) {
+			t.Fatalf("keys (%d, %d): got %v, want ErrBadTuple", tc.r, tc.s, err)
+		}
+	}
+	if after := j.Metrics(); after != before {
+		t.Fatalf("rejected step mutated metrics:\n  before %+v\n  after  %+v", before, after)
+	}
+	if !snapshotsEqual(j.Snapshot(), snap) {
+		t.Fatal("rejected step mutated the cache")
+	}
+	if err := j.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepCheckedAllowsNoValueAndDomainKeys(t *testing.T) {
+	j, err := NewJoin(Config{CacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ r, s int }{
+		{process.NoValue, 5},
+		{MinKey, MaxKey},
+		{0, 0},
+	} {
+		if _, err := j.StepChecked(Tuple{Key: tc.r}, Tuple{Key: tc.s}); err != nil {
+			t.Fatalf("keys (%d, %d): %v", tc.r, tc.s, err)
+		}
+	}
+	if got, want := j.Metrics().Steps, 3; got != want {
+		t.Fatalf("steps = %d, want %d", got, want)
+	}
+}
+
+// panicPolicy blows up after a set number of decisions.
+type panicPolicy struct{ after, n int }
+
+func (p *panicPolicy) Name() string                  { return "PANIC" }
+func (p *panicPolicy) Reset(join.Config, *stats.RNG) { p.n = 0 }
+func (p *panicPolicy) Evict(_ *join.State, cands []join.Tuple, n int) []int {
+	if p.n++; p.n > p.after {
+		panic("policy bug")
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestStepCheckedConvertsPanicToError(t *testing.T) {
+	// With CacheSize 2, step 0 admits both arrivals without a decision; the
+	// first Evict happens at step 1, the second (the panicking one) at step 2.
+	j, err := NewJoin(Config{CacheSize: 2, Policy: &panicPolicy{after: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := j.StepChecked(Tuple{Key: i}, Tuple{Key: i + 10}); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if _, err := j.StepChecked(Tuple{Key: 7}, Tuple{Key: 8}); !errors.Is(err, ErrStepFailed) {
+		t.Fatalf("got %v, want ErrStepFailed", err)
+	}
+}
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	mk := func(cfg Config, steps int) *Join {
+		j, err := NewJoin(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, s := ckptTrace(steps)
+		for i := 0; i < steps; i++ {
+			j.Step(r[i], s[i])
+		}
+		if err := j.CheckInvariants(); err != nil {
+			t.Fatalf("healthy operator: %v", err)
+		}
+		return j
+	}
+
+	t.Run("cache-order", func(t *testing.T) {
+		j := mk(Config{CacheSize: 6}, 40)
+		j.cache[0], j.cache[1] = j.cache[1], j.cache[0]
+		if err := j.CheckInvariants(); !errors.Is(err, ErrInvariant) {
+			t.Fatalf("got %v, want ErrInvariant", err)
+		}
+	})
+	t.Run("equi-index-drift", func(t *testing.T) {
+		j := mk(Config{CacheSize: 6}, 40)
+		// Tamper: change a cached value without re-indexing.
+		j.cache[0].t.Value += 1000000
+		if err := j.CheckInvariants(); !errors.Is(err, ErrInvariant) {
+			t.Fatalf("got %v, want ErrInvariant", err)
+		}
+	})
+	t.Run("ord-index-drift", func(t *testing.T) {
+		j := mk(Config{CacheSize: 6, Band: 2}, 40)
+		side := j.cache[0].t.Stream
+		j.ord[side] = j.ord[side][:len(j.ord[side])-1]
+		if err := j.CheckInvariants(); !errors.Is(err, ErrInvariant) {
+			t.Fatalf("got %v, want ErrInvariant", err)
+		}
+	})
+	t.Run("over-budget", func(t *testing.T) {
+		j := mk(Config{CacheSize: 6}, 40)
+		j.cfg.CacheSize = len(j.cache) - 1
+		if err := j.CheckInvariants(); !errors.Is(err, ErrInvariant) {
+			t.Fatalf("got %v, want ErrInvariant", err)
+		}
+	})
+	t.Run("window-expired", func(t *testing.T) {
+		j := mk(Config{CacheSize: 6, Window: 8}, 40)
+		j.time += 100
+		if err := j.CheckInvariants(); !errors.Is(err, ErrInvariant) {
+			t.Fatalf("got %v, want ErrInvariant", err)
+		}
+	})
+}
+
+func TestFallbackCounts(t *testing.T) {
+	j, err := NewJoin(Config{CacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := j.FallbackCounts(); ok {
+		t.Fatal("non-ladder policy reported fallback counts")
+	}
+}

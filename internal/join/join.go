@@ -86,6 +86,22 @@ type Policy interface {
 	Evict(st *State, candidates []Tuple, n int) []int
 }
 
+// StateSnapshotter is implemented by policies whose decision state cannot be
+// re-derived from the observed histories alone — private RNG streams,
+// adaptive parameter trackers, incrementally maintained scores. The engine's
+// checkpoint captures this state so a restored operator replays the exact
+// decision sequence of an uninterrupted run. Policies whose state is a pure
+// function of the histories (PROB/LIFE frequency counts, FlowExpect's
+// per-decision memo) need not implement it.
+type StateSnapshotter interface {
+	// SnapshotState serializes the policy's decision state.
+	SnapshotState() ([]byte, error)
+	// RestoreState replaces the policy's decision state with a snapshot
+	// taken from an identically configured policy. On error the policy may
+	// be left partially restored and must be Reset before further use.
+	RestoreState(data []byte) error
+}
+
 // EagerEvictor marks policies whose Evict must be invoked at every step,
 // even when the cache is not overflowing, and which may discard more tuples
 // than strictly required. The caching→joining reduction adapter uses it to

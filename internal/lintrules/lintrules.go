@@ -25,6 +25,11 @@ var decisionPkgs = []string{
 	"stochstream/internal/cachepolicy",
 	"stochstream/internal/engine",
 	"stochstream/internal/mincostflow",
+	// The fault-tolerance layer inherits the contract: a checkpoint must
+	// restore identically and a fault plan must replay identically, so
+	// neither may read clocks or ambient randomness.
+	"stochstream/internal/checkpoint",
+	"stochstream/internal/faultinject",
 }
 
 // emissionPkgs additionally carry result emission and metric export, whose

@@ -55,6 +55,8 @@ func TestScoping(t *testing.T) {
 	}{
 		{"detsource", "stochstream/internal/policy", true},
 		{"detsource", "stochstream/internal/engine", true},
+		{"detsource", "stochstream/internal/checkpoint", true},
+		{"detsource", "stochstream/internal/faultinject", true},
 		{"detsource", "stochstream/internal/stats", false}, // stats owns the RNGs
 		{"detsource", "stochstream/internal/telemetry", false},
 		{"maprange", "stochstream/internal/telemetry", true},

@@ -83,3 +83,32 @@ func suppressed() {
 	//lint:ignore locksafe deliberately copying a never-locked zero mutex in a test fixture
 	use(mu)
 }
+
+// A checkpoint-shaped struct holding a telemetry handle by value: the
+// snapshot forks the registry's atomic state, and a restore would resurrect
+// stale counters disconnected from the exporter.
+type ckptWithHandle struct {
+	step int
+	reg  telemetry.Registry
+}
+
+func snapshotTelemetry(reg *telemetry.Registry, c *ckptWithHandle) {
+	c.step++
+	c.reg = *reg // want "assignment copies telemetry.Registry by value"
+}
+
+func restoreTelemetry(c *ckptWithHandle) *telemetry.Registry {
+	r := c.reg // want "assignment copies telemetry.Registry by value"
+	return &r
+}
+
+// A checkpoint that records a pointer to the handle (or better, none at
+// all) stays connected to the live registry: not flagged.
+type ckptWithPointer struct {
+	step int
+	reg  *telemetry.Registry
+}
+
+func snapshotPointer(reg *telemetry.Registry, c *ckptWithPointer) {
+	c.reg = reg
+}

@@ -65,3 +65,23 @@ func suppressed(j *engine.Join, s *sink, r, t engine.Tuple) {
 	//lint:ignore stepretain consumed synchronously before the next Step, reviewed
 	s.pairs = j.Step(r, t)
 }
+
+// A checkpoint-shaped buffer that retains Step results for later
+// serialization: the engine reuses the pairs buffer across steps, so the
+// "snapshot" would alias live memory and mutate under the writer.
+type checkpointBuf struct {
+	step    int
+	pending []engine.Pair
+}
+
+func (c *checkpointBuf) capture(j *engine.Join, r, t engine.Tuple) {
+	c.pending = j.Step(r, t) // want "engine.Step result retained"
+	c.step++
+}
+
+func (c *checkpointBuf) captureDetached(j *engine.Join, r, t engine.Tuple) {
+	// Copying into the buffer's own backing array detaches the snapshot
+	// from the reused step buffer: not flagged.
+	c.pending = append(c.pending[:0], j.Step(r, t)...)
+	c.step++
+}

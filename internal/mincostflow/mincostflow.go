@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Graph is a directed flow network. Nodes are dense integers [0, N).
@@ -74,6 +75,52 @@ type Result struct {
 // ErrDisconnected is returned when no unit of flow can reach the sink.
 var ErrDisconnected = errors.New("mincostflow: sink unreachable from source")
 
+// ErrNumericalInstability is returned when the solver's invariants are broken
+// by the arc costs themselves — a negative-cost cycle surfacing during the
+// initial potential pass, or a residual arc whose reduced cost is negative
+// beyond floating-point slack. Degenerate FlowExpect instances (NaN/Inf
+// benefits, corrupted model parameters) land here instead of panicking; the
+// graph may hold a partial flow and must be discarded by the caller.
+var ErrNumericalInstability = errors.New("mincostflow: numerical instability")
+
+// ErrBudgetExceeded is returned when a Budget bound was hit before the
+// requested flow was routed. The budget is deterministic — it counts solver
+// work (augmentations, relaxations), never wall-clock time — so a budgeted
+// solve fails identically on every replay of the same instance.
+var ErrBudgetExceeded = errors.New("mincostflow: solver budget exceeded")
+
+// ErrInjectedFailure is returned when the test failure hook forces a solve to
+// fail (fault-injection harnesses; never set in production).
+var ErrInjectedFailure = errors.New("mincostflow: injected solver failure")
+
+// Budget bounds the work one MinCostFlowBudget call may do. Zero fields mean
+// unlimited (beyond the built-in negative-cycle guard). Counting solver
+// iterations instead of time keeps budgeted solves deterministic, as the
+// engine's replay and checkpoint guarantees require.
+type Budget struct {
+	// MaxAugmentations caps the number of augmenting paths pushed.
+	MaxAugmentations int64
+	// MaxRelaxations caps edge relaxations in the Bellman–Ford initial
+	// potential pass (the topological pass is linear and never bounded).
+	MaxRelaxations int64
+}
+
+// failureHook, when non-nil, is consulted at the top of every solve; a true
+// return fails the solve with ErrInjectedFailure. It exists for the
+// fault-injection harness and is deterministic as long as the installed hook
+// is (internal/faultinject installs seeded, call-counting hooks).
+var failureHook atomic.Pointer[func() bool]
+
+// SetFailureHook installs (or, with nil, removes) the process-wide solver
+// failure hook. Test harnesses only.
+func SetFailureHook(f func() bool) {
+	if f == nil {
+		failureHook.Store(nil)
+		return
+	}
+	failureHook.Store(&f)
+}
+
 // MinCostFlow routes up to target units of flow from source to sink at
 // minimum total cost, mutating the graph's residual capacities. It returns
 // the units routed and their cost. If fewer than target units fit, the
@@ -85,20 +132,47 @@ var ErrDisconnected = errors.New("mincostflow: sink unreachable from source")
 // when the positive-capacity subgraph is a DAG, Bellman–Ford otherwise),
 // then Dijkstra on reduced costs for each augmentation.
 func (g *Graph) MinCostFlow(source, sink, target int) (Result, error) {
+	return g.MinCostFlowBudget(source, sink, target, Budget{})
+}
+
+// MinCostFlowBudget is MinCostFlow under a deterministic work budget. When a
+// bound is hit the routed (partial) flow is reported alongside
+// ErrBudgetExceeded; the graph's residual state reflects the partial flow and
+// should be discarded.
+func (g *Graph) MinCostFlowBudget(source, sink, target int, budget Budget) (Result, error) {
 	if source == sink {
 		return Result{}, errors.New("mincostflow: source equals sink")
 	}
 	if target <= 0 {
 		return Result{}, nil
 	}
-	pot := g.initialPotentials(source)
+	if hook := failureHook.Load(); hook != nil && (*hook)() {
+		return Result{}, ErrInjectedFailure
+	}
+	pot, err := g.initialPotentials(source, budget)
+	if err != nil {
+		return Result{}, err
+	}
 	var res Result
 	var dijkstraRuns, augmentations int64
 	distTo := make([]float64, g.n)
 	parentArc := make([]int32, g.n)
 	for res.Flow < target {
+		if budget.MaxAugmentations > 0 && augmentations >= budget.MaxAugmentations {
+			statSolves.Add(1)
+			statDijkstra.Add(dijkstraRuns)
+			statAugmentations.Add(augmentations)
+			return res, fmt.Errorf("%w: %d augmentations routed %d/%d units", ErrBudgetExceeded, augmentations, res.Flow, target)
+		}
 		dijkstraRuns++
-		if !g.dijkstra(source, sink, pot, distTo, parentArc) {
+		reached, err := g.dijkstra(source, sink, pot, distTo, parentArc)
+		if err != nil {
+			statSolves.Add(1)
+			statDijkstra.Add(dijkstraRuns)
+			statAugmentations.Add(augmentations)
+			return res, err
+		}
+		if !reached {
 			break
 		}
 		augmentations++
@@ -137,11 +211,11 @@ func (g *Graph) MinCostFlow(source, sink, target int) (Result, error) {
 // initialPotentials computes shortest-path distances from source over
 // positive-capacity arcs, tolerating negative costs. Nodes unreachable from
 // the source get potential 0 (they can never be on an augmenting path).
-func (g *Graph) initialPotentials(source int) []float64 {
+func (g *Graph) initialPotentials(source int, budget Budget) ([]float64, error) {
 	if order, ok := g.topoOrder(); ok {
-		return g.dagPotentials(source, order)
+		return g.dagPotentials(source, order), nil
 	}
-	return g.bellmanFord(source)
+	return g.bellmanFord(source, budget)
 }
 
 // topoOrder returns a topological order of the positive-capacity subgraph,
@@ -200,7 +274,7 @@ func (g *Graph) dagPotentials(source int, order []int32) []float64 {
 	return d
 }
 
-func (g *Graph) bellmanFord(source int) []float64 {
+func (g *Graph) bellmanFord(source int, budget Budget) ([]float64, error) {
 	statBellmanFord.Add(1)
 	d := make([]float64, g.n)
 	for i := range d {
@@ -210,8 +284,8 @@ func (g *Graph) bellmanFord(source int) []float64 {
 	inQueue := make([]bool, g.n)
 	queue := []int32{int32(source)}
 	inQueue[source] = true
-	relaxations := 0
-	maxRelax := g.n * len(g.arcs) // negative-cycle guard
+	var relaxations int64
+	maxRelax := int64(g.n) * int64(len(g.arcs)) // negative-cycle guard
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
@@ -224,8 +298,11 @@ func (g *Graph) bellmanFord(source int) []float64 {
 			if nd := d[v] + g.arcs[a].cost; nd < d[to]-1e-15 {
 				d[to] = nd
 				relaxations++
+				if budget.MaxRelaxations > 0 && relaxations > budget.MaxRelaxations {
+					return nil, fmt.Errorf("%w: %d Bellman–Ford relaxations", ErrBudgetExceeded, relaxations)
+				}
 				if relaxations > maxRelax {
-					panic("mincostflow: negative-cost cycle detected")
+					return nil, fmt.Errorf("%w: negative-cost cycle detected after %d relaxations", ErrNumericalInstability, relaxations)
 				}
 				if !inQueue[to] {
 					queue = append(queue, to)
@@ -239,12 +316,14 @@ func (g *Graph) bellmanFord(source int) []float64 {
 			d[i] = 0
 		}
 	}
-	return d
+	return d, nil
 }
 
 // dijkstra finds shortest paths on reduced costs, filling distTo and
-// parentArc; it reports whether the sink is reachable.
-func (g *Graph) dijkstra(source, sink int, pot, distTo []float64, parentArc []int32) bool {
+// parentArc; it reports whether the sink is reachable. A residual arc with a
+// truly negative reduced cost (beyond floating-point slack) breaks the
+// algorithm's invariant and is reported as ErrNumericalInstability.
+func (g *Graph) dijkstra(source, sink int, pot, distTo []float64, parentArc []int32) (bool, error) {
 	for i := range distTo {
 		distTo[i] = math.Inf(1)
 		parentArc[i] = -1
@@ -268,11 +347,11 @@ func (g *Graph) dijkstra(source, sink int, pot, distTo []float64, parentArc []in
 				continue
 			}
 			rc := g.arcs[a].cost + pot[v] - pot[to]
-			if rc < 0 {
-				// Floating-point slack only; true negatives would break
-				// Dijkstra's invariant.
-				if rc < -1e-6 {
-					panic(fmt.Sprintf("mincostflow: negative reduced cost %g", rc))
+			if rc < 0 || math.IsNaN(rc) {
+				// Floating-point slack only; true negatives (or NaN costs from
+				// corrupted benefits) would break Dijkstra's invariant.
+				if rc < -1e-6 || math.IsNaN(rc) {
+					return false, fmt.Errorf("%w: reduced cost %g on arc %d", ErrNumericalInstability, rc, a)
 				}
 				rc = 0
 			}
@@ -283,7 +362,7 @@ func (g *Graph) dijkstra(source, sink int, pot, distTo []float64, parentArc []in
 			}
 		}
 	}
-	return distTo[sink] < math.Inf(1)
+	return distTo[sink] < math.Inf(1), nil
 }
 
 type heapItem struct {

@@ -1,0 +1,123 @@
+package mincostflow
+
+import (
+	"errors"
+	"testing"
+)
+
+// parallelPaths builds a graph whose max flow needs one augmentation per
+// unit: source 0, sink n+1, and n disjoint two-arc paths of capacity 1.
+func parallelPaths(n int) *Graph {
+	g := New(n + 2)
+	for i := 0; i < n; i++ {
+		g.AddArc(0, 1+i, 1, float64(i))
+		g.AddArc(1+i, n+1, 1, 0)
+	}
+	return g
+}
+
+func TestBudgetMaxAugmentations(t *testing.T) {
+	g := parallelPaths(4)
+	res, err := g.MinCostFlowBudget(0, 5, 4, Budget{MaxAugmentations: 2})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	// The partial result reflects the work done before the bound: the two
+	// cheapest unit paths.
+	if res.Flow != 2 || res.Cost != 1 {
+		t.Fatalf("partial result = %+v, want flow 2 cost 1", res)
+	}
+}
+
+func TestBudgetMaxAugmentationsSufficient(t *testing.T) {
+	g := parallelPaths(3)
+	res, err := g.MinCostFlowBudget(0, 4, 3, Budget{MaxAugmentations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 3 {
+		t.Fatalf("flow = %d, want 3", res.Flow)
+	}
+}
+
+// cyclicGraph has a positive-capacity cycle, so the initial potential pass
+// must fall back from the topological order to Bellman–Ford.
+func cyclicGraph() *Graph {
+	g := New(4)
+	g.AddArc(0, 1, 2, -1)
+	g.AddArc(1, 2, 2, -1)
+	g.AddArc(2, 1, 1, 2) // closes the cycle 1→2→1 (total cost +1: legal)
+	g.AddArc(2, 3, 2, 0)
+	return g
+}
+
+func TestBudgetMaxRelaxations(t *testing.T) {
+	g := cyclicGraph()
+	_, err := g.MinCostFlowBudget(0, 3, 2, Budget{MaxRelaxations: 1})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestBudgetedFailureIsDeterministic(t *testing.T) {
+	run := func() (Result, string) {
+		g := parallelPaths(5)
+		res, err := g.MinCostFlowBudget(0, 6, 5, Budget{MaxAugmentations: 2})
+		return res, err.Error()
+	}
+	r1, e1 := run()
+	r2, e2 := run()
+	if r1 != r2 || e1 != e2 {
+		t.Fatalf("budgeted failure diverged across replays:\n  %+v %q\n  %+v %q", r1, e1, r2, e2)
+	}
+}
+
+func TestNegativeCycleIsErrorNotPanic(t *testing.T) {
+	g := New(4)
+	g.AddArc(0, 1, 1, 0)
+	g.AddArc(1, 2, 1, -3)
+	g.AddArc(2, 1, 1, 1) // cycle 1→2→1, total cost -2
+	g.AddArc(2, 3, 1, 0)
+	_, err := g.MinCostFlow(0, 3, 1)
+	if !errors.Is(err, ErrNumericalInstability) {
+		t.Fatalf("err = %v, want ErrNumericalInstability", err)
+	}
+}
+
+func TestFailureHook(t *testing.T) {
+	calls := 0
+	SetFailureHook(func() bool { calls++; return calls == 1 })
+	defer SetFailureHook(nil)
+
+	g := parallelPaths(2)
+	if _, err := g.MinCostFlow(0, 3, 2); !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("err = %v, want ErrInjectedFailure", err)
+	}
+	// The hook declined the second solve; a fresh graph solves cleanly.
+	g = parallelPaths(2)
+	res, err := g.MinCostFlow(0, 3, 2)
+	if err != nil || res.Flow != 2 {
+		t.Fatalf("res = %+v err = %v, want flow 2", res, err)
+	}
+	if calls != 2 {
+		t.Fatalf("hook consulted %d times, want once per solve (2)", calls)
+	}
+
+	// Uninstalling restores the unhooked path.
+	SetFailureHook(nil)
+	g = parallelPaths(1)
+	if _, err := g.MinCostFlow(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroBudgetIsUnlimited(t *testing.T) {
+	g := cyclicGraph()
+	res, err := g.MinCostFlowBudget(0, 3, 2, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 2 {
+		t.Fatalf("flow = %d, want 2", res.Flow)
+	}
+}

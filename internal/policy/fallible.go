@@ -1,0 +1,76 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"stochstream/internal/join"
+)
+
+// The degradation-ladder error taxonomy. A policy that cannot produce a
+// trustworthy decision reports one of these instead of panicking, so a single
+// degenerate instance (a NaN model parameter, a pathological flow graph)
+// downgrades one decision instead of killing the operator. The engine
+// re-exports them as engine.ErrModelDiverged etc.
+var (
+	// ErrModelDiverged marks a decision whose candidate scores were not
+	// finite — the stream model produced NaN/Inf benefit estimates.
+	ErrModelDiverged = errors.New("policy: model diverged: non-finite candidate score")
+	// ErrSolverBudget marks a FlowExpect decision abandoned because the
+	// min-cost-flow solve exceeded its deterministic iteration budget.
+	ErrSolverBudget = errors.New("policy: solver budget exhausted")
+	// ErrSolverFailed marks a FlowExpect decision whose solve failed outright
+	// (numerical instability, disconnected graph, injected fault).
+	ErrSolverFailed = errors.New("policy: solver failed")
+	// ErrInvalidEviction marks a rung that returned a malformed eviction set
+	// (wrong count, out-of-range or duplicate indices).
+	ErrInvalidEviction = errors.New("policy: invalid eviction set")
+)
+
+// Fallible is implemented by policies that can report a failed replacement
+// decision instead of panicking. TryEvict has Evict's contract — exactly n
+// in-range, distinct indices — but returns an error from the taxonomy above
+// when the decision cannot be trusted; the caller (typically a Ladder) then
+// degrades to a simpler policy for this decision only. A nil error guarantees
+// a valid eviction set.
+type Fallible interface {
+	TryEvict(st *join.State, cands []join.Tuple, n int) ([]int, error)
+}
+
+// firstNonFinite returns the index of the first NaN/Inf score, or -1 when all
+// scores are finite.
+func firstNonFinite(scores []float64) int {
+	for i, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkEviction validates an eviction set against Evict's contract without
+// panicking; scratch is a reusable seen-buffer (grown as needed) so ladder
+// validation stays allocation-free at steady state.
+func checkEviction(evict []int, nCands, need int, scratch []bool) ([]bool, error) {
+	if len(evict) != need {
+		return scratch, fmt.Errorf("%w: returned %d evictions, need %d", ErrInvalidEviction, len(evict), need)
+	}
+	if cap(scratch) < nCands {
+		scratch = make([]bool, nCands)
+	}
+	scratch = scratch[:nCands]
+	for i := range scratch {
+		scratch[i] = false
+	}
+	for _, i := range evict {
+		if i < 0 || i >= nCands {
+			return scratch, fmt.Errorf("%w: index %d out of range [0,%d)", ErrInvalidEviction, i, nCands)
+		}
+		if scratch[i] {
+			return scratch, fmt.Errorf("%w: duplicate index %d", ErrInvalidEviction, i)
+		}
+		scratch[i] = true
+	}
+	return scratch, nil
+}

@@ -285,6 +285,20 @@ func walkParams(pr process.Process) (sigma, drift float64) {
 
 // Evict implements join.Policy.
 func (p *HEEB) Evict(st *join.State, cands []join.Tuple, n int) []int {
+	evict, _ := p.evict(st, cands, n, false)
+	return evict
+}
+
+// TryEvict implements Fallible: identical decisions to Evict, except that
+// non-finite candidate scores (a NaN model parameter, an overflowed benefit
+// sum) are reported as ErrModelDiverged instead of silently producing a
+// garbage ordering. The finite check is only paid on the TryEvict path, so
+// the bare hot path is unchanged.
+func (p *HEEB) TryEvict(st *join.State, cands []join.Tuple, n int) ([]int, error) {
+	return p.evict(st, cands, n, true)
+}
+
+func (p *HEEB) evict(st *join.State, cands []join.Tuple, n int, checked bool) ([]int, error) {
 	if p.Opts.Adaptive && p.tracker.N() > 0 {
 		p.alpha = p.tracker.Alpha(p.Opts.LifetimeEstimate)
 	}
@@ -292,12 +306,21 @@ func (p *HEEB) Evict(st *join.State, cands []join.Tuple, n int) []int {
 
 	var evict []int
 	if p.Opts.DominancePrefilter {
-		evict = p.evictPrefiltered(st, cands, n)
+		var err error
+		evict, err = p.evictPrefiltered(st, cands, n, checked)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		// The common path scores every candidate in place: no remaining-set
 		// map, no live-subset copies — the candidate indices are the
 		// positions evictLowest already works with.
 		p.scoreBuf = p.scoreAll(st, cands, p.scoreBuf[:0])
+		if checked {
+			if i := firstNonFinite(p.scoreBuf); i >= 0 {
+				return nil, fmt.Errorf("%w: candidate %d (value %d) scored %g", ErrModelDiverged, i, cands[i].Value, p.scoreBuf[i])
+			}
+		}
 		evict = evictLowest(p.scoreBuf, cands, n)
 	}
 
@@ -306,12 +329,13 @@ func (p *HEEB) Evict(st *join.State, cands []join.Tuple, n int) []int {
 		p.tracker.Observe(cands[i].Arrived, st.Time)
 		delete(p.inc, cands[i].ID)
 	}
-	return evict
+	return evict, nil
 }
 
 // evictPrefiltered is the Corollary 2 path: discard a dominated subset
-// first, then score only the remainder.
-func (p *HEEB) evictPrefiltered(st *join.State, cands []join.Tuple, n int) []int {
+// first, then score only the remainder. With checked set, non-finite scores
+// of the surviving candidates fail the decision as ErrModelDiverged.
+func (p *HEEB) evictPrefiltered(st *join.State, cands []join.Tuple, n int, checked bool) ([]int, error) {
 	evict := make([]int, 0, n)
 	remaining := make(map[int]bool, len(cands))
 	for i := range cands {
@@ -345,11 +369,16 @@ func (p *HEEB) evictPrefiltered(st *join.State, cands []join.Tuple, n int) []int
 			}
 		}
 		liveScores := p.scoreAll(st, live, nil)
+		if checked {
+			if i := firstNonFinite(liveScores); i >= 0 {
+				return nil, fmt.Errorf("%w: candidate %d (value %d) scored %g", ErrModelDiverged, liveIdx[i], live[i].Value, liveScores[i])
+			}
+		}
 		for _, j := range evictLowest(liveScores, live, n-len(evict)) {
 			evict = append(evict, liveIdx[j])
 		}
 	}
-	return evict
+	return evict, nil
 }
 
 // scoreAll scores every candidate into out (resized as needed), fanning out

@@ -1,0 +1,200 @@
+package policy
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// This file implements join.StateSnapshotter for the policies that carry
+// decision state a checkpoint must capture: HEEB (adaptive α, the lifetime
+// tracker, incrementally maintained per-tuple scores), the RNG-driven RAND
+// and RESERVOIR, and Ladder (which delegates to its rungs). PROB and LIFE
+// rebuild their value counts from the restored histories, and FlowExpect's
+// forecast memo is rebound every decision, so neither needs snapshot code.
+//
+// Wire format: gob of an exported wire struct per policy. The bytes travel
+// inside the engine checkpoint's versioned, checksummed envelope
+// (internal/checkpoint), so no versioning is repeated here.
+
+type heebWire struct {
+	Alpha                     float64
+	TrackerDecay, TrackerMean float64
+	TrackerN                  int
+	Inc                       map[int]heebWireEntry
+	OffsetH                   [2]map[int]float64
+}
+
+type heebWireEntry struct {
+	H    float64
+	Last int
+}
+
+// SnapshotState implements join.StateSnapshotter.
+func (p *HEEB) SnapshotState() ([]byte, error) {
+	w := heebWire{
+		Alpha:   p.alpha,
+		Inc:     make(map[int]heebWireEntry, len(p.inc)),
+		OffsetH: [2]map[int]float64{{}, {}},
+	}
+	if p.tracker != nil {
+		w.TrackerDecay, w.TrackerMean, w.TrackerN = p.tracker.State()
+	}
+	for id, e := range p.inc {
+		w.Inc[id] = heebWireEntry{H: e.h, Last: e.last}
+	}
+	for s := 0; s < 2; s++ {
+		for off, h := range p.offsetH[s] {
+			w.OffsetH[s][off] = h
+		}
+	}
+	return gobEncode(w)
+}
+
+// RestoreState implements join.StateSnapshotter. The policy must have been
+// Reset with the same configuration that produced the snapshot; precomputed
+// forms (h1/h2, the L table) are rebuilt deterministically on demand.
+func (p *HEEB) RestoreState(data []byte) error {
+	var w heebWire
+	if err := gobDecode(data, &w); err != nil {
+		return fmt.Errorf("policy: restoring HEEB state: %w", err)
+	}
+	if w.TrackerN > 0 || w.TrackerDecay != 0 {
+		if err := p.tracker.Restore(w.TrackerDecay, w.TrackerMean, w.TrackerN); err != nil {
+			return fmt.Errorf("policy: restoring HEEB lifetime tracker: %w", err)
+		}
+	}
+	p.alpha = w.Alpha
+	p.inc = make(map[int]*heebEntry, len(w.Inc))
+	for id, e := range w.Inc {
+		p.inc[id] = &heebEntry{h: e.H, last: e.Last}
+	}
+	p.offsetH = [2]map[int]float64{{}, {}}
+	for s := 0; s < 2; s++ {
+		for off, h := range w.OffsetH[s] {
+			p.offsetH[s][off] = h
+		}
+	}
+	return nil
+}
+
+type randWire struct{ RNG []byte }
+
+// SnapshotState implements join.StateSnapshotter.
+func (p *Rand) SnapshotState() ([]byte, error) {
+	b, err := p.rng.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return gobEncode(randWire{RNG: b})
+}
+
+// RestoreState implements join.StateSnapshotter.
+func (p *Rand) RestoreState(data []byte) error {
+	var w randWire
+	if err := gobDecode(data, &w); err != nil {
+		return fmt.Errorf("policy: restoring RAND state: %w", err)
+	}
+	return p.rng.UnmarshalBinary(w.RNG)
+}
+
+type reservoirWire struct {
+	RNG  []byte
+	Seen int
+}
+
+// SnapshotState implements join.StateSnapshotter.
+func (p *Reservoir) SnapshotState() ([]byte, error) {
+	b, err := p.rng.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return gobEncode(reservoirWire{RNG: b, Seen: p.seen})
+}
+
+// RestoreState implements join.StateSnapshotter.
+func (p *Reservoir) RestoreState(data []byte) error {
+	var w reservoirWire
+	if err := gobDecode(data, &w); err != nil {
+		return fmt.Errorf("policy: restoring RESERVOIR state: %w", err)
+	}
+	if err := p.rng.UnmarshalBinary(w.RNG); err != nil {
+		return err
+	}
+	p.seen = w.Seen
+	return nil
+}
+
+type ladderWire struct {
+	Rungs     []ladderRungWire
+	Fallbacks []uint64
+	LastRung  int
+}
+
+type ladderRungWire struct {
+	Name     string
+	HasState bool
+	State    []byte
+}
+
+// SnapshotState implements join.StateSnapshotter by capturing every rung
+// that itself carries state, plus the ladder's fallback counters.
+func (p *Ladder) SnapshotState() ([]byte, error) {
+	w := ladderWire{Fallbacks: append([]uint64(nil), p.fallbacks...), LastRung: p.lastRung}
+	for _, r := range p.Rungs {
+		rw := ladderRungWire{Name: r.Name()}
+		if s, ok := r.(interface{ SnapshotState() ([]byte, error) }); ok {
+			b, err := s.SnapshotState()
+			if err != nil {
+				return nil, fmt.Errorf("policy: snapshotting ladder rung %s: %w", r.Name(), err)
+			}
+			rw.HasState, rw.State = true, b
+		}
+		w.Rungs = append(w.Rungs, rw)
+	}
+	return gobEncode(w)
+}
+
+// RestoreState implements join.StateSnapshotter. The ladder must have been
+// Reset with the same rung list that produced the snapshot.
+func (p *Ladder) RestoreState(data []byte) error {
+	var w ladderWire
+	if err := gobDecode(data, &w); err != nil {
+		return fmt.Errorf("policy: restoring ladder state: %w", err)
+	}
+	if len(w.Rungs) != len(p.Rungs) {
+		return fmt.Errorf("policy: ladder snapshot has %d rungs, policy has %d", len(w.Rungs), len(p.Rungs))
+	}
+	for i, rw := range w.Rungs {
+		if rw.Name != p.Rungs[i].Name() {
+			return fmt.Errorf("policy: ladder rung %d is %s, snapshot has %s", i, p.Rungs[i].Name(), rw.Name)
+		}
+		if !rw.HasState {
+			continue
+		}
+		s, ok := p.Rungs[i].(interface{ RestoreState([]byte) error })
+		if !ok {
+			return fmt.Errorf("policy: ladder rung %s cannot restore state", rw.Name)
+		}
+		if err := s.RestoreState(rw.State); err != nil {
+			return err
+		}
+	}
+	if len(w.Fallbacks) == len(p.fallbacks) {
+		copy(p.fallbacks, w.Fallbacks)
+	}
+	p.lastRung = w.LastRung
+	return nil
+}
+
+func gobEncode(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

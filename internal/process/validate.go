@@ -1,0 +1,94 @@
+package process
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Validator is implemented by stream models that can check their parameters
+// up front. The models are plain structs, so a caller can build one with
+// parameters that only blow up deep inside a run — a GaussianWalk with
+// σ ≤ 0 panics the first time dist.Normal materializes a forecast.
+// engine.Config.Validate calls Validate on every model that has it, turning
+// those latent mid-run panics into construction-time errors. Internal
+// invariant panics (Forecast with delta < 1, indexing a History out of
+// range) stay panics: they are programming errors, not configuration errors.
+type Validator interface {
+	Validate() error
+}
+
+// Validate implements Validator. A Deterministic sequence has no invalid
+// parameterizations: an empty or short Seq forecasts NoValue past its end.
+func (d *Deterministic) Validate() error { return nil }
+
+// Validate implements Validator.
+func (s *Stationary) Validate() error {
+	if s.P == nil {
+		return errors.New("process: Stationary requires a distribution P")
+	}
+	return nil
+}
+
+// Validate implements Validator.
+func (l *LinearTrend) Validate() error {
+	if l.Noise == nil {
+		return errors.New("process: LinearTrend requires a noise distribution")
+	}
+	return nil
+}
+
+// Validate implements Validator.
+func (g *GeneralTrend) Validate() error {
+	if g.F == nil {
+		return errors.New("process: GeneralTrend requires a trend function F")
+	}
+	if g.Noise == nil {
+		return errors.New("process: GeneralTrend requires a noise distribution")
+	}
+	return nil
+}
+
+// Validate implements Validator.
+func (w *RandomWalk) Validate() error {
+	if w.Step == nil {
+		return errors.New("process: RandomWalk requires a step distribution")
+	}
+	return nil
+}
+
+// Validate implements Validator: σ must be positive and finite (dist.Normal
+// panics otherwise when the first forecast is materialized), and the drift
+// finite.
+func (w *GaussianWalk) Validate() error {
+	if !(w.Sigma > 0) || math.IsInf(w.Sigma, 0) {
+		return fmt.Errorf("process: GaussianWalk requires finite sigma > 0, got %g", w.Sigma)
+	}
+	if math.IsNaN(w.Drift) || math.IsInf(w.Drift, 0) {
+		return fmt.Errorf("process: GaussianWalk requires finite drift, got %g", w.Drift)
+	}
+	return nil
+}
+
+// Validate implements Validator: the innovation σ must be positive and
+// finite, the coefficients finite, and |Phi1| ≤ 1 (an explosive AR(1) drives
+// the forecast mean and variance to overflow within a few steps).
+func (a *AR1) Validate() error {
+	if !(a.Sigma > 0) || math.IsInf(a.Sigma, 0) {
+		return fmt.Errorf("process: AR1 requires finite sigma > 0, got %g", a.Sigma)
+	}
+	if math.IsNaN(a.Phi0) || math.IsInf(a.Phi0, 0) {
+		return fmt.Errorf("process: AR1 requires finite phi0, got %g", a.Phi0)
+	}
+	if math.IsNaN(a.Phi1) || math.Abs(a.Phi1) > 1 {
+		return fmt.Errorf("process: AR1 requires |phi1| <= 1, got %g", a.Phi1)
+	}
+	return nil
+}
+
+// Validate implements Validator by re-running the NewMarkovChain checks, for
+// chains assembled directly rather than through the constructor.
+func (m *MarkovChain) Validate() error {
+	_, err := NewMarkovChain(m.Lo, m.P, m.Init)
+	return err
+}

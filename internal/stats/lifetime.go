@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // AlphaForLifetime inverts the Lexp lifetime model: Lexp(Δt) = e^{-Δt/α}
 // predicts an average cached-tuple lifetime of 1/(1−e^{-1/α}), so given an
@@ -76,4 +79,23 @@ func (lt *LifetimeTracker) MeanLifetime(fallback float64) float64 {
 // fallbackLifetime before any observation.
 func (lt *LifetimeTracker) Alpha(fallbackLifetime float64) float64 {
 	return AlphaForLifetime(lt.MeanLifetime(fallbackLifetime))
+}
+
+// State returns the tracker's internal state (decay, running mean, count) for
+// checkpointing; Restore is its inverse.
+func (lt *LifetimeTracker) State() (decay, mean float64, n int) {
+	return lt.decay, lt.mean, lt.n
+}
+
+// Restore overwrites the tracker with a previously captured State. The decay
+// must satisfy the constructor's contract.
+func (lt *LifetimeTracker) Restore(decay, mean float64, n int) error {
+	if decay <= 0 || decay > 1 {
+		return errors.New("stats: LifetimeTracker decay must be in (0, 1]")
+	}
+	if n < 0 {
+		return errors.New("stats: LifetimeTracker count must be >= 0")
+	}
+	lt.decay, lt.mean, lt.n = decay, mean, n
+	return nil
 }

@@ -5,19 +5,26 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 )
 
 // RNG is a deterministic random source. Every experiment in this module
-// threads an explicit RNG so runs are reproducible from a seed.
+// threads an explicit RNG so runs are reproducible from a seed. The
+// underlying PCG state is serializable (MarshalBinary/UnmarshalBinary), which
+// is what lets an engine checkpoint capture a mid-run generator and resume it
+// bit-for-bit: rand/v2's Rand carries no buffered state of its own, so the
+// PCG words are the whole story.
 type RNG struct {
-	r *rand.Rand
+	r   *rand.Rand
+	pcg *rand.PCG
 }
 
 // NewRNG returns a PCG-backed source seeded deterministically from seed.
 func NewRNG(seed uint64) *RNG {
-	return &RNG{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &RNG{r: rand.New(pcg), pcg: pcg}
 }
 
 // Float64 returns a uniform variate in [0, 1).
@@ -35,7 +42,29 @@ func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 // Split derives an independent child generator. Multi-run experiments give
 // each run a split so adding a policy never perturbs another policy's data.
 func (g *RNG) Split() *RNG {
-	return &RNG{r: rand.New(rand.NewPCG(g.r.Uint64(), g.r.Uint64()))}
+	pcg := rand.NewPCG(g.r.Uint64(), g.r.Uint64())
+	return &RNG{r: rand.New(pcg), pcg: pcg}
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler by serializing the
+// underlying PCG state.
+func (g *RNG) MarshalBinary() ([]byte, error) {
+	if g.pcg == nil {
+		return nil, errors.New("stats: RNG has no serializable source")
+	}
+	return g.pcg.MarshalBinary()
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler: the generator
+// resumes exactly where the marshaled one stopped.
+func (g *RNG) UnmarshalBinary(data []byte) error {
+	pcg := rand.NewPCG(0, 0)
+	if err := pcg.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	g.pcg = pcg
+	g.r = rand.New(pcg)
+	return nil
 }
 
 // Summary accumulates count, mean and variance online (Welford's method).

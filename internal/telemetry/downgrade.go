@@ -1,0 +1,62 @@
+package telemetry
+
+import "sync"
+
+// DowngradeRecord is one degradation-ladder fallback: at Step, the rung From
+// failed with Reason and the decision moved to rung To. Together with the
+// ladder_fallback_total counters it makes every downgrade visible — the
+// counters say how often each rung fails, the ring says when and why.
+type DowngradeRecord struct {
+	Step   int    `json:"step"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Reason string `json:"reason"`
+}
+
+// DowngradeTrace is a fixed-capacity ring of downgrade records, sharing the
+// DecisionTrace design: O(1) recording under a mutex, chronological reads.
+type DowngradeTrace struct {
+	mu    sync.Mutex
+	buf   []DowngradeRecord
+	next  int
+	total uint64
+}
+
+// NewDowngradeTrace returns a trace holding the last capacity records.
+func NewDowngradeTrace(capacity int) *DowngradeTrace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &DowngradeTrace{buf: make([]DowngradeRecord, 0, capacity)}
+}
+
+// Record appends one downgrade, evicting the oldest when the ring is full.
+func (t *DowngradeTrace) Record(rec DowngradeRecord) {
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, rec)
+	} else {
+		t.buf[t.next] = rec
+		t.next = (t.next + 1) % cap(t.buf)
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Records returns the retained records, oldest first.
+func (t *DowngradeTrace) Records() []DowngradeRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]DowngradeRecord, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Total returns the number of records ever written (including overwritten
+// ones).
+func (t *DowngradeTrace) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

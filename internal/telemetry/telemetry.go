@@ -80,10 +80,11 @@ type Registry struct {
 	hists      map[string]*Histogram
 	gaugeFuncs map[string]func() float64
 	trace      *DecisionTrace
+	downgrades *DowngradeTrace
 }
 
 // NewRegistry returns an empty registry with a decision trace of the default
-// capacity (512 records).
+// capacity (512 records) and a downgrade trace of the same capacity.
 func NewRegistry() *Registry {
 	return &Registry{
 		counters:   map[string]*Counter{},
@@ -91,6 +92,7 @@ func NewRegistry() *Registry {
 		hists:      map[string]*Histogram{},
 		gaugeFuncs: map[string]func() float64{},
 		trace:      NewDecisionTrace(512),
+		downgrades: NewDowngradeTrace(512),
 	}
 }
 
@@ -165,6 +167,9 @@ func (r *Registry) HistogramWith(name string, bounds []float64) *Histogram {
 
 // Trace returns the registry's decision trace.
 func (r *Registry) Trace() *DecisionTrace { return r.trace }
+
+// Downgrades returns the registry's degradation-ladder downgrade trace.
+func (r *Registry) Downgrades() *DowngradeTrace { return r.downgrades }
 
 // sortedKeys returns the keys of a map in stable order for deterministic
 // export output.

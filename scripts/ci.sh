@@ -7,9 +7,11 @@
 #   3. govulncheck      — known-vuln scan, soft-skipped offline
 #   4. build
 #   5. go test -race    — the full suite under the race detector
-#   6. fuzz smoke       — 10s of FuzzStepEquivalence over the committed corpus
-#   7. gate self-test   — scripts/benchcmp_test.sh proves the perf gate fails
-#   8. bench smoke      — a build that breaks the benchmarks cannot land
+#   6. chaos smoke      — seeded fault-injection campaign against the full
+#                         degradation ladder (docs/fault-tolerance.md)
+#   7. fuzz smoke       — 10s of FuzzStepEquivalence over the committed corpus
+#   8. gate self-test   — scripts/benchcmp_test.sh proves the perf gate fails
+#   9. bench smoke      — a build that breaks the benchmarks cannot land
 #
 # Run from the repo root:
 #
@@ -55,6 +57,12 @@ go build ./...
 
 echo "==> test (-race)"
 go test -race "$@" ./...
+
+echo "==> chaos smoke (seeded fault injection)"
+# The -race phase above already ran these once; this re-runs them undetected
+# at full speed as a freestanding, grep-able gate so a chaos regression is
+# named in CI output rather than buried in the package list.
+go test -run '^TestChaos' -count=1 -v ./internal/faultinject | grep -E '^(=== RUN|--- (PASS|FAIL)|PASS|FAIL|ok)'
 
 echo "==> fuzz smoke (committed corpus + 10s)"
 go test -run '^$' -fuzz '^FuzzStepEquivalence$' -fuzztime 10s ./internal/engine
