@@ -1,95 +1,271 @@
 // Command stochlint is the multichecker driver for the internal/lintrules
 // analyzer suite: it type-checks the module's packages (offline, stdlib
-// importer only) and runs each analyzer over its scoped package set.
+// importer only), builds whole-program context (call graph + per-function
+// summaries) once, and runs each analyzer over its scoped package set.
 //
-//	go run ./cmd/stochlint ./...          # the CI invocation
-//	go run ./cmd/stochlint ./internal/... # any go-style patterns work
+//	go run ./cmd/stochlint ./...            # the CI invocation
+//	go run ./cmd/stochlint -json ./...      # machine-readable findings
+//	go run ./cmd/stochlint -C subdir ./...  # run as if started in subdir
+//	go run ./cmd/stochlint -parallel 1 ./...
 //
 // Findings print as file:line:col: [analyzer] message, relative to the
-// working directory when possible, and any finding makes the exit status 1.
-// Suppress a reviewed finding with a `//lint:ignore <analyzer> <reason>`
-// comment on the offending line or the line above; docs/static-analysis.md
-// describes every rule.
+// working directory when possible; any unsuppressed finding makes the exit
+// status 1. Suppress a reviewed finding with a `//lint:ignore <analyzer>
+// <reason>` comment on the offending line or the line above — the reason is
+// mandatory, and stale or misnamed directives are themselves reported under
+// the "staleignore" pseudo-analyzer. docs/static-analysis.md describes
+// every rule.
+//
+// Packages are analyzed in parallel (one worker per CPU by default; -parallel
+// caps it) with findings merged in deterministic package order, so output is
+// byte-identical across runs regardless of scheduling.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
 
 	"stochstream/internal/lintrules"
 	"stochstream/internal/lintrules/analysis"
+	"stochstream/internal/lintrules/dataflow"
 	"stochstream/internal/lintrules/load"
 )
 
+type options struct {
+	// JSON switches output to a machine-readable finding array (including
+	// suppressed findings, which the text mode hides).
+	JSON bool
+	// Dir runs the driver as if invoked from this directory (like git -C /
+	// make -C): module-root discovery, pattern resolution and path
+	// relativization all anchor there.
+	Dir string
+	// Parallel caps the number of packages analyzed concurrently; 1 forces
+	// the serial order. Loading is always serial (the loader memoizes
+	// through plain maps); only the analysis phase fans out.
+	Parallel int
+	// Timing reports load/analysis wall times on stderr — the numbers
+	// recorded in BENCH_stochlint.json.
+	Timing bool
+}
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	fs := flag.NewFlagSet("stochlint", flag.ExitOnError)
+	opts := options{}
+	fs.BoolVar(&opts.JSON, "json", false, "emit findings as a JSON array (file/line/col/analyzer/message/suppressed)")
+	fs.StringVar(&opts.Dir, "C", "", "run as if stochlint were started in `dir`")
+	fs.IntVar(&opts.Parallel, "parallel", runtime.GOMAXPROCS(0), "max packages analyzed concurrently (1 = serial)")
+	fs.BoolVar(&opts.Timing, "timing", false, "report load/analysis wall times on stderr")
+	_ = fs.Parse(os.Args[1:])
+	code, err := run(opts, fs.Args(), os.Stdout, os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "stochlint:", err)
 		os.Exit(2)
 	}
+	os.Exit(code)
 }
 
-func run(patterns []string) error {
+// jsonFinding is the -json record. The schema is part of the CI contract:
+// scripts consuming it (and the golden file under testdata) pin these keys.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// run executes one driver invocation and returns its exit code: 0 clean,
+// 1 when any unsuppressed finding (including staleignore audit findings)
+// remains. Infrastructure failures return a non-nil error (exit 2 in main).
+func run(opts options, patterns []string, stdout, stderr io.Writer) (int, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	root, err := findModuleRoot()
+	if opts.Parallel < 1 {
+		opts.Parallel = 1
+	}
+	workdir := opts.Dir
+	if workdir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return 0, err
+		}
+		workdir = wd
+	}
+	workdir, err := filepath.Abs(workdir)
 	if err != nil {
-		return err
+		return 0, err
+	}
+	root, err := findModuleRoot(workdir)
+	if err != nil {
+		return 0, err
 	}
 	loader, err := load.NewLoader(root, "")
 	if err != nil {
-		return err
+		return 0, err
 	}
 	paths, err := loader.List(patterns)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if len(paths) == 0 {
-		return fmt.Errorf("no packages match %v", patterns)
+		return 0, fmt.Errorf("no packages match %v", patterns)
 	}
-	rules := lintrules.Rules()
-	var findings []analysis.Finding
+
+	// Load phase: strictly serial — the loader memoizes packages and
+	// positions through shared maps and a shared FileSet.
+	loadStart := time.Now()
+	pkgs := make([]*load.Package, 0, len(paths))
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		for _, r := range rules {
-			if !r.Applies(path) {
+		pkgs = append(pkgs, pkg)
+	}
+
+	// Whole-program context: one suppression table and one call graph over
+	// every source package the load phase touched (targets plus transitive
+	// module imports), shared by all workers.
+	table := analysis.NewSuppressionTable()
+	srcPkgs := loader.SourcePackages()
+	for _, p := range srcPkgs {
+		table.AddFiles(loader.Fset, p.Files)
+	}
+	prog := dataflow.NewProgram(loader.Fset, srcPkgs, table)
+	loadDur := time.Since(loadStart)
+
+	// Analysis phase: packages fan out across workers; perFindings keeps
+	// results slotted by package index so the merge order (and therefore
+	// the output) is deterministic regardless of scheduling. The shared
+	// structures are safe here: the suppression table and the fact solver
+	// lock internally, CFGs build under sync.Once, and everything else is
+	// read-only after load.
+	rules := lintrules.Rules()
+	analyzeStart := time.Now()
+	perFindings := make([][]analysis.Finding, len(pkgs))
+	perErr := make([]error, len(pkgs))
+	sem := make(chan struct{}, opts.Parallel)
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, pkg *load.Package) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			for _, r := range rules {
+				if !r.Applies(pkg.Path) {
+					continue
+				}
+				fs, err := analysis.RunAnalyzerWith(r.Analyzer, table, prog, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+				if err != nil {
+					perErr[i] = err
+					return
+				}
+				perFindings[i] = append(perFindings[i], fs...)
+			}
+		}(i, pkg)
+	}
+	wg.Wait()
+	analyzeDur := time.Since(analyzeStart)
+	var findings []analysis.Finding
+	for i := range pkgs {
+		if perErr[i] != nil {
+			return 0, perErr[i]
+		}
+		findings = append(findings, perFindings[i]...)
+	}
+
+	// Suppression audit, scoped to the files actually analyzed: a directive
+	// in a package outside the requested patterns may legitimately be
+	// unused this run.
+	known := map[string]bool{}
+	for _, a := range lintrules.Analyzers() {
+		known[a.Name] = true
+	}
+	analyzed := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			analyzed[pkg.Fset.Position(f.Pos()).Filename] = true
+		}
+	}
+	findings = append(findings, table.Audit(func(n string) bool { return known[n] }, analyzed)...)
+
+	for i := range findings {
+		findings[i].Pos.Filename = relativize(workdir, findings[i].Pos.Filename)
+	}
+	analysis.SortFindings(findings)
+
+	if opts.Timing {
+		fmt.Fprintf(stderr, "stochlint: loaded %d packages (%d source incl. deps) in %dms, analyzed in %dms (parallel=%d)\n",
+			len(pkgs), len(srcPkgs), loadDur.Milliseconds(), analyzeDur.Milliseconds(), opts.Parallel)
+	}
+
+	unsuppressed := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			unsuppressed++
+		}
+	}
+
+	if opts.JSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:       f.Pos.Filename,
+				Line:       f.Pos.Line,
+				Col:        f.Pos.Column,
+				Analyzer:   f.Analyzer,
+				Message:    f.Message,
+				Suppressed: f.Suppressed,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return 0, err
+		}
+	} else {
+		for _, f := range findings {
+			if f.Suppressed {
 				continue
 			}
-			fs, err := analysis.RunAnalyzer(r.Analyzer, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
-			if err != nil {
-				return err
-			}
-			findings = append(findings, fs...)
+			fmt.Fprintln(stdout, f)
+		}
+		if unsuppressed > 0 {
+			fmt.Fprintf(stderr, "stochlint: %d finding(s)\n", unsuppressed)
 		}
 	}
-	if len(findings) == 0 {
-		return nil
+	if unsuppressed > 0 {
+		return 1, nil
 	}
-	wd, _ := os.Getwd()
-	for _, f := range findings {
-		if wd != "" {
-			if rel, err := filepath.Rel(wd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
-				f.Pos.Filename = rel
-			}
-		}
-		fmt.Println(f)
-	}
-	fmt.Fprintf(os.Stderr, "stochlint: %d finding(s)\n", len(findings))
-	os.Exit(1)
-	return nil
+	return 0, nil
 }
 
-// findModuleRoot walks up from the working directory to the directory
-// containing go.mod.
-func findModuleRoot() (string, error) {
-	dir, err := os.Getwd()
-	if err != nil {
-		return "", err
+// relativize rewrites an absolute filename relative to base when the result
+// stays inside base; slashes are normalized so output (and the golden file)
+// is platform-stable.
+func relativize(base, filename string) string {
+	if base == "" || filename == "" {
+		return filename
 	}
+	rel, err := filepath.Rel(base, filename)
+	if err != nil || rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator) {
+		return filename
+	}
+	return filepath.ToSlash(rel)
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
 	for {
 		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
 			return dir, nil

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenJSON pins the -json output over the seeded corpus byte for byte:
+// the record schema (file/line/col/analyzer/message/suppressed), the
+// deterministic ordering, the suppressed=true entry and the staleignore
+// audit findings. Regenerate with STOCHLINT_UPDATE_GOLDEN=1 go test ./cmd/stochlint.
+func TestGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(options{JSON: true, Dir: "testdata/mod", Parallel: 4}, []string{"./..."}, &buf, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (unsuppressed findings present)", code)
+	}
+	golden := filepath.Join("testdata", "golden.json")
+	if os.Getenv("STOCHLINT_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output drifted from %s\n--- got ---\n%s\n--- want ---\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestSerialParallelIdentical pins the determinism contract: scheduling must
+// not reorder or change findings.
+func TestSerialParallelIdentical(t *testing.T) {
+	var serial, par bytes.Buffer
+	if _, err := run(options{JSON: true, Dir: "testdata/mod", Parallel: 1}, []string{"./..."}, &serial, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(options{JSON: true, Dir: "testdata/mod", Parallel: 8}, []string{"./..."}, &par, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), par.Bytes()) {
+		t.Errorf("serial and parallel output differ\n--- serial ---\n%s\n--- parallel ---\n%s", serial.Bytes(), par.Bytes())
+	}
+}
+
+// TestCleanCorpus pins the zero-finding contract: exit 0 and an empty array.
+func TestCleanCorpus(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(options{JSON: true, Dir: "testdata/clean", Parallel: 2}, []string{"./..."}, &buf, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("output = %q, want empty JSON array", got)
+	}
+}
+
+// TestTextHidesSuppressed pins the text mode's contract: suppressed findings
+// stay out of the human-facing report (they are visible via -json).
+func TestTextHidesSuppressed(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(options{Dir: "testdata/mod", Parallel: 2}, []string{"./..."}, &buf, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("policy.go:28")) {
+		t.Errorf("text output leaks the suppressed finding:\n%s", buf.Bytes())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("[dettaint]")) || !bytes.Contains(buf.Bytes(), []byte("[staleignore]")) {
+		t.Errorf("text output missing expected findings:\n%s", buf.Bytes())
+	}
+}

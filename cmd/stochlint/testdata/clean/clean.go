@@ -1,0 +1,6 @@
+// Package clean is the zero-finding corpus: the driver must exit 0 and
+// emit an empty JSON array over it.
+package clean
+
+// Add is pure.
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,9 @@
+// Package clockutil is the golden corpus's nondeterministic helper: it is
+// outside the decision packages, so its own wall-clock read is legal, but
+// decision-package callers inherit the taint interprocedurally.
+package clockutil
+
+import "time"
+
+// Stamp returns wall-clock time.
+func Stamp() int64 { return time.Now().Unix() }

@@ -198,7 +198,7 @@ func NewJoin(cfg Config) (*Join, error) {
 func (j *Join) Step(r, s Tuple) []Pair {
 	var start time.Time
 	if j.stepLatency != nil {
-		//lint:ignore detsource telemetry latency timing only; the timestamp never feeds a decision
+		//lint:ignore dettaint telemetry latency timing only; the timestamp never feeds a decision
 		start = time.Now()
 	}
 	t := j.time
@@ -416,7 +416,7 @@ func (j *Join) record(start time.Time, pairs, evictions int) {
 	if j.stepLatency == nil {
 		return
 	}
-	//lint:ignore detsource telemetry latency timing only; the duration never feeds a decision
+	//lint:ignore dettaint telemetry latency timing only; the duration never feeds a decision
 	j.stepLatency.ObserveDuration(time.Since(start).Nanoseconds())
 	j.stepCount.Inc()
 	j.pairCount.Add(int64(pairs))

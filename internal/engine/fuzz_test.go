@@ -23,12 +23,12 @@ import (
 // NoValue arrivals, exercising the index's refusal to post them.
 func FuzzStepEquivalence(f *testing.F) {
 	f.Add(uint64(1), uint64(0))
-	f.Add(uint64(2), uint64(1<<14|3|7<<5))      // cache 4, window 7, raw keys
-	f.Add(uint64(3), uint64(15|2<<10))          // cache 16, band 2
-	f.Add(uint64(4), uint64(7|12<<5|1<<10))     // cache 8, window 12, band 1
-	f.Add(uint64(5), uint64(31|1<<12))          // cache 32, PROB
-	f.Add(uint64(6), uint64(9|2<<12|1<<14))     // cache 10, RAND, raw keys
-	f.Add(uint64(7), uint64(15|3<<12))          // cache 16, HEEB parallel
+	f.Add(uint64(2), uint64(1<<14|3|7<<5))              // cache 4, window 7, raw keys
+	f.Add(uint64(3), uint64(15|2<<10))                  // cache 16, band 2
+	f.Add(uint64(4), uint64(7|12<<5|1<<10))             // cache 8, window 12, band 1
+	f.Add(uint64(5), uint64(31|1<<12))                  // cache 32, PROB
+	f.Add(uint64(6), uint64(9|2<<12|1<<14))             // cache 10, RAND, raw keys
+	f.Add(uint64(7), uint64(15|3<<12))                  // cache 16, HEEB parallel
 	f.Add(uint64(8), uint64(3|20<<5|3<<10|1<<12|1<<14)) // kitchen sink
 	f.Fuzz(func(t *testing.T, seed, cfgBits uint64) {
 		cacheSize := int(cfgBits&31) + 1

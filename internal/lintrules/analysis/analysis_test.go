@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseTable(t *testing.T, src string) (*token.FileSet, *SuppressionTable) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "sup.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := NewSuppressionTable()
+	table.AddFiles(fset, []*ast.File{f})
+	return fset, table
+}
+
+func auditMessages(t *testing.T, table *SuppressionTable, known ...string) []string {
+	t.Helper()
+	set := map[string]bool{}
+	for _, k := range known {
+		set[k] = true
+	}
+	fs := table.Audit(func(n string) bool { return set[n] }, nil)
+	var msgs []string
+	for _, f := range fs {
+		msgs = append(msgs, f.Message)
+	}
+	return msgs
+}
+
+func TestBareDirectiveIsInertAndAudited(t *testing.T) {
+	_, table := parseTable(t, `package p
+
+func f() int {
+	//lint:ignore
+	return 1
+}
+`)
+	if table.Suppresses("floateq", token.Position{Filename: "sup.go", Line: 5}) {
+		t.Error("bare directive must not suppress anything")
+	}
+	msgs := auditMessages(t, table, "floateq")
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "bare //lint:ignore") {
+		t.Errorf("want one bare-directive finding, got %q", msgs)
+	}
+}
+
+func TestMissingReasonIsInertAndAudited(t *testing.T) {
+	_, table := parseTable(t, `package p
+
+func f() int {
+	//lint:ignore floateq
+	return 1
+}
+`)
+	if table.Suppresses("floateq", token.Position{Filename: "sup.go", Line: 5}) {
+		t.Error("reasonless directive must not suppress anything")
+	}
+	msgs := auditMessages(t, table, "floateq")
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "without a reason") {
+		t.Errorf("want one missing-reason finding, got %q", msgs)
+	}
+}
+
+func TestUnknownAnalyzerAudited(t *testing.T) {
+	_, table := parseTable(t, `package p
+
+func f() int {
+	//lint:ignore flaoteq typo of floateq
+	return 1
+}
+`)
+	msgs := auditMessages(t, table, "floateq")
+	if len(msgs) != 1 || !strings.Contains(msgs[0], `unknown analyzer "flaoteq"`) {
+		t.Errorf("want one unknown-analyzer finding, got %q", msgs)
+	}
+}
+
+func TestUsedDirectiveNotStale(t *testing.T) {
+	_, table := parseTable(t, `package p
+
+func f() int {
+	//lint:ignore floateq exact comparison intended
+	return 1
+}
+`)
+	// Covers its own line and the next.
+	if !table.Suppresses("floateq", token.Position{Filename: "sup.go", Line: 5}) {
+		t.Error("directive must cover the following line")
+	}
+	if msgs := auditMessages(t, table, "floateq"); len(msgs) != 0 {
+		t.Errorf("used directive must not be audited, got %q", msgs)
+	}
+}
+
+func TestUnusedDirectiveIsStale(t *testing.T) {
+	_, table := parseTable(t, `package p
+
+func f() int {
+	//lint:ignore floateq nothing here matches
+	return 1
+}
+`)
+	msgs := auditMessages(t, table, "floateq")
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "stale //lint:ignore floateq") {
+		t.Errorf("want one stale finding, got %q", msgs)
+	}
+}
+
+func TestDirectiveScoping(t *testing.T) {
+	_, table := parseTable(t, `package p
+
+func f() int {
+	//lint:ignore floateq,maprange two analyzers, one reason
+	return 1
+}
+`)
+	pos := token.Position{Filename: "sup.go", Line: 5}
+	if !table.Suppresses("maprange", pos) {
+		t.Error("comma-separated names must each suppress")
+	}
+	if table.Suppresses("locksafe", pos) {
+		t.Error("unnamed analyzer must not be suppressed")
+	}
+	if table.Suppresses("floateq", token.Position{Filename: "sup.go", Line: 7}) {
+		t.Error("directive must not cover two lines down")
+	}
+	if table.Suppresses("floateq", token.Position{Filename: "other.go", Line: 5}) {
+		t.Error("directive must not cover other files")
+	}
+}
+
+func TestAuditFileScope(t *testing.T) {
+	_, table := parseTable(t, `package p
+
+func f() int {
+	//lint:ignore floateq stale but out of scope
+	return 1
+}
+`)
+	fs := table.Audit(func(string) bool { return true }, map[string]bool{"elsewhere.go": true})
+	if len(fs) != 0 {
+		t.Errorf("audit must skip files outside the analyzed set, got %v", fs)
+	}
+}

@@ -1,13 +1,19 @@
-// Package analysistest runs one analyzer over a corpus package under a
-// testdata/src tree and checks its findings against `// want` expectations,
-// mirroring golang.org/x/tools/go/analysis/analysistest for the offline
-// framework in internal/lintrules/analysis.
+// Package analysistest runs analyzers over a corpus package under a
+// testdata/src tree and checks their findings against `// want`
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest for
+// the offline framework in internal/lintrules/analysis.
 //
 // Corpus layout follows the x/tools GOPATH convention: the package named by
 // pkgPath lives at <testdata>/src/<pkgPath>, and corpora may fake module
 // packages (e.g. a stub stochstream/internal/engine) by placing them under
 // the same tree — the loader resolves overlay packages before anything
 // else, and the standard library resolves normally.
+//
+// Every run builds whole-program context (a dataflow.Program over the
+// corpus package and everything it transitively loaded) and a shared
+// suppression table, so interprocedural analyzers see exactly what the
+// cmd/stochlint driver would show them. Findings suppressed by a reasoned
+// //lint:ignore are filtered before matching, like the driver's exit code.
 //
 // Expectations are comments of the form
 //
@@ -23,15 +29,26 @@ import (
 	"testing"
 
 	"stochstream/internal/lintrules/analysis"
+	"stochstream/internal/lintrules/dataflow"
 	"stochstream/internal/lintrules/load"
 )
 
 var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
 var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 
-// Run loads <testdata>/src/<pkgPath>, runs a over it, and reports
-// expectation mismatches on t.
+// Run loads <testdata>/src/<pkgPath>, runs a over it with whole-program
+// context, and reports expectation mismatches on t.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	RunSuite(t, testdata, []*analysis.Analyzer{a}, pkgPath, false)
+}
+
+// RunSuite runs several analyzers over one corpus package with a shared
+// suppression table and whole-program context, optionally followed by the
+// stale-suppression audit (findings under the "staleignore" name, scoped to
+// the target package's files). Unsuppressed findings are matched against
+// the corpus's `// want` expectations.
+func RunSuite(t *testing.T, testdata string, as []*analysis.Analyzer, pkgPath string, audit bool) {
 	t.Helper()
 	loader, err := load.NewLoader("", testdata+"/src")
 	if err != nil {
@@ -44,10 +61,34 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
 	if pkg.Files == nil {
 		t.Fatalf("load %s: resolved outside the corpus", pkgPath)
 	}
-	findings, err := analysis.RunAnalyzer(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
-	if err != nil {
-		t.Fatalf("run %s: %v", a.Name, err)
+
+	table := analysis.NewSuppressionTable()
+	srcPkgs := loader.SourcePackages()
+	for _, p := range srcPkgs {
+		table.AddFiles(loader.Fset, p.Files)
 	}
+	prog := dataflow.NewProgram(loader.Fset, srcPkgs, table)
+
+	var findings []analysis.Finding
+	for _, a := range as {
+		fs, err := analysis.RunAnalyzerWith(a, table, prog, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			t.Fatalf("run %s: %v", a.Name, err)
+		}
+		findings = append(findings, fs...)
+	}
+	if audit {
+		known := map[string]bool{}
+		for _, a := range as {
+			known[a.Name] = true
+		}
+		targetFiles := map[string]bool{}
+		for _, f := range pkg.Files {
+			targetFiles[pkg.Fset.Position(f.Pos()).Filename] = true
+		}
+		findings = append(findings, table.Audit(func(n string) bool { return known[n] }, targetFiles)...)
+	}
+	analysis.SortFindings(findings)
 
 	type key struct {
 		file string
@@ -75,6 +116,9 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
 	}
 
 	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
 		k := key{f.Pos.Filename, f.Pos.Line}
 		if i := matchIndex(wants[k], f.Message); i >= 0 {
 			wants[k] = append(wants[k][:i], wants[k][i+1:]...)

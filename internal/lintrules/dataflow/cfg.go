@@ -1,0 +1,445 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CFG is a function's control-flow graph: basic blocks of executable AST
+// nodes with successor edges, plus def-use chains over the function's
+// variables. It is deliberately lightweight — blocks hold AST nodes, not
+// instructions — but the edges are real: loops have back edges, branches
+// join, returns flow to Exit. That is exactly enough for the suite's
+// flow-sensitive questions ("is this error read on any path after this
+// write?", including reads reached only through a loop's back edge, which
+// position-based scans get wrong).
+//
+// Approximations, all conservative for the analyses built on top: goto
+// edges go to Exit, labeled break/continue resolve to the innermost target,
+// and references inside nested function literals are attributed to the
+// block of the enclosing statement (a closure may run later or never; its
+// reads still count as uses).
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+
+	refs map[types.Object][]Ref
+}
+
+// Block is one basic block. Nodes are the executable AST fragments in
+// order: full simple statements, or the header expressions of compound
+// statements (an if's condition, a range's operand) — compound bodies live
+// in their own blocks.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// Ref is one reference to a variable: a read or a write, located at a
+// block position so flow queries can order it against other refs.
+type Ref struct {
+	Ident *ast.Ident
+	Obj   types.Object
+	Write bool
+	Block *Block
+	Seq   int // position of the enclosing node within Block.Nodes
+}
+
+// Refs returns the function's references to obj in deterministic (block,
+// seq, position) order.
+func (c *CFG) Refs(obj types.Object) []Ref { return c.refs[obj] }
+
+// ReadAfter reports whether any read of ref.Obj can execute strictly after
+// ref: later in the same block, in any block reachable from it, or — when
+// the block sits on a cycle — anywhere in the block itself via the back
+// edge. This is the "is this value ever consumed?" query errdiscipline
+// asks about discarded error results.
+func (c *CFG) ReadAfter(ref Ref) bool {
+	reach := c.reachableFrom(ref.Block)
+	for _, r := range c.refs[ref.Obj] {
+		if r.Write {
+			continue
+		}
+		if r.Block == ref.Block && r.Seq > ref.Seq {
+			return true
+		}
+		if reach[r.Block] {
+			return true
+		}
+	}
+	return false
+}
+
+// reachableFrom returns the blocks reachable from b through at least one
+// edge (so b itself is included only when it sits on a cycle).
+func (c *CFG) reachableFrom(b *Block) map[*Block]bool {
+	seen := map[*Block]bool{}
+	queue := append([]*Block(nil), b.Succs...)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		queue = append(queue, n.Succs...)
+	}
+	return seen
+}
+
+type cfgBuilder struct {
+	cfg  *CFG
+	cur  *Block
+	info *types.Info
+	// break/continue targets, innermost last.
+	breaks    []*Block
+	continues []*Block
+}
+
+// buildCFG constructs the CFG of one function body and collects its
+// def-use chains.
+func buildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	b := &cfgBuilder{cfg: &CFG{refs: map[types.Object][]Ref{}}, info: info}
+	b.cfg.Exit = b.newBlock() // Index 0 reserved for Exit; Entry follows
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.link(b.cur, b.cfg.Exit)
+	}
+	b.collectRefs()
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// append adds an executable node to the current block, starting a fresh
+// (unreachable) block when control already left.
+func (b *cfgBuilder) append(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock() // unreachable code still gets blocks and refs
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.IfStmt:
+		b.append(s.Init)
+		b.append(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		if cond != nil {
+			b.link(cond, then)
+		}
+		b.cur = then
+		b.stmts(s.Body.List)
+		if b.cur != nil {
+			b.link(b.cur, after)
+		}
+		if s.Else != nil {
+			els := b.newBlock()
+			if cond != nil {
+				b.link(cond, els)
+			}
+			b.cur = els
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.link(b.cur, after)
+			}
+		} else if cond != nil {
+			b.link(cond, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		b.append(s.Init)
+		head := b.newBlock()
+		if b.cur != nil {
+			b.link(b.cur, head)
+		}
+		b.cur = head
+		b.append(s.Cond)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.link(head, body)
+		if s.Cond != nil {
+			b.link(head, after)
+		}
+		// continue re-evaluates Post (when present) before the condition.
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			b.cur = post
+			b.append(s.Post)
+			b.link(post, head)
+			cont = post
+		}
+		b.pushLoop(after, cont)
+		b.cur = body
+		b.stmts(s.Body.List)
+		if b.cur != nil {
+			b.link(b.cur, cont)
+		}
+		b.popLoop()
+		b.cur = after
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		if b.cur != nil {
+			b.link(b.cur, head)
+		}
+		b.cur = head
+		b.append(s) // header: operand read + key/value writes (see collectRefs)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.link(head, body)
+		b.link(head, after)
+		b.pushLoop(after, head)
+		b.cur = body
+		b.stmts(s.Body.List)
+		if b.cur != nil {
+			b.link(b.cur, head)
+		}
+		b.popLoop()
+		b.cur = after
+	case *ast.SwitchStmt:
+		b.append(s.Init)
+		b.append(s.Tag)
+		b.cases(s.Body.List)
+	case *ast.TypeSwitchStmt:
+		b.append(s.Init)
+		b.append(s.Assign)
+		b.cases(s.Body.List)
+	case *ast.SelectStmt:
+		b.cases(s.Body.List)
+	case *ast.ReturnStmt:
+		b.append(s)
+		if b.cur != nil {
+			b.link(b.cur, b.cfg.Exit)
+		}
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.append(s)
+		if b.cur != nil {
+			switch s.Tok {
+			case token.BREAK:
+				if t := b.top(b.breaks); t != nil {
+					b.link(b.cur, t)
+				}
+			case token.CONTINUE:
+				if t := b.top(b.continues); t != nil {
+					b.link(b.cur, t)
+				}
+			case token.GOTO:
+				b.link(b.cur, b.cfg.Exit) // approximation, documented
+			}
+			// fallthrough is handled by cases().
+		}
+		if s.Tok != token.FALLTHROUGH {
+			b.cur = nil
+		}
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt)
+	default:
+		// Assign, IncDec, Expr, Send, Decl, Defer, Go, Empty: straight-line.
+		b.append(s)
+	}
+}
+
+// cases builds the clause blocks of a switch/type-switch/select body;
+// fallthrough links a switch clause to the next clause's block.
+func (b *cfgBuilder) cases(clauses []ast.Stmt) {
+	head := b.cur
+	after := b.newBlock()
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		if head != nil {
+			b.link(head, blocks[i])
+		}
+	}
+	hasDefault := false
+	b.breaks = append(b.breaks, after)
+	for i, cs := range clauses {
+		b.cur = blocks[i]
+		var body []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cs.List {
+				b.append(e)
+			}
+			body = cs.Body
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			}
+			b.append(cs.Comm)
+			body = cs.Body
+		}
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmts(body)
+		if b.cur != nil {
+			if fallsThrough && i+1 < len(blocks) {
+				b.link(b.cur, blocks[i+1])
+			} else {
+				b.link(b.cur, after)
+			}
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	// Without a default clause a switch can skip every case; a select blocks
+	// instead, but the extra head→after edge only over-approximates paths,
+	// which is the safe direction for every query built on this CFG.
+	if !hasDefault && head != nil {
+		b.link(head, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *cfgBuilder) top(s []*Block) *Block {
+	if len(s) == 0 {
+		return nil
+	}
+	return s[len(s)-1]
+}
+
+// collectRefs walks every block's nodes and records variable reads and
+// writes. Node kinds that bind variables (assignments, declarations, range
+// headers) are special-cased so left-hand sides register as writes; every
+// other identifier resolving to a variable is a read.
+func (b *cfgBuilder) collectRefs() {
+	for _, blk := range b.cfg.Blocks {
+		for seq, n := range blk.Nodes {
+			b.nodeRefs(n, blk, seq)
+		}
+	}
+}
+
+func (b *cfgBuilder) nodeRefs(n ast.Node, blk *Block, seq int) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			b.lvalueRefs(lhs, blk, seq)
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				b.readRefs(lhs, blk, seq) // x += y reads x as well
+			}
+		}
+		for _, rhs := range n.Rhs {
+			b.readRefs(rhs, blk, seq)
+		}
+	case *ast.IncDecStmt:
+		b.lvalueRefs(n.X, blk, seq)
+		b.readRefs(n.X, blk, seq) // x++ both reads and writes x
+	case *ast.RangeStmt:
+		b.readRefs(n.X, blk, seq)
+		b.lvalueRefs(n.Key, blk, seq)
+		b.lvalueRefs(n.Value, blk, seq)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					b.addRef(name, true, blk, seq)
+				}
+				for _, v := range vs.Values {
+					b.readRefs(v, blk, seq)
+				}
+			}
+		}
+	default:
+		b.readRefs(n, blk, seq)
+	}
+}
+
+// lvalueRefs records an assignment target: a plain identifier is a write of
+// that variable; anything else (index, selector, star) mutates through a
+// value that is itself read.
+func (b *cfgBuilder) lvalueRefs(lhs ast.Expr, blk *Block, seq int) {
+	if lhs == nil {
+		return
+	}
+	if id, ok := unparen(lhs).(*ast.Ident); ok {
+		b.addRef(id, true, blk, seq)
+		return
+	}
+	b.readRefs(lhs, blk, seq)
+}
+
+// readRefs records every variable identifier under n as a read. Nested
+// function literals are included whole: assignments inside a closure are
+// conservatively treated as uses of the closed-over variable.
+func (b *cfgBuilder) readRefs(n ast.Node, blk *Block, seq int) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			b.addRef(id, false, blk, seq)
+		}
+		return true
+	})
+}
+
+func (b *cfgBuilder) addRef(id *ast.Ident, write bool, blk *Block, seq int) {
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj := b.info.Defs[id]
+	if obj == nil {
+		obj = b.info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	b.cfg.refs[v] = append(b.cfg.refs[v], Ref{Ident: id, Obj: v, Write: write, Block: blk, Seq: seq})
+}

@@ -1,0 +1,220 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+
+	"stochstream/internal/lintrules/analysis"
+	"stochstream/internal/lintrules/dataflow"
+)
+
+// Dettaint forbids nondeterminism sources on the code paths of decision
+// packages: wall-clock reads (time.Now/Since/Until) and ambient math/rand
+// or math/rand/v2 use, whether they appear directly in decision code or
+// inside any helper function a decision package calls, across package
+// boundaries. It subsumes the syntactic detsource analyzer of PR 3, which
+// checked only the package's own source text — a helper one call away
+// defeated it.
+//
+// Two package families are clean boundaries and never export taint:
+// internal/stats (owns the seeded, splittable RNGs and wraps math/rand/v2
+// legitimately) and internal/telemetry (out-of-band observability whose
+// clock reads never feed a decision).
+//
+// Suppression composes with propagation: a //lint:ignore dettaint on the
+// source line (or on a call that forwards the taint) kills the taint for
+// every transitive caller, so one reasoned directive at the root is enough.
+// dettaintName is a constant (not Dettaint.Name) so the fact-computing
+// helpers can reference it without an initialization cycle through Run.
+const dettaintName = "dettaint"
+
+var Dettaint = &analysis.Analyzer{
+	Name: dettaintName,
+	Doc:  "track wall-clock and ambient-rand taint through call chains into decision packages",
+	Run:  runDettaint,
+}
+
+// wallClockFuncs are the time package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// dettaintBoundaries never export taint: their nondeterminism is owned
+// (stats seeds it, telemetry keeps it out of the decision path).
+var dettaintBoundaries = []string{
+	"stochstream/internal/stats",
+	"stochstream/internal/telemetry",
+}
+
+// taintFact is one function's nondeterminism summary: nil means clean;
+// otherwise kind/root identify the ultimate source and via is the next hop
+// toward it (nil when the source is in the function's own body).
+type taintFact struct {
+	kind string         // e.g. "time.Now", "global math/rand Int63"
+	root token.Position // position of the ultimate source
+	via  *types.Func    // callee the taint arrives through; nil at the root
+}
+
+func taintEq(a, b interface{}) bool {
+	x, _ := a.(*taintFact)
+	y, _ := b.(*taintFact)
+	if x == nil || y == nil {
+		return x == y
+	}
+	return x.kind == y.kind && x.root == y.root && x.via == y.via
+}
+
+// nondetSource is one direct nondeterminism source in a function body.
+type nondetSource struct {
+	pos     token.Pos
+	kind    string // short name for chain messages
+	message string // full diagnostic for in-package reporting
+}
+
+// nondetSources scans one function body for direct wall-clock and ambient
+// rand uses. The diagnostics match the old detsource wording so existing
+// familiarity (and docs) carry over.
+func nondetSources(info *types.Info, body ast.Node, pkgPath string) []nondetSource {
+	var out []nondetSource
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "time":
+			if wallClockFuncs[sel.Sel.Name] {
+				out = append(out, nondetSource{
+					pos:  sel.Pos(),
+					kind: "time." + sel.Sel.Name,
+					message: "time." + sel.Sel.Name + " in decision code (" + pkgPath + "): wall-clock reads are nondeterministic under replay; " +
+						"take timestamps from stream state, or //lint:ignore dettaint with a reason if the value never feeds a decision",
+				})
+			}
+		case "math/rand", "math/rand/v2":
+			obj, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true // types and constants are harmless
+			}
+			switch obj.Name() {
+			case "New":
+				out = append(out, nondetSource{
+					pos:     sel.Pos(),
+					kind:    "rand.New",
+					message: "rand.New in decision code (" + pkgPath + "): construct RNGs via internal/stats (stats.NewRNG / RNG.Split) so seeds thread through the experiment",
+				})
+			case "NewSource", "NewPCG", "NewChaCha8":
+				// Source constructors are inert by themselves; the rand.New
+				// (or direct use) wrapping them is what reports.
+			default:
+				out = append(out, nondetSource{
+					pos:     sel.Pos(),
+					kind:    "global math/rand " + obj.Name(),
+					message: "global math/rand " + obj.Name() + " in decision code (" + pkgPath + "): the process-wide source is unseeded and shared; use the internal/stats RNG threaded through the policy",
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// dettaintFacts computes (or returns the memoized) per-function taint
+// summaries for the whole program.
+func dettaintFacts(prog *dataflow.Program) *dataflow.FactStore {
+	transfer := func(f *dataflow.Func, store *dataflow.FactStore) interface{} {
+		if inAny(f.Pkg.Path, dettaintBoundaries) {
+			return (*taintFact)(nil)
+		}
+		// A source in the function's own body roots the taint — unless a
+		// reasoned //lint:ignore dettaint covers it, which kills the taint
+		// for every caller and marks the directive used for the audit.
+		for _, s := range nondetSources(f.Pkg.Info, f.Decl.Body, f.Pkg.Path) {
+			if prog.Sup.Suppresses(dettaintName, prog.Fset.Position(s.pos)) {
+				continue
+			}
+			return &taintFact{kind: s.kind, root: prog.Fset.Position(s.pos)}
+		}
+		for _, c := range f.Calls {
+			fact, _ := store.Get(c.StaticObj).(*taintFact)
+			if fact == nil {
+				continue
+			}
+			if prog.Sup.Suppresses(dettaintName, prog.Fset.Position(c.Site.Pos())) {
+				continue
+			}
+			return &taintFact{kind: fact.kind, root: fact.root, via: c.StaticObj}
+		}
+		return (*taintFact)(nil)
+	}
+	return prog.Facts(dettaintName, transfer, taintEq)
+}
+
+// taintChain renders the call chain from fact down to its root source,
+// e.g. "util.Stamp → util.clock → time.Now at util/clock.go:12".
+func taintChain(prog *dataflow.Program, store *dataflow.FactStore, fact *taintFact) string {
+	chain := ""
+	for hops := 0; fact != nil && fact.via != nil && hops < 12; hops++ {
+		if f := prog.FuncOf(fact.via); f != nil {
+			chain += f.Name() + " → "
+		} else {
+			chain += fact.via.Name() + " → "
+		}
+		fact, _ = store.Get(fact.via).(*taintFact)
+	}
+	if fact == nil {
+		return chain + "?"
+	}
+	// Base filename only: the full path would vary with the checkout
+	// location, and the chain is a hint, not a position (the finding's own
+	// position is the call site).
+	return chain + fact.kind + " at " + filepath.Base(fact.root.Filename) + ":" + strconv.Itoa(fact.root.Line)
+}
+
+func runDettaint(pass *analysis.Pass) (interface{}, error) {
+	// Direct sources in this package always report, with or without
+	// whole-program context. Scanning whole files (not just function
+	// bodies) also catches package-level initializers like
+	// `var t0 = time.Now()`.
+	for _, file := range pass.Files {
+		for _, s := range nondetSources(pass.TypesInfo, file, pass.Pkg.Path()) {
+			pass.Reportf(s.pos, "%s", s.message)
+		}
+	}
+
+	prog, _ := pass.Facts.(*dataflow.Program)
+	if prog == nil {
+		return nil, nil // no whole-program context: syntactic checks only
+	}
+	store := dettaintFacts(prog)
+
+	// Frontier reporting: a call into a tainted helper reports here only
+	// when the helper's package is neither this package (its direct source
+	// reports above) nor itself dettaint-scoped (its own run reports it) —
+	// so each taint surfaces exactly once, at the boundary where it enters
+	// checked code.
+	for _, f := range prog.FuncsOf(pass.Pkg.Path()) {
+		for _, c := range f.Calls {
+			fact, _ := store.Get(c.StaticObj).(*taintFact)
+			if fact == nil || c.Callee == nil {
+				continue
+			}
+			calleePkg := c.Callee.Pkg.Path
+			if calleePkg == pass.Pkg.Path() || inAny(calleePkg, decisionPkgs) {
+				continue
+			}
+			pass.Reportf(c.Site.Pos(), "call to %s reaches a nondeterminism source (%s): wall-clock and ambient rand must not feed decisions, even through helpers; seed it via internal/stats or take the value from stream state",
+				c.Callee.Name(), taintChain(prog, store, fact))
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,359 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"stochstream/internal/lintrules/analysis"
+	"stochstream/internal/lintrules/dataflow"
+)
+
+// Errdiscipline enforces the typed-error taxonomy's three contracts:
+//
+//  1. sentinel errors (package-level `var ErrX = ...`) are matched with
+//     errors.Is/As, never == or != — wrapping with %w breaks identity
+//     comparison by design;
+//  2. fmt.Errorf calls that embed a sentinel use the %w verb, so the
+//     wrapped sentinel stays matchable;
+//  3. errors that can be (or wrap) mincostflow.ErrNumericalInstability are
+//     never silently discarded: the degradation ladder's whole design rests
+//     on instability surfacing through errors.Is so a rung can descend.
+//
+// Contract 3 is interprocedural and flow-sensitive: the analyzer computes
+// which sentinels each function can return (bottom-up, through wrapping
+// helpers), then uses the CFG's def-use chains to decide whether an error
+// assigned from such a call is ever examined on any subsequent path —
+// including reads that only happen on a loop's next iteration.
+var Errdiscipline = &analysis.Analyzer{
+	Name: errdisciplineName,
+	Doc:  "typed errors: wrap with %w, match with errors.Is/As, never swallow ErrNumericalInstability",
+	Run:  runErrdiscipline,
+}
+
+const errdisciplineName = "errdiscipline"
+
+// instabilityName is the sentinel contract 3 protects.
+const instabilityName = "ErrNumericalInstability"
+
+// sentinelVar resolves e to a package-level error sentinel (a var named
+// Err* whose type implements error), or nil.
+func sentinelVar(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := unparenExpr(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := identObj(info, id).(*types.Var)
+	if !ok || !strings.HasPrefix(v.Name(), "Err") || !isPackageLevel(v) {
+		return nil
+	}
+	errIface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if errIface == nil || !types.Implements(v.Type(), errIface) {
+		return nil
+	}
+	return v
+}
+
+// errFact is one function's returnable-sentinel summary, kept sorted by
+// (package path, name) for deterministic comparison and iteration.
+type errFact struct {
+	sentinels []*types.Var
+}
+
+func errEq(a, b interface{}) bool {
+	x, _ := a.(*errFact)
+	y, _ := b.(*errFact)
+	if x == nil || y == nil {
+		return x == y
+	}
+	if len(x.sentinels) != len(y.sentinels) {
+		return false
+	}
+	for i := range x.sentinels {
+		if x.sentinels[i] != y.sentinels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sentinelKey(v *types.Var) string {
+	pkg := ""
+	if v.Pkg() != nil {
+		pkg = v.Pkg().Path()
+	}
+	return pkg + "." + v.Name()
+}
+
+func sortSentinels(set map[*types.Var]bool) []*types.Var {
+	out := make([]*types.Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return sentinelKey(out[i]) < sentinelKey(out[j]) })
+	return out
+}
+
+// hasErrorResult reports whether the call's (possibly tuple) type includes
+// an error, with its tuple index (-1 when absent).
+func errorResultIndex(info *types.Info, call *ast.CallExpr) int {
+	tv, ok := info.Types[call]
+	if !ok {
+		return -1
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return i
+			}
+		}
+		return -1
+	}
+	if isErrorType(tv.Type) {
+		return 0
+	}
+	return -1
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	return ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+// errdisciplineFacts computes which sentinels each function can return.
+// Sentinels enter a summary when they appear under a return statement
+// (directly or inside a wrapping fmt.Errorf), and callee summaries are
+// unioned in only when the callee's error result can actually flow to a
+// return — via a direct `return g(...)` or an assigned error variable that
+// some return statement mentions.
+func errdisciplineFacts(prog *dataflow.Program) *dataflow.FactStore {
+	transfer := func(f *dataflow.Func, store *dataflow.FactStore) interface{} {
+		info := f.Pkg.Info
+		set := map[*types.Var]bool{}
+
+		// Objects mentioned in this function's own return statements.
+		returnObjs := map[types.Object]bool{}
+		inReturn := map[*ast.CallExpr]bool{}
+		skipFuncLits(f.Decl.Body, func(n ast.Node) {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return
+			}
+			for _, res := range ret.Results {
+				ast.Inspect(res, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.Ident:
+						if v := sentinelVar(info, m); v != nil {
+							set[v] = true
+						} else if obj := identObj(info, m); obj != nil {
+							returnObjs[obj] = true
+						}
+					case *ast.CallExpr:
+						inReturn[m] = true
+					}
+					return true
+				})
+			}
+		})
+
+		for _, c := range f.Calls {
+			fact, _ := store.Get(c.StaticObj).(*errFact)
+			if fact == nil || len(fact.sentinels) == 0 {
+				continue
+			}
+			flows := inReturn[c.Site]
+			if !flows {
+				// err := g(...); ... return err  (possibly wrapped)
+				if lhs := assignedErrIdent(info, f.Decl.Body, c.Site); lhs != nil {
+					if obj := identObj(info, lhs); obj != nil && returnObjs[obj] {
+						flows = true
+					}
+				}
+			}
+			if !flows {
+				continue
+			}
+			if prog.Sup.Suppresses(errdisciplineName, prog.Fset.Position(c.Site.Pos())) {
+				continue
+			}
+			for _, v := range fact.sentinels {
+				set[v] = true
+			}
+		}
+		if len(set) == 0 {
+			return (*errFact)(nil)
+		}
+		return &errFact{sentinels: sortSentinels(set)}
+	}
+	return prog.Facts(errdisciplineName, transfer, errEq)
+}
+
+// assignedErrIdent finds the identifier the call's error result is assigned
+// to in `v, err := g(...)` / `err = g(...)` forms, or nil.
+func assignedErrIdent(info *types.Info, body ast.Node, call *ast.CallExpr) *ast.Ident {
+	var found *ast.Ident
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || unparenExpr(as.Rhs[0]) != call {
+			return true
+		}
+		idx := errorResultIndex(info, call)
+		if idx < 0 || idx >= len(as.Lhs) {
+			return true
+		}
+		if id, ok := as.Lhs[idx].(*ast.Ident); ok && id.Name != "_" {
+			found = id
+		}
+		return true
+	})
+	return found
+}
+
+// factHasInstability reports whether a callee summary includes the
+// numerical-instability sentinel.
+func factHasInstability(fact *errFact) *types.Var {
+	if fact == nil {
+		return nil
+	}
+	for _, v := range fact.sentinels {
+		if v.Name() == instabilityName {
+			return v
+		}
+	}
+	return nil
+}
+
+func runErrdiscipline(pass *analysis.Pass) (interface{}, error) {
+	info := pass.TypesInfo
+
+	// Contracts 1 and 2 are per-file.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if v := sentinelVar(info, side); v != nil {
+						pass.Reportf(n.Pos(), "sentinel %s compared with %s: use errors.Is(err, %s) — the taxonomy wraps errors with %%w, which breaks identity comparison", v.Name(), n.Op, v.Name())
+						break
+					}
+				}
+			case *ast.CallExpr:
+				sel, ok := unparenExpr(n.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Errorf" || len(n.Args) < 2 {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); !ok {
+					return true
+				} else if pn, ok := info.Uses[id].(*types.PkgName); !ok || pn.Imported().Path() != "fmt" {
+					return true
+				}
+				lit, ok := unparenExpr(n.Args[0]).(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				format, err := strconv.Unquote(lit.Value)
+				if err != nil || strings.Contains(format, "%w") {
+					return true
+				}
+				for _, arg := range n.Args[1:] {
+					if v := sentinelVar(info, arg); v != nil {
+						pass.Reportf(arg.Pos(), "sentinel %s formatted without %%w: the wrap is invisible to errors.Is/As; use fmt.Errorf(\"...: %%w\", %s)", v.Name(), v.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Contract 3 needs the whole-program summaries and the CFG.
+	prog, _ := pass.Facts.(*dataflow.Program)
+	if prog == nil {
+		return nil, nil
+	}
+	store := errdisciplineFacts(prog)
+	for _, f := range prog.FuncsOf(pass.Pkg.Path()) {
+		checkInstabilitySwallow(pass, store, f)
+	}
+	return nil, nil
+}
+
+func checkInstabilitySwallow(pass *analysis.Pass, store *dataflow.FactStore, f *dataflow.Func) {
+	info := pass.TypesInfo
+	report := func(pos token.Pos, callee *types.Func, how string) {
+		pass.Reportf(pos, "error from %s can wrap %s and is %s: the degradation ladder relies on instability surfacing through errors.Is — handle it or propagate it", funcDisplayName(callee), instabilityName, how)
+	}
+	handledCalls := map[*ast.CallExpr]bool{}
+	// First pass: calls whose error result is bound to a named variable —
+	// flow-sensitively check the variable is read afterwards.
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := unparenExpr(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fact, _ := store.Get(dataflow.CalleeObj(info, call)).(*errFact)
+		if factHasInstability(fact) == nil {
+			return true
+		}
+		idx := errorResultIndex(info, call)
+		if idx < 0 || idx >= len(as.Lhs) {
+			return true
+		}
+		handledCalls[call] = true
+		id, ok := as.Lhs[idx].(*ast.Ident)
+		callee := dataflow.CalleeObj(info, call)
+		if !ok || id.Name == "_" {
+			report(call.Pos(), callee, "discarded into _")
+			return true
+		}
+		obj := identObj(info, id)
+		if obj == nil {
+			return true
+		}
+		cfg := f.CFG()
+		for _, ref := range cfg.Refs(obj) {
+			if ref.Write && ref.Ident == id {
+				if !cfg.ReadAfter(ref) {
+					report(call.Pos(), callee, "assigned to "+id.Name+" but never examined afterwards on any path")
+				}
+				return true
+			}
+		}
+		return true
+	})
+	// Second pass: bare calls whose results are dropped entirely.
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := unparenExpr(es.X).(*ast.CallExpr)
+		if !ok || handledCalls[call] {
+			return true
+		}
+		callee := dataflow.CalleeObj(info, call)
+		fact, _ := store.Get(callee).(*errFact)
+		if factHasInstability(fact) == nil || errorResultIndex(info, call) < 0 {
+			return true
+		}
+		report(call.Pos(), callee, "dropped (the call's error result is unused)")
+		return true
+	})
+}

@@ -1,3 +1,20 @@
+// Package lintrules is stochlint's analyzer suite: eight custom static
+// checks that mechanically enforce the determinism and correctness
+// contracts the paper's guarantees rest on (Theorem 3 dominance optimality
+// and the Corollary 3–5 incremental updates require every replacement
+// decision to be a pure, deterministic function of stream state).
+//
+// Four of the analyzers — dettaint, stepescape, scorepure, errdiscipline —
+// are interprocedural: they run on per-function summaries computed over the
+// whole module by internal/lintrules/dataflow (call graph, fixed-point
+// solver, CFG def-use chains), so a contract violation hidden behind any
+// chain of helper calls still surfaces. The rest are syntactic or
+// type-based per-package checks.
+//
+// The analyzers are built on internal/lintrules/analysis, an offline mirror
+// of the golang.org/x/tools/go/analysis API. cmd/stochlint is the
+// multichecker driver; docs/static-analysis.md documents each rule, its
+// rationale and the //lint:ignore suppression directive.
 package lintrules
 
 import (
@@ -53,15 +70,20 @@ func everywhere(string) bool { return true }
 // Rules returns the stochlint suite with its package scoping.
 func Rules() []Rule {
 	return []Rule{
-		{Detsource, func(p string) bool { return inAny(p, decisionPkgs) }},
+		{Dettaint, func(p string) bool { return inAny(p, decisionPkgs) }},
 		{Maprange, func(p string) bool { return inAny(p, emissionPkgs) }},
 		{Floateq, everywhere},
 		{Stepretain, everywhere},
+		{Stepescape, everywhere},
 		{Locksafe, everywhere},
+		{Scorepure, func(p string) bool { return inAny(p, scorepurePkgs) }},
+		{Errdiscipline, func(p string) bool { return inAny(p, decisionPkgs) }},
 	}
 }
 
-// Analyzers returns the five analyzers without scoping, for tests and docs.
+// Analyzers returns the eight analyzers without scoping, for tests and docs.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Detsource, Maprange, Floateq, Stepretain, Locksafe}
+	return []*analysis.Analyzer{
+		Dettaint, Maprange, Floateq, Stepretain, Stepescape, Locksafe, Scorepure, Errdiscipline,
+	}
 }

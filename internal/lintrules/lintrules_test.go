@@ -17,8 +17,8 @@ func testdata(t *testing.T) string {
 	return abs
 }
 
-func TestDetsource(t *testing.T) {
-	analysistest.Run(t, testdata(t), lintrules.Detsource, "detsource")
+func TestDettaint(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Dettaint, "dettaint")
 }
 
 func TestMaprange(t *testing.T) {
@@ -33,37 +33,63 @@ func TestStepretain(t *testing.T) {
 	analysistest.Run(t, testdata(t), lintrules.Stepretain, "stepretain")
 }
 
+func TestStepescape(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Stepescape, "stepescape")
+}
+
 func TestLocksafe(t *testing.T) {
 	analysistest.Run(t, testdata(t), lintrules.Locksafe, "locksafe")
 }
 
-// TestScoping pins the suite's package scoping: detsource must cover
-// exactly the decision packages, maprange additionally the emission/export
-// packages, and the remaining analyzers everything.
+func TestScorepure(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Scorepure, "scorepure")
+}
+
+func TestErrdiscipline(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Errdiscipline, "errdiscipline")
+}
+
+// TestStaleignore runs the whole suite plus the suppression audit over the
+// staleignore corpus: live directives stay silent, stale and misnamed ones
+// report under the "staleignore" pseudo-analyzer.
+func TestStaleignore(t *testing.T) {
+	analysistest.RunSuite(t, testdata(t), lintrules.Analyzers(), "staleignore", true)
+}
+
+// TestScoping pins the suite's package scoping: dettaint and errdiscipline
+// cover exactly the decision packages, maprange additionally the
+// emission/export packages, scorepure only the policy package, and the
+// remaining analyzers everything.
 func TestScoping(t *testing.T) {
 	byName := map[string]lintrules.Rule{}
 	for _, r := range lintrules.Rules() {
 		byName[r.Analyzer.Name] = r
 	}
-	if len(byName) != 5 {
-		t.Fatalf("expected 5 rules, got %d", len(byName))
+	if len(byName) != 8 {
+		t.Fatalf("expected 8 rules, got %d", len(byName))
 	}
 	cases := []struct {
 		analyzer string
 		pkg      string
 		want     bool
 	}{
-		{"detsource", "stochstream/internal/policy", true},
-		{"detsource", "stochstream/internal/engine", true},
-		{"detsource", "stochstream/internal/checkpoint", true},
-		{"detsource", "stochstream/internal/faultinject", true},
-		{"detsource", "stochstream/internal/stats", false}, // stats owns the RNGs
-		{"detsource", "stochstream/internal/telemetry", false},
+		{"dettaint", "stochstream/internal/policy", true},
+		{"dettaint", "stochstream/internal/engine", true},
+		{"dettaint", "stochstream/internal/checkpoint", true},
+		{"dettaint", "stochstream/internal/faultinject", true},
+		{"dettaint", "stochstream/internal/stats", false}, // stats owns the RNGs
+		{"dettaint", "stochstream/internal/telemetry", false},
+		{"errdiscipline", "stochstream/internal/engine", true},
+		{"errdiscipline", "stochstream/internal/mincostflow", true},
+		{"errdiscipline", "stochstream/internal/telemetry", false},
+		{"scorepure", "stochstream/internal/policy", true},
+		{"scorepure", "stochstream/internal/engine", false},
 		{"maprange", "stochstream/internal/telemetry", true},
 		{"maprange", "stochstream/internal/join", true},
 		{"maprange", "stochstream/internal/workload", false},
 		{"floateq", "stochstream/internal/workload", true},
 		{"stepretain", "stochstream", true},
+		{"stepescape", "stochstream/internal/cachepolicy", true},
 		{"locksafe", "stochstream/cmd/repro", true},
 	}
 	for _, c := range cases {

@@ -17,14 +17,17 @@
 package load
 
 import (
+	"bufio"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -169,6 +172,56 @@ func isLoadableGoFile(e os.DirEntry) bool {
 		!strings.HasPrefix(name, "_")
 }
 
+// buildTagExcludes reports whether a //go:build (or legacy // +build)
+// constraint in the file's header excludes it from this platform's build.
+// Like the go tool, only the lines before the package clause count. Files
+// that cannot be read are not excluded here — the parse step will surface
+// the real error.
+func buildTagExcludes(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(line) && !constraint.IsPlusBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			continue
+		}
+		if !expr.Eval(buildTagOK) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildTagOK evaluates one constraint tag the way a plain `go build` on this
+// platform would: GOOS/GOARCH, the gc toolchain, unix for unix-family
+// systems, and any released go1.N version tag are true; custom tags (none
+// are ever passed to stochlint) are false.
+func buildTagOK(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "aix":
+			return true
+		}
+		return false
+	}
+	return strings.HasPrefix(tag, "go1.")
+}
+
 func (l *Loader) loadSource(path, dir string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -179,14 +232,18 @@ func (l *Loader) loadSource(path, dir string) (*Package, error) {
 		if !isLoadableGoFile(e) {
 			continue
 		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		fname := filepath.Join(dir, e.Name())
+		if buildTagExcludes(fname) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, fname, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("load %s: %w", path, err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("load %s: no Go files in %s", path, dir)
+		return nil, fmt.Errorf("load %s: no Go files in %s (all excluded by build tags, or only _test.go files)", path, dir)
 	}
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
@@ -202,6 +259,22 @@ func (l *Loader) loadSource(path, dir string) (*Package, error) {
 		return nil, fmt.Errorf("load %s: %w", path, err)
 	}
 	return &Package{Path: path, Fset: l.Fset, Files: files, Types: tp, Info: info}, nil
+}
+
+// SourcePackages returns every package loaded from source so far (overlay
+// and module packages — the ones with Files and full type info), sorted by
+// import path. This is the package set a whole-program analysis (the
+// dataflow call graph) is built over: transitive imports are present
+// because Load resolves them recursively.
+func (l *Loader) SourcePackages() []*Package {
+	var out []*Package
+	for _, r := range l.pkgs {
+		if r.err == nil && r.pkg != nil && len(r.pkg.Files) > 0 {
+			out = append(out, r.pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // List expands go-style package patterns ("./...", "./internal/...",

@@ -1,0 +1,92 @@
+package load
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func overlayLoader(t *testing.T) *Loader {
+	t.Helper()
+	src, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader("", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestBuildTagExcluded pins the constraint handling: tagged's two sibling
+// files redeclare V under a custom //go:build tag and a legacy // +build
+// line, so the package type-checks only if both are excluded.
+func TestBuildTagExcluded(t *testing.T) {
+	l := overlayLoader(t)
+	pkg, err := l.Load("tagged")
+	if err != nil {
+		t.Fatalf("load tagged: %v", err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Errorf("loaded %d files, want 1 (excluded.go and legacy.go must be skipped)", len(pkg.Files))
+	}
+}
+
+// TestTypeCheckFailureIsAnError pins the failure mode: a package that does
+// not type-check returns an error naming the package, never a panic.
+func TestTypeCheckFailureIsAnError(t *testing.T) {
+	l := overlayLoader(t)
+	if _, err := l.Load("broken"); err == nil {
+		t.Fatal("load broken: expected a type-check error, got nil")
+	} else if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error does not name the package: %v", err)
+	}
+}
+
+// TestTestOnlyPackageFailsCleanly pins the _test.go-only edge: the loader
+// skips test files by design, so the directory resolves to nothing and the
+// load fails with an error instead of producing an empty package.
+func TestTestOnlyPackageFailsCleanly(t *testing.T) {
+	l := overlayLoader(t)
+	if _, err := l.Load("testonly"); err == nil {
+		t.Fatal("load testonly: expected an error for a _test.go-only package, got nil")
+	}
+}
+
+// TestLoadErrorIsMemoized pins that a failed load is cached like a success:
+// the second call returns the same error without re-type-checking.
+func TestLoadErrorIsMemoized(t *testing.T) {
+	l := overlayLoader(t)
+	_, err1 := l.Load("broken")
+	_, err2 := l.Load("broken")
+	if err1 == nil || err2 == nil {
+		t.Fatal("expected errors from both loads")
+	}
+	if err1.Error() != err2.Error() {
+		t.Errorf("memoized error drifted: %q vs %q", err1, err2)
+	}
+	if pkgs := l.SourcePackages(); len(pkgs) != 0 {
+		t.Errorf("failed loads must not surface in SourcePackages, got %d", len(pkgs))
+	}
+}
+
+func TestBuildTagOK(t *testing.T) {
+	cases := []struct {
+		tag  string
+		want bool
+	}{
+		{runtime.GOOS, true},
+		{runtime.GOARCH, true},
+		{"gc", true},
+		{"go1.21", true},
+		{"fancytag", false},
+		{"ignore", false},
+	}
+	for _, c := range cases {
+		if got := buildTagOK(c.tag); got != c.want {
+			t.Errorf("buildTagOK(%q) = %v, want %v", c.tag, got, c.want)
+		}
+	}
+}

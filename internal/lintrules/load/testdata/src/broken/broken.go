@@ -1,0 +1,5 @@
+// Package broken fails type-checking on purpose: the loader must return
+// the error, not panic.
+package broken
+
+var X int = "not an int"

@@ -1,0 +1,6 @@
+//go:build fancytag
+
+package tagged
+
+// V would collide with tagged.go's V if this file were loaded.
+func V() int { return 2 }

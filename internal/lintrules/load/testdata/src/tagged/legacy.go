@@ -1,0 +1,6 @@
+// +build ignore
+
+package tagged
+
+// V would collide with tagged.go's V if this file were loaded.
+func V() int { return 3 }

@@ -1,0 +1,7 @@
+// Package tagged has two sibling files that redeclare V under build
+// constraints: the package type-checks only if the loader excludes them,
+// so a successful load proves the tag handling.
+package tagged
+
+// V is redeclared by excluded.go and legacy.go.
+func V() int { return 1 }

@@ -1,0 +1,3 @@
+// Package testonly holds only _test.go files: the loader skips test files
+// by design, so resolving this path must fail cleanly.
+package testonly

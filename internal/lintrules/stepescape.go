@@ -1,0 +1,437 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"stochstream/internal/lintrules/analysis"
+	"stochstream/internal/lintrules/dataflow"
+)
+
+// Stepescape extends Stepretain across call boundaries: the slice returned
+// by (*engine.Join).Step is valid only until the next Step call, and a
+// helper function can smuggle it into persistent storage in two ways the
+// syntactic analyzer cannot see:
+//
+//   - the result is passed as an argument to a function that stores that
+//     parameter (directly, or through further calls) into a struct field
+//     or package-level variable, or
+//   - the result round-trips through a helper whose return value aliases
+//     its argument, and the caller stores the returned alias.
+//
+// The analyzer computes a per-function escape summary — which parameters
+// reach persistent storage, and which parameters a return value aliases —
+// bottom-up over the call graph, then flags call sites in the checked
+// package that feed a Step result into an escaping parameter, and stores
+// of call-derived Step aliases. Direct stores without a call in the chain
+// stay Stepretain's findings, so each violation reports exactly once.
+var Stepescape = &analysis.Analyzer{
+	Name: stepescapeName,
+	Doc:  "interprocedural escape analysis for engine.Step results (valid-until-next-Step contract through helpers)",
+	Run:  runStepescape,
+}
+
+const stepescapeName = "stepescape"
+
+// escapeFact summarizes one function: escapes[i] — parameter i (receiver
+// first for methods) reaches persistent storage; returns[i] — some return
+// value aliases parameter i.
+type escapeFact struct {
+	escapes []bool
+	returns []bool
+}
+
+func boolsEq(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func escapeEq(a, b interface{}) bool {
+	x, _ := a.(*escapeFact)
+	y, _ := b.(*escapeFact)
+	if x == nil || y == nil {
+		return x == y
+	}
+	return boolsEq(x.escapes, y.escapes) && boolsEq(x.returns, y.returns)
+}
+
+// escapeParams returns a function's parameter objects, receiver first for
+// methods — the index space of escapeFact.
+func escapeParams(obj *types.Func) []*types.Var {
+	sig := obj.Signature()
+	var out []*types.Var
+	if r := sig.Recv(); r != nil {
+		out = append(out, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// argIndex maps a call-site argument position to the callee's escapeFact
+// index: methods shift by one for the receiver, and variadic overflow maps
+// onto the last parameter.
+func argIndex(callee *types.Func, arg int) int {
+	off := 0
+	if callee.Signature().Recv() != nil {
+		off = 1
+	}
+	n := callee.Signature().Params().Len() + off
+	i := arg + off
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// paramAliasOf resolves an expression to the parameter it aliases, looking
+// through parens, sub-slices, locals in aliases, and calls to helpers whose
+// return aliases an argument. Returns -1 when the expression aliases no
+// parameter.
+func paramAliasOf(info *types.Info, store *dataflow.FactStore, e ast.Expr, aliases map[types.Object]int) int {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return paramAliasOf(info, store, e.X, aliases)
+	case *ast.SliceExpr:
+		return paramAliasOf(info, store, e.X, aliases)
+	case *ast.Ident:
+		if obj := identObj(info, e); obj != nil {
+			if i, ok := aliases[obj]; ok {
+				return i
+			}
+		}
+	case *ast.CallExpr:
+		callee := dataflow.CalleeObj(info, e)
+		fact, _ := store.Get(callee).(*escapeFact)
+		if fact == nil {
+			return -1
+		}
+		for k, arg := range e.Args {
+			if pi := paramAliasOf(info, store, arg, aliases); pi >= 0 {
+				if j := argIndex(callee, k); j < len(fact.returns) && fact.returns[j] {
+					return pi
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// stepescapeFacts computes the whole program's escape summaries.
+func stepescapeFacts(prog *dataflow.Program) *dataflow.FactStore {
+	transfer := func(f *dataflow.Func, store *dataflow.FactStore) interface{} {
+		params := escapeParams(f.Obj)
+		fact := &escapeFact{escapes: make([]bool, len(params)), returns: make([]bool, len(params))}
+		if len(params) == 0 {
+			return fact
+		}
+		info := f.Pkg.Info
+
+		// Alias set: each reference-typed parameter aliases itself; locals
+		// assigned from an alias (or a sub-slice, or an alias-returning call)
+		// join it. Value-typed parameters (engine.Tuple, floats, ...) are
+		// copies and can never alias the Step buffer. Iterate to a local
+		// fixed point — assignments may chain in any order.
+		aliases := map[types.Object]int{}
+		for i, v := range params {
+			if isRefType(v.Type()) {
+				aliases[v] = i
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != len(as.Rhs) {
+					return true
+				}
+				for i, rhs := range as.Rhs {
+					pi := paramAliasOf(info, store, rhs, aliases)
+					if pi < 0 {
+						continue
+					}
+					id, ok := as.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := identObj(info, id)
+					if obj == nil || isPackageLevel(obj) {
+						continue
+					}
+					if _, seen := aliases[obj]; !seen {
+						aliases[obj] = pi
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+
+		// Effects: persistent stores, composite-literal captures, and
+		// forwarding to a callee parameter that itself escapes. A reasoned
+		// //lint:ignore stepescape on the effect line kills the escape for
+		// every caller.
+		suppressed := func(n ast.Node) bool {
+			return prog.Sup.Suppresses(stepescapeName, prog.Fset.Position(n.Pos()))
+		}
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if pi := paramAliasOf(info, store, rhs, aliases); pi >= 0 &&
+						isPersistentLvalue(info, n.Lhs[i]) && !suppressed(n) {
+						fact.escapes[pi] = true
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					v := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if pi := paramAliasOf(info, store, v, aliases); pi >= 0 && !suppressed(v) {
+						fact.escapes[pi] = true
+					}
+				}
+			case *ast.CallExpr:
+				callee := dataflow.CalleeObj(info, n)
+				cf, _ := store.Get(callee).(*escapeFact)
+				if cf == nil {
+					return true
+				}
+				for k, arg := range n.Args {
+					pi := paramAliasOf(info, store, arg, aliases)
+					if pi < 0 {
+						continue
+					}
+					if j := argIndex(callee, k); j < len(cf.escapes) && cf.escapes[j] && !suppressed(arg) {
+						fact.escapes[pi] = true
+					}
+				}
+				// A method receiver that aliases a parameter escapes through
+				// an escaping receiver the same way.
+				if sel, ok := unparenExpr(n.Fun).(*ast.SelectorExpr); ok && callee.Signature().Recv() != nil {
+					if pi := paramAliasOf(info, store, sel.X, aliases); pi >= 0 && len(cf.escapes) > 0 && cf.escapes[0] && !suppressed(sel.X) {
+						fact.escapes[pi] = true
+					}
+				}
+			}
+			return true
+		})
+
+		// Return aliasing: only the function's own return statements count,
+		// so nested function literals are skipped.
+		skipFuncLits(f.Decl.Body, func(n ast.Node) {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return
+			}
+			for _, res := range ret.Results {
+				if pi := paramAliasOf(info, store, res, aliases); pi >= 0 {
+					fact.returns[pi] = true
+				}
+			}
+		})
+		return fact
+	}
+	return prog.Facts(stepescapeName, transfer, escapeEq)
+}
+
+// skipFuncLits walks the statements under root, visiting every node except
+// the bodies of nested function literals.
+func skipFuncLits(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+func unparenExpr(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func runStepescape(pass *analysis.Pass) (interface{}, error) {
+	prog, _ := pass.Facts.(*dataflow.Program)
+	if prog == nil {
+		return nil, nil // the intraprocedural cases are Stepretain's
+	}
+	store := stepescapeFacts(prog)
+	for _, f := range prog.FuncsOf(pass.Pkg.Path()) {
+		checkStepescapeFunc(pass, store, f)
+	}
+	return nil, nil
+}
+
+// stepAlias classifies expressions in one checked function: direct — the
+// expression is a Step result or a sub-slice/local copy of one (Stepretain's
+// territory for stores); viaCall — the aliasing chain passes through a
+// helper call, which only this analyzer can see.
+type stepAlias struct {
+	direct  map[types.Object]bool
+	derived map[types.Object]bool
+	info    *types.Info
+	store   *dataflow.FactStore
+}
+
+// classify resolves e to (isStepAlias, viaCall).
+func (sa *stepAlias) classify(e ast.Expr) (bool, bool) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return sa.classify(e.X)
+	case *ast.SliceExpr:
+		return sa.classify(e.X)
+	case *ast.Ident:
+		obj := identObj(sa.info, e)
+		if obj == nil {
+			return false, false
+		}
+		if sa.derived[obj] {
+			return true, true
+		}
+		return sa.direct[obj], false
+	case *ast.CallExpr:
+		if isStepCall(sa.info, e) {
+			return true, false
+		}
+		callee := dataflow.CalleeObj(sa.info, e)
+		fact, _ := sa.store.Get(callee).(*escapeFact)
+		if fact == nil {
+			return false, false
+		}
+		for k, arg := range e.Args {
+			if is, _ := sa.classify(arg); is {
+				if j := argIndex(callee, k); j < len(fact.returns) && fact.returns[j] {
+					return true, true
+				}
+			}
+		}
+	}
+	return false, false
+}
+
+// funcDisplayName renders obj like dataflow.Func.Name does —
+// "pkg.(*T).method" or "pkg.Func" — so messages about callees resolved only
+// through go/types read the same as those built from dataflow summaries.
+func funcDisplayName(obj *types.Func) string {
+	pkg := "?"
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Name()
+	}
+	recv := obj.Signature().Recv()
+	if recv == nil {
+		return pkg + "." + obj.Name()
+	}
+	t := recv.Type()
+	ptr := ""
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+		ptr = "*"
+	}
+	name := "?"
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		name = n.Obj().Name()
+	}
+	if ptr != "" {
+		return pkg + ".(" + ptr + name + ")." + obj.Name()
+	}
+	return pkg + "." + name + "." + obj.Name()
+}
+
+func checkStepescapeFunc(pass *analysis.Pass, store *dataflow.FactStore, f *dataflow.Func) {
+	info := pass.TypesInfo
+	sa := &stepAlias{direct: map[types.Object]bool{}, derived: map[types.Object]bool{}, info: info, store: store}
+
+	// Local fixed point over assignments: a local can become a Step alias
+	// through a chain of copies and helper round-trips in any source order.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				is, via := sa.classify(rhs)
+				if !is {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := identObj(info, id)
+				if obj == nil || isPackageLevel(obj) {
+					continue
+				}
+				set := sa.direct
+				if via {
+					set = sa.derived
+				}
+				if !set[obj] {
+					set[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				is, via := sa.classify(rhs)
+				// Stores of purely direct aliases are Stepretain findings;
+				// report only chains that pass through a call.
+				if is && via && isPersistentLvalue(info, n.Lhs[i]) {
+					pass.Reportf(rhs.Pos(), "engine.Step result retained beyond the step through a helper call: the returned slice aliases the Step buffer, which the next Step call reuses; copy the pairs before storing them")
+				}
+			}
+		case *ast.CallExpr:
+			callee := dataflow.CalleeObj(info, n)
+			fact, _ := store.Get(callee).(*escapeFact)
+			if fact == nil {
+				return true
+			}
+			for k, arg := range n.Args {
+				is, _ := sa.classify(arg)
+				if !is {
+					continue
+				}
+				if j := argIndex(callee, k); j < len(fact.escapes) && fact.escapes[j] {
+					name := "argument"
+					if params := escapeParams(callee); j < len(params) {
+						name = "parameter " + params[j].Name()
+					}
+					pass.Reportf(arg.Pos(), "engine.Step result passed to %s, which stores %s beyond the step; the slice is valid only until the next Step call — copy the pairs before handing them off", funcDisplayName(callee), name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -57,11 +57,11 @@ func checkStepretainBody(pass *analysis.Pass, body *ast.BlockStmt) {
 			return true
 		}
 		for i, rhs := range as.Rhs {
-			if !isStepResult(pass, rhs, tainted) {
+			if !isStepResult(pass.TypesInfo, rhs, tainted) {
 				continue
 			}
 			if id, ok := as.Lhs[i].(*ast.Ident); ok {
-				if obj := identObj(pass, id); obj != nil && !isPackageLevel(pass, obj) {
+				if obj := identObj(pass.TypesInfo, id); obj != nil && !isPackageLevel(obj) {
 					tainted[obj] = true
 				}
 			}
@@ -78,7 +78,7 @@ func checkStepretainBody(pass *analysis.Pass, body *ast.BlockStmt) {
 				return true
 			}
 			for i, rhs := range n.Rhs {
-				if isStepResult(pass, rhs, tainted) && isPersistentLvalue(pass, n.Lhs[i]) {
+				if isStepResult(pass.TypesInfo, rhs, tainted) && isPersistentLvalue(pass.TypesInfo, n.Lhs[i]) {
 					report(pass, rhs)
 				}
 			}
@@ -88,7 +88,7 @@ func checkStepretainBody(pass *analysis.Pass, body *ast.BlockStmt) {
 				if kv, ok := el.(*ast.KeyValueExpr); ok {
 					v = kv.Value
 				}
-				if isStepResult(pass, v, tainted) {
+				if isStepResult(pass.TypesInfo, v, tainted) {
 					report(pass, v)
 				}
 			}
@@ -103,27 +103,27 @@ func report(pass *analysis.Pass, at ast.Expr) {
 
 // isStepResult reports whether e is a call to (*engine.Join).Step, a
 // sub-slice of one, or a local variable holding one.
-func isStepResult(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+func isStepResult(info *types.Info, e ast.Expr, tainted map[types.Object]bool) bool {
 	switch e := e.(type) {
 	case *ast.ParenExpr:
-		return isStepResult(pass, e.X, tainted)
+		return isStepResult(info, e.X, tainted)
 	case *ast.SliceExpr:
-		return isStepResult(pass, e.X, tainted)
+		return isStepResult(info, e.X, tainted)
 	case *ast.CallExpr:
-		return isStepCall(pass, e)
+		return isStepCall(info, e)
 	case *ast.Ident:
-		obj := identObj(pass, e)
+		obj := identObj(info, e)
 		return obj != nil && tainted[obj]
 	}
 	return false
 }
 
-func isStepCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+func isStepCall(info *types.Info, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
-	s := pass.TypesInfo.Selections[sel]
+	s := info.Selections[sel]
 	if s == nil || s.Kind() != types.MethodVal {
 		return false
 	}
@@ -143,35 +143,35 @@ func isStepCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 // isPersistentLvalue reports whether the assignment target outlives the
 // enclosing function's current step: a struct field, a package-level
 // variable, or an element of either.
-func isPersistentLvalue(pass *analysis.Pass, lhs ast.Expr) bool {
+func isPersistentLvalue(info *types.Info, lhs ast.Expr) bool {
 	switch lhs := lhs.(type) {
 	case *ast.ParenExpr:
-		return isPersistentLvalue(pass, lhs.X)
+		return isPersistentLvalue(info, lhs.X)
 	case *ast.SelectorExpr:
-		if s := pass.TypesInfo.Selections[lhs]; s != nil && s.Kind() == types.FieldVal {
+		if s := info.Selections[lhs]; s != nil && s.Kind() == types.FieldVal {
 			return true
 		}
 		// Qualified package-level var: pkg.V.
-		if obj, ok := pass.TypesInfo.Uses[lhs.Sel].(*types.Var); ok {
-			return isPackageLevel(pass, obj)
+		if obj, ok := info.Uses[lhs.Sel].(*types.Var); ok {
+			return isPackageLevel(obj)
 		}
 		return false
 	case *ast.Ident:
-		obj := identObj(pass, lhs)
-		return obj != nil && isPackageLevel(pass, obj)
+		obj := identObj(info, lhs)
+		return obj != nil && isPackageLevel(obj)
 	case *ast.IndexExpr:
-		return isPersistentLvalue(pass, lhs.X)
+		return isPersistentLvalue(info, lhs.X)
 	}
 	return false
 }
 
-func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
-	if o := pass.TypesInfo.Defs[id]; o != nil {
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
 		return o
 	}
-	return pass.TypesInfo.Uses[id]
+	return info.Uses[id]
 }
 
-func isPackageLevel(pass *analysis.Pass, obj types.Object) bool {
+func isPackageLevel(obj types.Object) bool {
 	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
 }

@@ -1,0 +1,51 @@
+// Package dettaint exercises the interprocedural nondeterminism-taint
+// analyzer: direct sources (the old detsource behavior), taint arriving
+// through helper packages, the internal/stats clean boundary, and
+// root-level suppression killing propagation.
+package dettaint
+
+import (
+	"math/rand"
+	"time"
+
+	"dettaint/util"
+	"stochstream/internal/stats"
+)
+
+// Direct sources still report, as the syntactic detsource did.
+func direct() int64 {
+	return time.Now().UnixNano() // want "time.Now in decision code"
+}
+
+func directRand() int {
+	return rand.Int() // want "global math/rand Int in decision code"
+}
+
+func viaNew() float64 {
+	r := rand.New(rand.NewSource(1)) // want "rand.New in decision code"
+	return r.Float64()
+}
+
+// INTERPROCEDURAL-ONLY: nothing in this function's source text mentions
+// time or rand — the PR 3 syntactic detsource provably passes it — but the
+// helper one package away reads the wall clock.
+func viaHelper() int64 {
+	return util.Stamp() // want "call to util.Stamp reaches a nondeterminism source"
+}
+
+// Two hops away is still caught: summaries compose bottom-up.
+func viaTwoHops() int64 {
+	return util.Indirect() // want "call to util.Indirect reaches a nondeterminism source"
+}
+
+// A same-package helper's source reports once, at the source (direct()
+// above), not again at every caller.
+func viaLocal() int64 { return direct() }
+
+// The reasoned suppression at the root of util.Blessed kills the taint for
+// its callers: no finding here.
+func viaBlessed() int64 { return util.Blessed() }
+
+// internal/stats is the blessed boundary: it owns ambient randomness, so
+// calls into it are clean even though it uses math/rand/v2 internally.
+func viaStats() float64 { return stats.NewRNG(42).Float64() }

@@ -1,0 +1,19 @@
+// Package util is the dettaint corpus's helper package: its functions read
+// the wall clock so that callers in the checked package inherit the taint
+// across the package boundary.
+package util
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Indirect adds one more hop between the caller and the clock.
+func Indirect() int64 { return Stamp() }
+
+// Blessed reads the clock under a reasoned suppression: the taint is
+// killed at the root, for every transitive caller.
+func Blessed() int64 {
+	//lint:ignore dettaint corpus: value feeds a log line, never a decision
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,96 @@
+// Package errdiscipline exercises the typed-error analyzer: sentinel
+// comparisons, %w wrapping discipline, and — interprocedurally — silently
+// discarded errors that can wrap mincostflow.ErrNumericalInstability.
+package errdiscipline
+
+import (
+	"errors"
+	"fmt"
+
+	"stochstream/internal/mincostflow"
+)
+
+// ErrLocal is this package's own sentinel.
+var ErrLocal = errors.New("local")
+
+// Contract 1: sentinels are matched with errors.Is, never ==/!=.
+func cmp(err error) bool {
+	return err == ErrLocal // want "sentinel ErrLocal compared with =="
+}
+
+func cmpNeq(err error) bool {
+	return err != ErrLocal // want "sentinel ErrLocal compared with !="
+}
+
+func cmpOK(err error) bool { return errors.Is(err, ErrLocal) }
+
+func nilCheckOK(err error) bool { return err == nil }
+
+// Contract 2: wrapping a sentinel without %w hides it from errors.Is.
+func wrapBad() error {
+	return fmt.Errorf("solve failed: %v", ErrLocal) // want "sentinel ErrLocal formatted without %w"
+}
+
+func wrapOK() error {
+	return fmt.Errorf("solve failed: %w", ErrLocal)
+}
+
+// rung wraps the solver error with %w: its summary records that its error
+// can wrap ErrNumericalInstability.
+func rung(n int) (float64, error) {
+	v, err := mincostflow.Solve(n)
+	if err != nil {
+		return 0, fmt.Errorf("rung: %w", err)
+	}
+	return v, nil
+}
+
+// INTERPROCEDURAL-ONLY: nothing in this function's text mentions the
+// sentinel or the solver — only the bottom-up summaries know rung's error
+// can wrap ErrNumericalInstability.
+func swallowBlank(n int) float64 {
+	v, _ := rung(n) // want "error from errdiscipline.rung can wrap ErrNumericalInstability and is discarded into _"
+	return v
+}
+
+// The error is bound but never examined on any path afterwards: the CFG's
+// def-use chains prove it.
+func swallowUnread(n int) (float64, error) {
+	v, err := mincostflow.Solve(n)
+	if err != nil {
+		return 0, err
+	}
+	w, err := rung(int(v)) // want "assigned to err but never examined afterwards"
+	return w, nil
+}
+
+// A dropped call expression discards the whole result tuple.
+func fireAndForget(n int) {
+	rung(n) // want "error from errdiscipline.rung can wrap ErrNumericalInstability and is dropped"
+}
+
+// Handling through errors.Is is the contract: no finding.
+func handled(n int) float64 {
+	v, err := rung(n)
+	if errors.Is(err, mincostflow.ErrNumericalInstability) {
+		return 0
+	}
+	return v
+}
+
+// The error is examined only on the NEXT loop iteration: the loop's back
+// edge in the CFG proves the read happens; a position-based scan (is there
+// a read later in the source?) would flag this incorrectly.
+func loopCarried(n int) float64 {
+	var err error
+	total := 0.0
+	for i := 0; i < n; i++ {
+		if err != nil {
+			break
+		}
+		var v float64
+		v, err = rung(i)
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,87 @@
+// Package scorepure exercises the purity analyzer: everything reachable
+// from a ScoreCandidates method must not mutate operator state or perform
+// I/O, with core.ForecastCache memoization allowlisted and the out-buffer
+// idiom (writes through non-receiver parameters) explicitly permitted.
+package scorepure
+
+import (
+	"scorepure/sink"
+
+	"stochstream/internal/core"
+)
+
+// Candidate mirrors a policy candidate.
+type Candidate struct {
+	ID    int
+	Score float64
+}
+
+type entry struct{ h float64 }
+
+// P is a policy whose ScoreCandidates roots the analysis.
+type P struct {
+	fc    *core.ForecastCache
+	inc   map[int]*entry
+	ltab  []float64
+	calls int
+}
+
+// ScoreCandidates is the scoring root. Writes through the out parameter
+// are the blessed out-buffer idiom: no finding for out[i].
+func (p *P) ScoreCandidates(cands []Candidate, out []float64) {
+	p.ensureLTab()
+	for i := range cands {
+		out[i] = p.score(cands[i]) + p.forecast(cands[i]) + p.scoreInc(cands[i]) + p.scoreIncOK(cands[i]) + p.trace(cands[i])
+	}
+}
+
+// score is reachable from the root: its receiver write reports here, at
+// the effect.
+func (p *P) score(c Candidate) float64 {
+	p.calls++ // want "mutates receiver state .p.calls. on the scoring path from scorepure...P..ScoreCandidates"
+	return float64(c.ID)
+}
+
+// Memoizing through core.ForecastCache is the blessed seam: no finding.
+func (p *P) forecast(c Candidate) float64 { return p.fc.At(c.ID) }
+
+// scoreInc mutates heap state reached through the receiver via a local
+// alias — rootIdent alone cannot see it; the alias tracking can.
+func (p *P) scoreInc(c Candidate) float64 {
+	e := p.inc[c.ID]
+	e.h = float64(c.ID) // want "mutates receiver state .e.h. on the scoring path"
+	return e.h
+}
+
+// scoreIncOK reaches the same heap state through a comma-ok map read: the
+// value binds to the first LHS only.
+func (p *P) scoreIncOK(c Candidate) float64 {
+	e, ok := p.inc[c.ID]
+	if !ok {
+		return 0
+	}
+	e.h++ // want "mutates receiver state .e.h. on the scoring path"
+	return e.h
+}
+
+// INTERPROCEDURAL-ONLY: this function's own text is pure — a syntactic
+// check provably passes it — but the helper one package away prints.
+func (p *P) trace(c Candidate) float64 {
+	return sink.Deep(c.ID) // want "call to sink.Deep on the scoring path from scorepure...P..ScoreCandidates is impure"
+}
+
+// ensureLTab memoizes into the receiver under a reasoned suppression: the
+// impurity is killed at the root, so neither this line nor any caller
+// reports.
+func (p *P) ensureLTab() {
+	if p.ltab == nil {
+		//lint:ignore scorepure corpus: deterministic lazy init of a pure lookup table
+		p.ltab = []float64{1, 2, 3}
+	}
+}
+
+// Reset mutates the receiver but is not on any scoring path: no finding.
+func (p *P) Reset() {
+	p.ltab = nil
+	p.calls = 0
+}

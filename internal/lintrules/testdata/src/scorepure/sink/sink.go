@@ -1,0 +1,15 @@
+// Package sink is the scorepure corpus's impure helper package: its
+// functions perform I/O so scoring paths that call into it inherit the
+// impurity across the package boundary.
+package sink
+
+import "fmt"
+
+// Emit prints — impure; scorepure callers inherit it.
+func Emit(id int) float64 {
+	fmt.Println("scored", id)
+	return float64(id)
+}
+
+// Deep adds a hop between the scoring path and the I/O.
+func Deep(id int) float64 { return Emit(id) }

@@ -1,0 +1,33 @@
+// Package staleignore exercises the suppression audit: every //lint:ignore
+// must name a known analyzer, carry a reason, and actually suppress a
+// finding; defective directives become findings of the pseudo-analyzer
+// "staleignore". (Bare directives and directives without a reason cannot
+// carry a trailing `// want` marker — a line comment consumes the rest of
+// the line — so those two shapes are pinned by the analysis package's unit
+// tests instead.)
+package staleignore
+
+// goodFloat carries a live, reasoned suppression: the float comparison is
+// suppressed and the directive is not stale.
+func goodFloat(a, b float64) bool {
+	//lint:ignore floateq corpus: exact equality intended for the test
+	return a == b
+}
+
+// The directive below names a real analyzer but no finding exists on its
+// line or the next: the audit flags it as stale.
+func staleDirective() int {
+	//lint:ignore floateq stale by construction // want "stale //lint:ignore floateq"
+	return 1
+}
+
+// The directive below names an analyzer that does not exist.
+func unknownAnalyzer() int {
+	//lint:ignore flaoteq typo of floateq // want "names unknown analyzer .flaoteq."
+	return 2
+}
+
+// An unsuppressed violation still reports normally alongside the audit.
+func plain(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}

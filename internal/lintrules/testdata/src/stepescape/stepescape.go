@@ -1,0 +1,66 @@
+// Package stepescape exercises interprocedural escape analysis for
+// engine.Step results: the returned slice is valid only until the next
+// Step call, and these cases smuggle it into persistent storage through
+// helper calls the syntactic stepretain analyzer cannot see.
+package stepescape
+
+import "stochstream/internal/engine"
+
+// Holder is persistent operator state.
+type Holder struct{ buf []engine.Pair }
+
+// stash stores its parameter into persistent state: any Step result passed
+// to it escapes.
+func stash(h *Holder, s []engine.Pair) { h.buf = s }
+
+// stashIndirect forwards to stash: escape summaries compose bottom-up.
+func stashIndirect(h *Holder, s []engine.Pair) { stash(h, s) }
+
+// same returns its argument unchanged; the returns summary records the
+// aliasing so the caller's store is caught.
+func same(s []engine.Pair) []engine.Pair { return s }
+
+// copyOut copies the pairs; nothing escapes.
+func copyOut(h *Holder, s []engine.Pair) { h.buf = append(h.buf[:0], s...) }
+
+// keep is stash as a method: the receiver shifts argument indexes by one.
+func (h *Holder) keep(s []engine.Pair) { h.buf = s }
+
+// INTERPROCEDURAL-ONLY: no field write appears anywhere in this function,
+// so the syntactic stepretain provably passes it — the store happens inside
+// stash, one call away.
+func escapeViaArg(h *Holder, j *engine.Join, r, s engine.Tuple) {
+	res := j.Step(r, s)
+	stash(h, res) // want "passed to stepescape.stash, which stores parameter s beyond the step"
+}
+
+func escapeViaTwoHops(h *Holder, j *engine.Join, r, s engine.Tuple) {
+	stashIndirect(h, j.Step(r, s)) // want "passed to stepescape.stashIndirect"
+}
+
+// INTERPROCEDURAL-ONLY: the alias round-trips through same(), so the value
+// being stored is not syntactically a Step result.
+func escapeViaReturn(h *Holder, j *engine.Join, r, s engine.Tuple) {
+	h.buf = same(j.Step(r, s)) // want "retained beyond the step through a helper call"
+}
+
+// A sub-slice through the helper still aliases the Step buffer.
+func escapeSubslice(h *Holder, j *engine.Join, r, s engine.Tuple) {
+	res := j.Step(r, s)
+	stash(h, res[:1]) // want "passed to stepescape.stash"
+}
+
+func escapeViaMethod(h *Holder, j *engine.Join, r, s engine.Tuple) {
+	h.keep(j.Step(r, s)) // want "passed to stepescape...Holder..keep"
+}
+
+// Copying through a helper is fine: copyOut appends by value.
+func safeCopy(h *Holder, j *engine.Join, r, s engine.Tuple) {
+	copyOut(h, j.Step(r, s))
+}
+
+// Element copies out of the result are fine too — Pair is a value type.
+func safeElement(j *engine.Join, r, s engine.Tuple) engine.Pair {
+	res := j.Step(r, s)
+	return res[0]
+}

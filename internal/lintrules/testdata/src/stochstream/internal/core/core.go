@@ -1,0 +1,25 @@
+// Package core is a stub of stochstream/internal/core for the scorepure
+// corpus: ForecastCache is the allowlisted memoization seam, so its
+// receiver mutations must not count as impurity.
+package core
+
+// ForecastCache memoizes forecasts keyed by process id; the real type
+// rebinds deterministically from stream state.
+type ForecastCache struct {
+	vals map[int]float64
+}
+
+// NewForecastCache builds an empty cache.
+func NewForecastCache() *ForecastCache {
+	return &ForecastCache{vals: map[int]float64{}}
+}
+
+// At memoizes on miss — receiver mutation that scorepure blesses.
+func (fc *ForecastCache) At(k int) float64 {
+	v, ok := fc.vals[k]
+	if !ok {
+		v = float64(k) * 0.5
+		fc.vals[k] = v
+	}
+	return v
+}

@@ -1,0 +1,17 @@
+// Package mincostflow is a stub of stochstream/internal/mincostflow for
+// the errdiscipline corpus: it exports the numerical-instability sentinel
+// and a solver that can return it.
+package mincostflow
+
+import "errors"
+
+// ErrNumericalInstability mirrors the real solver sentinel.
+var ErrNumericalInstability = errors.New("numerical instability")
+
+// Solve fails with the sentinel for negative sizes.
+func Solve(n int) (float64, error) {
+	if n < 0 {
+		return 0, ErrNumericalInstability
+	}
+	return float64(n), nil
+}

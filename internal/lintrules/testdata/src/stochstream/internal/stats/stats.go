@@ -1,0 +1,18 @@
+// Package stats is a stub of stochstream/internal/stats for the dettaint
+// corpus: it mirrors the real package's role as the blessed owner of
+// randomness. It deliberately uses math/rand/v2 — the analyzer must treat
+// this package as a clean boundary and not taint its callers.
+package stats
+
+import "math/rand/v2"
+
+// RNG mirrors the real seeded, splittable source.
+type RNG struct{ r *rand.Rand }
+
+// NewRNG builds a seeded source.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{r: rand.New(rand.NewPCG(seed, 0))}
+}
+
+// Float64 draws from the seeded source.
+func (g *RNG) Float64() float64 { return g.r.Float64() }

@@ -55,6 +55,7 @@ func (p *FlowExpect) Reset(cfg join.Config, _ *stats.RNG) {
 // bindDecision rebinds the forecast memo to the current decision.
 func (p *FlowExpect) bindDecision(st *join.State) *core.ForecastCache {
 	if p.fc == nil {
+		//lint:ignore scorepure lazy construction of the blessed forecast memo: built from stream state alone, so the first decision replays identically
 		p.fc = core.NewForecastCache(st.Procs(), st.Hists)
 	}
 	p.fc.Rebind(st.Procs(), st.Hists)

@@ -216,8 +216,8 @@ func (p *HEEB) ensureLTab() {
 	if p.Opts.NoMemo || p.ltabAlpha == p.alpha {
 		return
 	}
-	p.ltab = core.TabulateL(core.LExp{Alpha: p.alpha}, p.Opts.FallbackHorizon)
-	p.ltabAlpha = p.alpha
+	p.ltab = core.TabulateL(core.LExp{Alpha: p.alpha}, p.Opts.FallbackHorizon) //lint:ignore scorepure deterministic α-keyed tabulation memo: the same α always yields the same table, so replay is unaffected
+	p.ltabAlpha = p.alpha                                                      //lint:ignore scorepure memo key for the α-keyed tabulation above
 }
 
 // bindDecision points the per-decision memo layers at the current state.
@@ -516,6 +516,7 @@ func (p *HEEB) scoreValueIncremental(st *join.State, tp join.Tuple) float64 {
 		return h
 	}
 	h := p.joinH(st, partner, tp.Value, p.l())
+	//lint:ignore scorepure per-decision offset memo: h is a deterministic function of (stream state, seed) and the map is rebound each decision, so replay is bit-identical
 	p.offsetH[partner][offset] = h
 	return h
 }
@@ -542,6 +543,7 @@ func (p *HEEB) scoreIncremental(st *join.State, tp join.Tuple) float64 {
 	e, ok := p.inc[tp.ID]
 	if !ok {
 		h := p.bandJoinH(st, partner, tp.Value, p.l())
+		//lint:ignore scorepure Corollary-3 incremental memo seed: the entry is a deterministic function of (stream state, seed), advanced in lockstep with stream time on every replay
 		p.inc[tp.ID] = &heebEntry{h: h, last: st.Time}
 		return h
 	}
@@ -552,8 +554,8 @@ func (p *HEEB) scoreIncremental(st *join.State, tp join.Tuple) float64 {
 	for e.last < st.Time {
 		u := e.last + 1 // absolute time being folded in
 		pNow := core.BandProb(p.forecastAt(proc, partner, st.Hists[partner], u), tp.Value, p.cfg.Band)
-		e.h = core.JoinHStep(e.h, p.alpha, pNow)
-		e.last++
+		e.h = core.JoinHStep(e.h, p.alpha, pNow) //lint:ignore scorepure Corollary-3 incremental memo advance: a deterministic recurrence over stream time, identical on every replay
+		e.last++                                 //lint:ignore scorepure memo cursor for the Corollary-3 recurrence above
 	}
 	return e.h
 }

@@ -5,8 +5,8 @@ import (
 	"sync/atomic"
 )
 
-func floatBits(v float64) uint64  { return math.Float64bits(v) }
-func bitsFloat(b uint64) float64  { return math.Float64frombits(b) }
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
 
 // defaultLatencyBounds are the default histogram buckets: log-spaced with ten
 // buckets per decade from 100 ns to 10 s. They cover everything from a single

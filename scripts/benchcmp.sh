@@ -6,6 +6,13 @@
 #
 #   ./scripts/benchcmp.sh            # full gate (3 x 50 iterations)
 #   ./scripts/benchcmp.sh -benchtime 20x -count 1   # quicker, noisier
+#
+# Lint budget: stochlint's wall time is tracked separately in
+# BENCH_stochlint.json (load vs analysis phase, serial vs -parallel). It is
+# not gated here — the analyzers run on every ci.sh invocation, so the
+# budget contract is simply that a full stochlint run stays an order of
+# magnitude under the test suite's wall time (budget_gate_ms in that file).
+# Regenerate its numbers with: go run ./cmd/stochlint -timing ./...
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

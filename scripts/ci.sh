@@ -1,17 +1,23 @@
 #!/usr/bin/env bash
 # ci.sh — the repo's one-command gate, in order:
 #
-#   1. stochlint        — the custom determinism/correctness analyzer suite
+#   1. gofmt            — no unformatted files (testdata corpora exempt:
+#                         some are deliberately unidiomatic)
+#   2. go vet           — default pass plus every registered vet analyzer,
+#                         run before stochlint so toolchain-level breakage
+#                         is named before custom-analyzer findings
+#   3. stochlint        — the custom determinism/correctness analyzer suite
 #                         (internal/lintrules, docs/static-analysis.md)
-#   2. go vet           — default pass plus every registered vet analyzer
-#   3. govulncheck      — known-vuln scan, soft-skipped offline
-#   4. build
-#   5. go test -race    — the full suite under the race detector
-#   6. chaos smoke      — seeded fault-injection campaign against the full
+#   4. stochlint self-test — the driver must exit 1 on the seeded corpus;
+#                         a silently broken analyzer suite cannot pass CI
+#   5. govulncheck      — known-vuln scan, soft-skipped offline
+#   6. build
+#   7. go test -race    — the full suite under the race detector
+#   8. chaos smoke      — seeded fault-injection campaign against the full
 #                         degradation ladder (docs/fault-tolerance.md)
-#   7. fuzz smoke       — 10s of FuzzStepEquivalence over the committed corpus
-#   8. gate self-test   — scripts/benchcmp_test.sh proves the perf gate fails
-#   9. bench smoke      — a build that breaks the benchmarks cannot land
+#   9. fuzz smoke       — 10s of FuzzStepEquivalence over the committed corpus
+#  10. gate self-test   — scripts/benchcmp_test.sh proves the perf gate fails
+#  11. bench smoke      — a build that breaks the benchmarks cannot land
 #
 # Run from the repo root:
 #
@@ -23,8 +29,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> stochlint"
-go run ./cmd/stochlint ./...
+echo "==> gofmt"
+# Corpus files under testdata seed deliberate violations (including layout);
+# everything else must be gofmt-clean.
+unformatted=$(gofmt -l . | grep -v '/testdata/' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: unformatted files:"
+    echo "$unformatted"
+    exit 1
+fi
 
 echo "==> go vet (default)"
 go vet ./...
@@ -39,6 +52,20 @@ if [ -n "$vet_flags" ]; then
     go vet $vet_flags ./...
 else
     echo "vet analyzer enumeration failed; default pass only"
+fi
+
+echo "==> stochlint"
+go run ./cmd/stochlint ./...
+
+echo "==> stochlint self-test (seeded corpus must fail)"
+# The golden corpus under cmd/stochlint/testdata/mod seeds one finding of
+# every interesting shape; the driver exiting 0 there means the analyzer
+# suite has gone silently blind.
+rc=0
+go run ./cmd/stochlint -C cmd/stochlint/testdata/mod ./... >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "stochlint self-test failed: expected exit 1 on the seeded corpus, got $rc"
+    exit 1
 fi
 
 echo "==> govulncheck (soft-skip when offline)"
