@@ -8,6 +8,7 @@ import (
 	"stochstream/internal/dist"
 	"stochstream/internal/engine"
 	"stochstream/internal/experiment"
+	"stochstream/internal/flightrec"
 	"stochstream/internal/join"
 	"stochstream/internal/mincostflow"
 	"stochstream/internal/modelsel"
@@ -306,8 +307,10 @@ func BenchmarkAblationControlPoints(b *testing.B) {
 }
 
 // benchStepEngine drives one fixed 2000-step HEEB run through the engine
-// operator per iteration; reg == nil is the bare configuration.
-func benchStepEngine(b *testing.B, reg *telemetry.Registry) {
+// operator per iteration; reg == nil and mkRec == nil is the bare
+// configuration. mkRec builds a fresh flight recorder per operator so span
+// rings never carry over between iterations.
+func benchStepEngine(b *testing.B, reg *telemetry.Registry, mkRec func() *flightrec.Recorder) {
 	b.Helper()
 	procs := [2]process.Process{
 		&process.LinearTrend{Slope: 1, Intercept: -1, Noise: dist.BoundedNormal(2, 12)},
@@ -320,7 +323,11 @@ func benchStepEngine(b *testing.B, reg *telemetry.Registry) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		j, err := engine.NewJoin(engine.Config{CacheSize: 10, Procs: procs, Seed: 1, Telemetry: reg})
+		cfg := engine.Config{CacheSize: 10, Procs: procs, Seed: 1, Telemetry: reg}
+		if mkRec != nil {
+			cfg.Flight = mkRec()
+		}
+		j, err := engine.NewJoin(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -334,8 +341,20 @@ func benchStepEngine(b *testing.B, reg *telemetry.Registry) {
 // hot-path cost: the instrumented run adds per-step clock reads and atomic
 // writes plus a sampled decision-trace re-score; the target recorded in
 // BENCH_telemetry.json is < 10% overhead.
-func BenchmarkStepBare(b *testing.B)         { benchStepEngine(b, nil) }
-func BenchmarkStepInstrumented(b *testing.B) { benchStepEngine(b, telemetry.NewRegistry()) }
+func BenchmarkStepBare(b *testing.B) { benchStepEngine(b, nil, nil) }
+func BenchmarkStepInstrumented(b *testing.B) {
+	benchStepEngine(b, telemetry.NewRegistry(), nil)
+}
+
+// BenchmarkStepFlightRec bounds the flight recorder's always-on cost in its
+// production shape: wall-clock spans (the engine's EnsureClock seam), default
+// lifecycle sampling, no bundle directory. The target recorded in
+// BENCH_flightrec.json is < 10% overhead versus BenchmarkStepBare.
+func BenchmarkStepFlightRec(b *testing.B) {
+	benchStepEngine(b, nil, func() *flightrec.Recorder {
+		return flightrec.New(flightrec.Options{SampleSeed: 1})
+	})
+}
 
 // benchmarkStepHot measures one operator Step at steady state (cache full,
 // every step probes, scores all candidates and evicts) — the hot path the

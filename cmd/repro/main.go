@@ -9,6 +9,7 @@
 //	repro -figure 13 -real-data f    # use an actual reference trace
 //	repro -figure 8 -metrics         # append a Prometheus telemetry snapshot
 //	repro -figure 8 -trace 10        # dump the last 10 eviction decisions
+//	repro -checkpoint f -bundle-dir d  # also dump a flight-recorder bundle
 //	repro -list                      # show available figures
 //
 // Each figure prints the same series the paper plots; EXPERIMENTS.md records
@@ -25,6 +26,7 @@ import (
 
 	"stochstream"
 	"stochstream/internal/engine"
+	"stochstream/internal/flightrec"
 	"stochstream/internal/process"
 	"stochstream/internal/stats"
 )
@@ -58,6 +60,7 @@ func run(args []string, stdout io.Writer) error {
 		traceN     = fs.Int("trace", 0, "emit the last N decision-trace records as JSON lines (implies telemetry collection)")
 		ckptPath   = fs.String("checkpoint", "", "run the checkpoint demo join for -len steps and write its state to FILE (no -figure needed; -seed/-len/-cache apply)")
 		restPath   = fs.String("restore", "", "restore the checkpoint demo join from FILE and replay -len further steps (requires the same -seed and -cache the checkpoint was written with)")
+		bundleDir  = fs.String("bundle-dir", "", "run the checkpoint demo with the flight recorder attached and dump a diagnostics bundle into DIR at the end (also where fault bundles land if the run crashes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,8 +79,8 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return nil
 	}
-	if *ckptPath != "" || *restPath != "" {
-		return runCheckpointDemo(stdout, *ckptPath, *restPath, *seed, *length, *cache)
+	if *ckptPath != "" || *restPath != "" || *bundleDir != "" {
+		return runCheckpointDemo(stdout, *ckptPath, *restPath, *bundleDir, *seed, *length, *cache)
 	}
 	if *figure == "" {
 		fs.Usage()
@@ -184,19 +187,31 @@ func demoStreams(seed uint64, n int) ([]int, []int) {
 	return procs[0].Generate(rng.Split(), n), procs[1].Generate(rng.Split(), n)
 }
 
-func runCheckpointDemo(stdout io.Writer, ckptPath, restPath string, seed uint64, length, cache int) error {
+func runCheckpointDemo(stdout io.Writer, ckptPath, restPath, bundleDir string, seed uint64, length, cache int) error {
 	if length <= 0 {
 		length = 2000
 	}
 	if cache <= 0 {
 		cache = 10
 	}
-	j, err := engine.NewJoin(engine.Config{
+	cfg := engine.Config{
 		CacheSize: cache,
 		Window:    demoWindow,
 		Procs:     demoProcs(),
 		Seed:      seed,
-	})
+	}
+	if bundleDir != "" {
+		// Attach the flight recorder so the demo run carries its own black
+		// box: step-phase spans and tuple lifecycles accumulate as it runs,
+		// and any invariant failure or recovered panic dumps a bundle into
+		// bundleDir on its own. SampleEvery 1 tracks every key — the demo is
+		// short enough that the fixed lifecycle budget is the only cap.
+		cfg.Flight = flightrec.New(flightrec.Options{
+			BundleDir:   bundleDir,
+			SampleEvery: 1,
+		})
+	}
+	j, err := engine.NewJoin(cfg)
 	if err != nil {
 		return err
 	}
@@ -236,6 +251,21 @@ func runCheckpointDemo(stdout io.Writer, ckptPath, restPath string, seed uint64,
 			return err
 		}
 		fmt.Fprintf(stdout, "checkpoint written to %s (resume with -restore %s)\n", ckptPath, ckptPath)
+	}
+	if bundleDir != "" {
+		dir, err := j.DumpBundle("signal")
+		if err != nil {
+			return err
+		}
+		// Load it back through the public loader so the summary the user
+		// sees is what a later `flightrec.LoadBundle` will see, not what we
+		// think we wrote.
+		b, err := flightrec.LoadBundle(dir)
+		if err != nil {
+			return fmt.Errorf("verifying bundle %s: %w", dir, err)
+		}
+		fmt.Fprintf(stdout, "bundle written to %s: reason %q  step %d  spans %d (of %d recorded)  tracked keys %d  checkpoint %d bytes\n",
+			dir, b.Manifest.Reason, b.Manifest.Step, b.Manifest.Spans, b.Manifest.SpansTotal, b.Manifest.TrackedKeys, len(b.Checkpoint))
 	}
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"stochstream/internal/flightrec"
 )
 
 func TestRunList(t *testing.T) {
@@ -181,6 +183,62 @@ func TestRunCheckpointRestoreFlags(t *testing.T) {
 	got, want := metricsLine(resumed.String()), metricsLine(full.String())
 	if got == "" || got != want {
 		t.Fatalf("resumed metrics %q, uninterrupted metrics %q", got, want)
+	}
+}
+
+func TestRunBundleDirFlag(t *testing.T) {
+	dir := t.TempDir()
+	bundles := filepath.Join(dir, "bundles")
+
+	// -bundle-dir alone runs the demo join with the recorder attached and
+	// dumps a "signal" bundle at the end.
+	var buf bytes.Buffer
+	if err := run([]string{"-bundle-dir", bundles, "-len", "200", "-seed", "5", "-cache", "8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "steps 200") || !strings.Contains(out, `reason "signal"`) {
+		t.Fatalf("bundle run output:\n%s", out)
+	}
+
+	// The printed directory must load as a valid bundle whose checkpoint
+	// restores into a fresh demo join.
+	var bundleDir string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "bundle written to ") {
+			bundleDir = strings.Fields(line)[3]
+			bundleDir = strings.TrimSuffix(bundleDir, ":")
+		}
+	}
+	if bundleDir == "" {
+		t.Fatalf("no bundle path in output:\n%s", out)
+	}
+	b, err := flightrec.LoadBundle(bundleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Manifest.Step != 199 || len(b.Spans) == 0 || len(b.Checkpoint) == 0 {
+		t.Fatalf("bundle step %d, %d spans, %d checkpoint bytes", b.Manifest.Step, len(b.Spans), len(b.Checkpoint))
+	}
+	ckpt := filepath.Join(dir, "from-bundle.ckpt")
+	if err := os.WriteFile(ckpt, b.Checkpoint, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var resumed bytes.Buffer
+	if err := run([]string{"-restore", ckpt, "-len", "100", "-seed", "5", "-cache", "8"}, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resumed.String(), "resuming at step 200") {
+		t.Fatalf("restore-from-bundle output:\n%s", resumed.String())
+	}
+
+	// -bundle-dir composes with -checkpoint in a single run.
+	var both bytes.Buffer
+	if err := run([]string{"-checkpoint", filepath.Join(dir, "demo.ckpt"), "-bundle-dir", bundles, "-len", "50", "-seed", "5"}, &both); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(both.String(), "checkpoint written") || !strings.Contains(both.String(), "bundle written") {
+		t.Fatalf("combined run output:\n%s", both.String())
 	}
 }
 

@@ -1,0 +1,16 @@
+// Package flightrec seeds the golden corpus's flight-recorder finding: the
+// package is dettaint-scoped (decision package), so a span timestamp read
+// straight off the wall clock reports — the real recorder routes every
+// timestamp through its pinned clock seam.
+package flightrec
+
+import "time"
+
+// Span is a completed span record.
+type Span struct{ BeginNs, EndNs int64 }
+
+// StampSpan reads the wall clock instead of the recorder's clock seam.
+func StampSpan() Span {
+	now := time.Now().UnixNano()
+	return Span{BeginNs: now, EndNs: now}
+}

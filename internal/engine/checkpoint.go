@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"stochstream/internal/checkpoint"
+	"stochstream/internal/flightrec"
 	"stochstream/internal/join"
 	"stochstream/internal/process"
 	"stochstream/internal/stats"
@@ -74,6 +75,20 @@ func (j *Join) fingerprint() (int, int, int, uint64, string) {
 // unsnapshottable private state will replay differently after restore —
 // implement StateSnapshotter for it.
 func (j *Join) Checkpoint(w io.Writer) error {
+	if j.rec == nil {
+		return j.writeCheckpoint(w)
+	}
+	sp := j.rec.Begin(flightrec.PhaseCheckpoint)
+	err := j.writeCheckpoint(w)
+	if err != nil {
+		j.rec.Fail(sp, len(j.cache), 0, "error")
+		return err
+	}
+	j.rec.End(sp, len(j.cache), 0)
+	return nil
+}
+
+func (j *Join) writeCheckpoint(w io.Writer) error {
 	size, window, band, seed, polName := j.fingerprint()
 	wire := checkpointWire{
 		CacheSize:  size,

@@ -18,9 +18,9 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"time"
 
 	"stochstream/internal/core"
+	"stochstream/internal/flightrec"
 	"stochstream/internal/join"
 	"stochstream/internal/policy"
 	"stochstream/internal/process"
@@ -71,6 +71,12 @@ type Config struct {
 	// with telemetry.InstrumentedPolicy (scoring latency, decision counters,
 	// sampled decision-trace records). nil keeps the hot path bare.
 	Telemetry *telemetry.Registry
+	// Flight, when non-nil, attaches the flight recorder: Step is decomposed
+	// into recorded phase spans, a hash-sampled key subset gets lifecycle
+	// records, and faults (invariant failures, recovered panics, ladder
+	// downgrades) dump diagnostics bundles when the recorder has a bundle
+	// directory. nil keeps the hot path bare. See internal/flightrec.
+	Flight *flightrec.Recorder
 }
 
 // Metrics is a snapshot of the operator's counters.
@@ -139,6 +145,14 @@ type Join struct {
 	pairCount    *telemetry.Counter
 	evictCount   *telemetry.Counter
 	expiredCount *telemetry.Counter
+
+	// Flight-recorder state (see flight.go). rec is Config.Flight (nil keeps
+	// the hot path bare); now is the resolved clock — the recorder's when one
+	// is attached, the wall seam otherwise; pendingBundle carries a mid-step
+	// fault reason to finishStep, which dumps once the state is consistent.
+	rec           *flightrec.Recorder
+	now           func() int64
+	pendingBundle string
 }
 
 type entry struct {
@@ -155,7 +169,8 @@ func NewJoin(cfg Config) (*Join, error) {
 		return nil, err
 	}
 	pol := defaultPolicy(cfg)
-	if lad, ok := pol.(*policy.Ladder); ok && cfg.Telemetry != nil {
+	lad, _ := pol.(*policy.Ladder)
+	if lad != nil && cfg.Telemetry != nil {
 		wireDowngrades(lad, cfg.Telemetry)
 	}
 	if cfg.Telemetry != nil {
@@ -166,6 +181,7 @@ func NewJoin(cfg Config) (*Join, error) {
 		policy: pol,
 		hists:  [2]*process.History{process.NewHistory(), process.NewHistory()},
 	}
+	j.initFlight(lad)
 	if cfg.Band == 0 {
 		j.equi = [2]map[int][]int{{}, {}}
 	}
@@ -196,10 +212,13 @@ func NewJoin(cfg Config) (*Join, error) {
 // The returned slice is owned by the operator and valid only until the next
 // Step call; callers that retain pairs must copy them.
 func (j *Join) Step(r, s Tuple) []Pair {
-	var start time.Time
-	if j.stepLatency != nil {
-		//lint:ignore dettaint telemetry latency timing only; the timestamp never feeds a decision
-		start = time.Now()
+	var startNs int64
+	if j.stepLatency != nil || j.rec != nil {
+		startNs = j.now()
+	}
+	var stepSpan, sp flightrec.Active
+	if j.rec != nil {
+		stepSpan = j.rec.BeginStep(j.time)
 	}
 	t := j.time
 	j.time++
@@ -208,19 +227,33 @@ func (j *Join) Step(r, s Tuple) []Pair {
 	j.hists[core.StreamS].Append(s.Key)
 	j.state.Time = t
 
-	j.pruneExpired(t)
+	// Admission happens below, but the tuple IDs are fixed now, so ingest
+	// lifecycle events can carry them.
+	rT := join.Tuple{ID: j.nextID, Value: r.Key, Stream: core.StreamR, Arrived: t}
+	sT := join.Tuple{ID: j.nextID + 1, Value: s.Key, Stream: core.StreamS, Arrived: t}
+	j.nextID += 2
+	if j.rec != nil {
+		j.lifeTuple(flightrec.LifeIngest, t, rT, 0)
+		j.lifeTuple(flightrec.LifeIngest, t, sT, 0)
+		sp = j.rec.Begin(flightrec.PhaseExpire)
+	}
+	expired := j.pruneExpired(t)
+	if j.rec != nil {
+		j.rec.End(sp, expired, 0)
+	}
 	out := j.emitMatches(t, r, s)
 
 	// Admission + replacement, mirroring the simulator's candidate order:
 	// cached entries in cache order, then the two arrivals.
-	rT := join.Tuple{ID: j.nextID, Value: r.Key, Stream: core.StreamR, Arrived: t}
-	sT := join.Tuple{ID: j.nextID + 1, Value: s.Key, Stream: core.StreamS, Arrived: t}
-	j.nextID += 2
 	need := len(j.cache) + 2 - j.cfg.CacheSize
 	if need <= 0 {
 		j.admit(entry{t: rT, payload: r.Payload})
 		j.admit(entry{t: sT, payload: s.Payload})
-		j.record(start, len(out), 0)
+		if j.rec != nil {
+			j.lifeTuple(flightrec.LifeAdmit, t, rT, 0)
+			j.lifeTuple(flightrec.LifeAdmit, t, sT, 0)
+		}
+		j.finishStep(stepSpan, startNs, len(out), 0)
 		return out
 	}
 	j.tuples = j.tuples[:0]
@@ -228,9 +261,18 @@ func (j *Join) Step(r, s Tuple) []Pair {
 		j.tuples = append(j.tuples, j.cache[i].t)
 	}
 	j.tuples = append(j.tuples, rT, sT)
+	if j.rec != nil {
+		sp = j.rec.Begin(flightrec.PhaseScore)
+	}
 	evict := j.policy.Evict(j.state, j.tuples, need)
+	if j.rec != nil {
+		j.rec.End(sp, len(j.tuples), int64(need))
+	}
 	if len(evict) != need {
 		panic(fmt.Sprintf("engine: policy %s returned %d evictions, need %d", j.policy.Name(), len(evict), need))
+	}
+	if j.rec != nil {
+		sp = j.rec.Begin(flightrec.PhaseEvict)
 	}
 	total := len(j.tuples)
 	if cap(j.drop) < total {
@@ -249,6 +291,9 @@ func (j *Join) Step(r, s Tuple) []Pair {
 	for i := 0; i < nCached; i++ {
 		if drop[i] {
 			j.indexRemove(&j.cache[i])
+			if j.rec != nil {
+				j.lifeTuple(flightrec.LifeEvict, t, j.cache[i].t, 0)
+			}
 		} else {
 			kept = append(kept, j.cache[i])
 		}
@@ -260,33 +305,51 @@ func (j *Join) Step(r, s Tuple) []Pair {
 	if !drop[nCached+1] {
 		j.admit(entry{t: sT, payload: s.Payload})
 	}
+	if j.rec != nil {
+		arrivalKind := func(dropped bool) flightrec.LifeKind {
+			if dropped {
+				return flightrec.LifeEvict
+			}
+			return flightrec.LifeAdmit
+		}
+		j.lifeTuple(arrivalKind(drop[nCached]), t, rT, 0)
+		j.lifeTuple(arrivalKind(drop[nCached+1]), t, sT, 0)
+	}
 	for _, i := range evict {
 		drop[i] = false
 	}
-	j.record(start, len(out), need)
+	if j.rec != nil {
+		j.rec.End(sp, need, int64(len(j.cache)))
+	}
+	j.finishStep(stepSpan, startNs, len(out), need)
 	return out
 }
 
-// pruneExpired evicts every window-expired entry before candidate assembly.
-// Arrival times are nondecreasing along the ID-ordered cache, so the expired
-// entries form a prefix found by binary search.
-func (j *Join) pruneExpired(t int) {
+// pruneExpired evicts every window-expired entry before candidate assembly
+// and returns how many it pruned. Arrival times are nondecreasing along the
+// ID-ordered cache, so the expired entries form a prefix found by binary
+// search.
+func (j *Join) pruneExpired(t int) int {
 	w := j.cfg.Window
 	if w <= 0 || len(j.cache) == 0 {
-		return
+		return 0
 	}
 	cut := sort.Search(len(j.cache), func(i int) bool { return t-j.cache[i].t.Arrived <= w })
 	if cut == 0 {
-		return
+		return 0
 	}
 	for i := 0; i < cut; i++ {
 		j.indexRemove(&j.cache[i])
+		if j.rec != nil {
+			j.lifeTuple(flightrec.LifeExpire, t, j.cache[i].t, 0)
+		}
 	}
 	j.m.Expired += cut
 	if j.expiredCount != nil {
 		j.expiredCount.Add(int64(cut))
 	}
 	j.cache = append(j.cache[:0], j.cache[cut:]...)
+	return cut
 }
 
 // emitMatches probes the index with both arrivals and emits the resulting
@@ -294,9 +357,17 @@ func (j *Join) pruneExpired(t int) {
 // produces — followed by the same-time pair if the arrivals match.
 func (j *Join) emitMatches(t int, r, s Tuple) []Pair {
 	out := j.out[:0]
+	var sp flightrec.Active
+	if j.rec != nil {
+		sp = j.rec.Begin(flightrec.PhaseProbe)
+	}
 	rm := j.probeMatches(core.StreamR, s.Key, j.probeR[:0])
 	sm := j.probeMatches(core.StreamS, r.Key, j.probeS[:0])
 	j.probeR, j.probeS = rm, sm
+	if j.rec != nil {
+		j.rec.End(sp, len(rm)+len(sm), 0)
+		sp = j.rec.Begin(flightrec.PhaseEmit)
+	}
 	// Merge the two ID-ascending match lists; an entry appears in at most
 	// one of them (they are disjoint streams).
 	i, k := 0, 0
@@ -305,19 +376,46 @@ func (j *Join) emitMatches(t int, r, s Tuple) []Pair {
 			e := j.entryByID(rm[i])
 			i++
 			out = append(out, Pair{Time: t, R: Tuple{Key: e.t.Value, Payload: e.payload}, S: s})
+			if j.rec != nil {
+				j.lifeMatch(t, e.t, s.Key, core.StreamS)
+			}
 		} else {
 			e := j.entryByID(sm[k])
 			k++
 			out = append(out, Pair{Time: t, R: r, S: Tuple{Key: e.t.Value, Payload: e.payload}})
+			if j.rec != nil {
+				j.lifeMatch(t, e.t, r.Key, core.StreamR)
+			}
 		}
 	}
+	sameTime := 0
 	if keysMatch(r.Key, s.Key, j.cfg.Band) {
 		out = append(out, Pair{Time: t, R: r, S: s, SameTime: true})
 		j.m.SameTimePairs++
+		sameTime = 1
+		if j.rec != nil {
+			j.lifeKey(flightrec.LifeMatch, t, r.Key, core.StreamR, s.Key)
+			if s.Key != r.Key {
+				j.lifeKey(flightrec.LifeMatch, t, s.Key, core.StreamS, r.Key)
+			}
+		}
 	}
 	j.m.Pairs += len(out)
 	j.out = out
+	if j.rec != nil {
+		j.rec.End(sp, len(out), int64(sameTime))
+	}
 	return out
+}
+
+// lifeMatch records a match for both sides of one emitted pair: the cached
+// tuple's key (with its ID) and, under a band join where the keys differ,
+// the arrival's key too. Callers guard on j.rec != nil.
+func (j *Join) lifeMatch(t int, cached join.Tuple, arrivalKey int, arrivalStream core.StreamID) {
+	j.lifeTuple(flightrec.LifeMatch, t, cached, arrivalKey)
+	if arrivalKey != cached.Value {
+		j.lifeKey(flightrec.LifeMatch, t, arrivalKey, arrivalStream, cached.Value)
+	}
 }
 
 // probeMatches appends the IDs of cached entries on the given stream whose
@@ -409,18 +507,6 @@ func keysMatch(a, b, band int) bool {
 		d = -d
 	}
 	return d <= band
-}
-
-// record publishes one step's telemetry; a no-op without a registry.
-func (j *Join) record(start time.Time, pairs, evictions int) {
-	if j.stepLatency == nil {
-		return
-	}
-	//lint:ignore dettaint telemetry latency timing only; the duration never feeds a decision
-	j.stepLatency.ObserveDuration(time.Since(start).Nanoseconds())
-	j.stepCount.Inc()
-	j.pairCount.Add(int64(pairs))
-	j.evictCount.Add(int64(evictions))
 }
 
 // Metrics returns the operator's counters. CacheLen is recomputed from the

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"stochstream/internal/core"
+	"stochstream/internal/flightrec"
+	"stochstream/internal/join"
+	"stochstream/internal/policy"
+	"stochstream/internal/process"
+)
+
+// Flight-recorder wiring: everything the operator does with
+// Config.Flight lives here. engine.go's hot path only carries the
+// j.rec != nil branches; the clock seam, the bundle plumbing and the
+// lifecycle helpers are below.
+
+// nowNanos is the engine's single wall-clock seam. The flight recorder and
+// the step-latency telemetry both read time through it (via EnsureClock /
+// j.now), so a test that pins flightrec.LogicalClock makes the whole
+// operator — spans, latencies, exports — byte-deterministic.
+func nowNanos() int64 {
+	//lint:ignore dettaint observability timestamps only; the clock value never feeds a decision
+	return time.Now().UnixNano()
+}
+
+// initFlight wires Config.Flight into the operator: the clock seam, the
+// ladder's rung spans, bundle-on-downgrade, and — when telemetry is also
+// configured — the registry's clock and its /spans and /bundle endpoints.
+// Called once from NewJoin; lad is nil for non-ladder policies.
+func (j *Join) initFlight(lad *policy.Ladder) {
+	rec := j.cfg.Flight
+	if rec == nil {
+		j.now = nowNanos
+		return
+	}
+	j.rec = rec
+	rec.EnsureClock(nowNanos)
+	j.now = rec.Clock()
+	if lad != nil {
+		lad.Flight = rec
+		prev := lad.OnDowngrade
+		lad.OnDowngrade = func(d policy.Downgrade) {
+			if prev != nil {
+				prev(d)
+			}
+			// Mark, don't dump: the downgrade fires mid-decision, when the
+			// cache is mid-mutation. finishStep flushes the mark once the
+			// step's state is consistent, so the bundle's checkpoint is the
+			// exact post-step operator state.
+			if j.pendingBundle == "" {
+				j.pendingBundle = "downgrade"
+			}
+		}
+	}
+	if reg := j.cfg.Telemetry; reg != nil {
+		reg.SetClock(j.now)
+		reg.SetSpansFunc(func(n int) any { return rec.LastSpans(n) })
+		// The HTTP bundle trigger may fire concurrently with Step, so it
+		// skips the checkpoint source (Join is not concurrency-safe); the
+		// recorder and registry snapshots are. Engine-thread callers use
+		// DumpBundle for a bundle with state.
+		reg.SetBundleFunc(func() (string, error) {
+			return rec.WriteBundle(
+				flightrec.BundleInfo{Reason: "signal", Step: rec.CurrentStep()},
+				j.telemetrySources(),
+			)
+		})
+	}
+}
+
+// DumpBundle writes a diagnostics bundle — spans, lifecycle, telemetry,
+// downgrade trace and a checkpoint of the current state — and returns its
+// directory. Call it from the stepping goroutine (it checkpoints). The
+// engine also dumps automatically on recovered panics, invariant failures
+// and ladder downgrades.
+func (j *Join) DumpBundle(reason string) (string, error) {
+	if j.rec == nil {
+		return "", fmt.Errorf("engine: no flight recorder configured")
+	}
+	return j.rec.WriteBundle(
+		flightrec.BundleInfo{Reason: reason, Step: j.time - 1},
+		j.bundleSources(),
+	)
+}
+
+// autoDumpBundle is DumpBundle for fault paths: it swallows every error and
+// recovers every panic, because the fault being recorded must stay the
+// primary failure.
+func (j *Join) autoDumpBundle(reason string) {
+	if j.rec == nil {
+		return
+	}
+	defer func() { _ = recover() }()
+	_, _ = j.DumpBundle(reason)
+}
+
+// bundleSources assembles the caller-side bundle inputs: always a
+// checkpoint, plus telemetry and downgrade-trace snapshots when a registry
+// is configured.
+func (j *Join) bundleSources() flightrec.BundleSources {
+	src := j.telemetrySources()
+	src.Checkpoint = j.Checkpoint
+	return src
+}
+
+// telemetrySources is bundleSources without the checkpoint — safe off the
+// stepping goroutine.
+func (j *Join) telemetrySources() flightrec.BundleSources {
+	var src flightrec.BundleSources
+	if reg := j.cfg.Telemetry; reg != nil {
+		src.Telemetry = reg.WriteJSON
+		src.Downgrades = func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(reg.Downgrades().Records())
+		}
+	}
+	return src
+}
+
+// finishStep closes out one Step: latency telemetry, the step root span,
+// and any bundle dump a downgrade requested mid-step.
+func (j *Join) finishStep(sp flightrec.Active, startNs int64, pairs, evictions int) {
+	if j.stepLatency != nil {
+		j.stepLatency.ObserveDuration(j.now() - startNs)
+		j.stepCount.Inc()
+		j.pairCount.Add(int64(pairs))
+		j.evictCount.Add(int64(evictions))
+	}
+	if j.rec != nil {
+		j.rec.EndStep(sp, pairs, int64(evictions))
+		if j.pendingBundle != "" {
+			reason := j.pendingBundle
+			j.pendingBundle = ""
+			j.autoDumpBundle(reason)
+		}
+	}
+}
+
+// lifeTuple records one lifecycle event for a tuple's key when the flight
+// recorder tracks it. Callers guard on j.rec != nil.
+func (j *Join) lifeTuple(kind flightrec.LifeKind, step int, tp join.Tuple, partner int) {
+	if tp.Value == process.NoValue || !j.rec.Sampled(tp.Value) {
+		return
+	}
+	j.rec.Life(tp.Value, flightrec.LifeEvent{
+		Step:    step,
+		Kind:    kind,
+		Stream:  streamName(tp.Stream),
+		TupleID: tp.ID,
+		Partner: partner,
+	})
+}
+
+// lifeKey is lifeTuple for events on a bare arrival key with no tuple ID
+// (a band-join match observed from the arrival's side).
+func (j *Join) lifeKey(kind flightrec.LifeKind, step, key int, stream core.StreamID, partner int) {
+	if key == process.NoValue || !j.rec.Sampled(key) {
+		return
+	}
+	j.rec.Life(key, flightrec.LifeEvent{
+		Step:    step,
+		Kind:    kind,
+		Stream:  streamName(stream),
+		TupleID: -1,
+		Partner: partner,
+	})
+}
+
+// streamName returns the constant wire name for a stream, so lifecycle
+// events allocate nothing.
+func streamName(s core.StreamID) string {
+	if s == core.StreamR {
+		return "R"
+	}
+	return "S"
+}

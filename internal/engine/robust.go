@@ -32,6 +32,12 @@ func (j *Join) StepChecked(r, s Tuple) (out []Pair, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			out, err = nil, fmt.Errorf("%w: %v", ErrStepFailed, rec)
+			// The cache may be inconsistent, so the bundle's embedded
+			// checkpoint may fail to serialize — the span ring and lifecycle
+			// records still land, which is the evidence that matters here.
+			// Any bundle a mid-step downgrade requested is superseded.
+			j.pendingBundle = ""
+			j.autoDumpBundle("panic")
 		}
 	}()
 	return j.Step(r, s), nil
@@ -57,7 +63,18 @@ func checkKey(k int) error {
 //
 // The walk is linear in the cache and index size, so it is meant for tests
 // and chaos harnesses, not the hot path.
+//
+// A failure dumps a diagnostics bundle (reason "invariant") when a flight
+// recorder with a bundle directory is attached.
 func (j *Join) CheckInvariants() error {
+	err := j.checkInvariants()
+	if err != nil {
+		j.autoDumpBundle("invariant")
+	}
+	return err
+}
+
+func (j *Join) checkInvariants() error {
 	fail := func(format string, args ...interface{}) error {
 		return fmt.Errorf("%w: %s", ErrInvariant, fmt.Sprintf(format, args...))
 	}

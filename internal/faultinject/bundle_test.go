@@ -1,0 +1,197 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"stochstream/internal/engine"
+	"stochstream/internal/flightrec"
+	"stochstream/internal/mincostflow"
+	"stochstream/internal/policy"
+	"stochstream/internal/stats"
+	"stochstream/internal/telemetry"
+)
+
+// seededSolverHook returns a min-cost-flow failure hook driven by its own
+// seeded stream, with an external draw counter. Unlike the injector's hook it
+// can be re-derived and fast-forwarded, which is what lets the bundle-restore
+// replay below resume the exact fault pattern from mid-campaign.
+func seededSolverHook(rng *stats.RNG, prob float64, draws *int) func() bool {
+	return func() bool {
+		*draws++
+		return rng.Float64() < prob
+	}
+}
+
+// stepRecord captures one campaign step for replay: the faulted keys, whether
+// StepChecked rejected them, and the emitted pairs.
+type stepRecord struct {
+	rk, sk   int
+	rejected bool
+	pairs    []engine.Pair
+}
+
+// The bundle-on-fault chaos test: a seeded campaign with injected arrival and
+// solver faults must leave one diagnostics bundle per faulting step, each
+// bundle's embedded checkpoint must re-serialize byte-identically after a
+// restore, the restored operator's continuation must match the uninterrupted
+// run, and a full replay against the ReferenceJoin oracle must emit identical
+// pairs throughout.
+func TestChaosBundlePerFault(t *testing.T) {
+	const steps = 1500
+	const solverSeed, solverProb = 555, 0.05
+	dir := t.TempDir()
+	plan := Plan{Seed: 23, DupProb: 0.02, DropProb: 0.02, DelayProb: 0.02, CorruptProb: 0.01}
+
+	procs := chaosProcs()
+	rng := stats.NewRNG(4242)
+	r := procs[0].Generate(rng.Split(), steps)
+	s := procs[1].Generate(rng.Split(), steps)
+	mkCfg := func() engine.Config {
+		return engine.Config{CacheSize: 8, Window: 16, Procs: procs, Policy: chaosLadder(), Seed: 7}
+	}
+
+	// Campaign: faulted arrivals, seeded solver failures, bundles on faults.
+	rec := flightrec.New(flightrec.Options{Clock: flightrec.LogicalClock(), BundleDir: dir})
+	reg := telemetry.NewRegistry()
+	cfg := mkCfg()
+	downSteps := map[int]bool{}
+	cfg.Policy.(*policy.Ladder).OnDowngrade = func(d policy.Downgrade) { downSteps[d.Step] = true }
+	cfg.Telemetry = reg
+	cfg.Flight = rec
+	j, err := engine.NewJoin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mincostflow.SetFailureHook(nil)
+	draws := 0
+	mincostflow.SetFailureHook(seededSolverHook(stats.NewRNG(solverSeed), solverProb, &draws))
+
+	inj := New(plan)
+	recs := make([]stepRecord, steps)
+	acceptedIdx := []int{}            // operator time -> input index
+	drawsBefore := make([]int, steps) // solver draws consumed before input i
+	for i := 0; i < steps; i++ {
+		drawsBefore[i] = draws
+		rk, sk := inj.Next(r[i], s[i])
+		out, err := j.StepChecked(engine.Tuple{Key: rk}, engine.Tuple{Key: sk})
+		if err != nil {
+			if !errors.Is(err, engine.ErrBadTuple) {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			recs[i] = stepRecord{rk: rk, sk: sk, rejected: true}
+			continue
+		}
+		recs[i] = stepRecord{rk: rk, sk: sk, pairs: append([]engine.Pair(nil), out...)}
+		acceptedIdx = append(acceptedIdx, i)
+	}
+	if len(downSteps) == 0 {
+		t.Fatal("campaign produced no downgrades; the bundle path went unexercised")
+	}
+
+	// One bundle per faulting step, every one loadable with a checkpoint.
+	bundles, err := filepath.Glob(filepath.Join(dir, "bundle-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(bundles)
+	if len(bundles) != len(downSteps) {
+		t.Fatalf("%d bundles for %d faulting steps", len(bundles), len(downSteps))
+	}
+	var last *flightrec.Bundle
+	for _, bd := range bundles {
+		b, err := flightrec.LoadBundle(bd)
+		if err != nil {
+			t.Fatalf("%s: %v", bd, err)
+		}
+		if b.Manifest.Reason != "downgrade" || !downSteps[b.Manifest.Step] {
+			t.Fatalf("%s: manifest %+v does not match a faulting step", bd, b.Manifest)
+		}
+		if len(b.Checkpoint) == 0 || b.Manifest.CheckpointError != "" {
+			t.Fatalf("%s: bundle has no usable checkpoint (%+v)", bd, b.Manifest)
+		}
+		last = b
+	}
+
+	// The embedded checkpoint restores byte-identically: restoring it into a
+	// fresh operator and checkpointing again reproduces the exact bytes.
+	restored, err := engine.NewJoin(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(bytes.NewReader(last.Checkpoint)); err != nil {
+		t.Fatalf("restoring bundle checkpoint: %v", err)
+	}
+	var again bytes.Buffer
+	if err := restored.Checkpoint(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), last.Checkpoint) {
+		t.Fatal("re-checkpoint after restore differs from the bundle's checkpoint bytes")
+	}
+
+	// Continuation: with the solver-fault stream fast-forwarded to the
+	// faulting step, the restored operator replays the rest of the campaign
+	// exactly as the uninterrupted run did.
+	start := acceptedIdx[last.Manifest.Step] + 1
+	contRNG := stats.NewRNG(solverSeed)
+	for k := 0; k < drawsBefore[start]; k++ {
+		contRNG.Float64()
+	}
+	contDraws := 0
+	mincostflow.SetFailureHook(seededSolverHook(contRNG, solverProb, &contDraws))
+	for i := start; i < steps; i++ {
+		if recs[i].rejected {
+			continue
+		}
+		out, err := restored.StepChecked(engine.Tuple{Key: recs[i].rk}, engine.Tuple{Key: recs[i].sk})
+		if err != nil {
+			t.Fatalf("restored step %d: %v", i, err)
+		}
+		if !pairsMatch(out, recs[i].pairs) {
+			t.Fatalf("restored continuation diverges at step %d:\n  restored %v\n  baseline %v", i, out, recs[i].pairs)
+		}
+	}
+	if rm, jm := restored.Metrics(), j.Metrics(); rm != jm {
+		t.Fatalf("restored final metrics diverge:\n  restored %+v\n  baseline %+v", rm, jm)
+	}
+
+	// Full differential replay against the oracle: same injector seed, same
+	// solver-fault stream, same pairs at every step.
+	inj2 := New(plan)
+	refDraws := 0
+	mincostflow.SetFailureHook(seededSolverHook(stats.NewRNG(solverSeed), solverProb, &refDraws))
+	ref, err := engine.NewReferenceJoin(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		rk, sk := inj2.Next(r[i], s[i])
+		if rk != recs[i].rk || sk != recs[i].sk {
+			t.Fatalf("injector replay diverges at step %d: (%d, %d) vs (%d, %d)", i, rk, sk, recs[i].rk, recs[i].sk)
+		}
+		if recs[i].rejected {
+			continue
+		}
+		if out := ref.Step(engine.Tuple{Key: rk}, engine.Tuple{Key: sk}); !pairsMatch(out, recs[i].pairs) {
+			t.Fatalf("reference replay diverges at step %d:\n  ref      %v\n  operator %v", i, out, recs[i].pairs)
+		}
+	}
+}
+
+// pairsMatch compares emitted pairs field by field ([]Pair is not comparable
+// with == because Tuple carries an interface payload).
+func pairsMatch(a, b []engine.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,63 @@
+package flightrec
+
+import (
+	"errors"
+	"sync"
+
+	"stochstream/internal/mincostflow"
+)
+
+// AttachSolver installs a mincostflow.SolveObserver that records every solver
+// attempt as a PhaseSolve child span of the current step, labeled with the
+// solver name and carrying the routed flow (Keys and Detail) and, on failure,
+// the taxonomy error class. It returns an uninstall func; callers must invoke
+// it before attaching a different recorder (the observer is process-wide,
+// like the solver failure hook it mirrors).
+func AttachSolver(r *Recorder) (uninstall func()) {
+	// Solves can nest across goroutines in principle, but every caller in
+	// this repo solves from the engine goroutine, so a simple LIFO stack of
+	// active spans pairs Begin with End correctly.
+	var mu sync.Mutex
+	var stack []Active
+	mincostflow.SetSolveObserver(&mincostflow.SolveObserver{
+		Begin: func(solver string) {
+			a := r.BeginLabel(PhaseSolve, solver)
+			mu.Lock()
+			stack = append(stack, a)
+			mu.Unlock()
+		},
+		End: func(solver string, flow int64, err error) {
+			mu.Lock()
+			if len(stack) == 0 {
+				mu.Unlock()
+				return
+			}
+			a := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			mu.Unlock()
+			if err == nil {
+				r.End(a, int(flow), flow)
+				return
+			}
+			r.Fail(a, int(flow), flow, solveErrClass(err))
+		},
+	})
+	return func() { mincostflow.SetSolveObserver(nil) }
+}
+
+// solveErrClass maps solver errors to static taxonomy strings, so failed
+// solve spans carry no per-call allocations.
+func solveErrClass(err error) string {
+	switch {
+	case errors.Is(err, mincostflow.ErrBudgetExceeded):
+		return "budget"
+	case errors.Is(err, mincostflow.ErrDisconnected):
+		return "disconnected"
+	case errors.Is(err, mincostflow.ErrNumericalInstability):
+		return "numerical-instability"
+	case errors.Is(err, mincostflow.ErrInjectedFailure):
+		return "injected"
+	default:
+		return "error"
+	}
+}

@@ -47,6 +47,11 @@ var decisionPkgs = []string{
 	// neither may read clocks or ambient randomness.
 	"stochstream/internal/checkpoint",
 	"stochstream/internal/faultinject",
+	// The flight recorder runs inside Step: span timestamps must come
+	// through the engine's clock seam (flightrec.Options.Clock /
+	// Recorder.Clock), never time.Now directly, or two replays of the same
+	// seed stop being byte-identical.
+	"stochstream/internal/flightrec",
 }
 
 // emissionPkgs additionally carry result emission and metric export, whose

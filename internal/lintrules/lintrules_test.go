@@ -77,6 +77,9 @@ func TestScoping(t *testing.T) {
 		{"dettaint", "stochstream/internal/engine", true},
 		{"dettaint", "stochstream/internal/checkpoint", true},
 		{"dettaint", "stochstream/internal/faultinject", true},
+		{"dettaint", "stochstream/internal/flightrec", true},
+		{"errdiscipline", "stochstream/internal/flightrec", true},
+		{"maprange", "stochstream/internal/flightrec", true},
 		{"dettaint", "stochstream/internal/stats", false}, // stats owns the RNGs
 		{"dettaint", "stochstream/internal/telemetry", false},
 		{"errdiscipline", "stochstream/internal/engine", true},

@@ -1,0 +1,25 @@
+// Flight-recorder flavor of the dettaint contract: span timestamps must come
+// through the recorder's clock seam, never straight off the wall clock — the
+// span brackets run inside Step, so the read sits on the decision path.
+package dettaint
+
+import (
+	"time"
+
+	"stochstream/internal/flightrec"
+)
+
+func stampSpanDirectly(rec *flightrec.Recorder) {
+	a := rec.Begin(1)
+	a.BeginNs = time.Now().UnixNano() // want "time.Now in decision code"
+	rec.End(a)
+}
+
+// The recorder's clock seam is the sanctioned path: callers draw timestamps
+// from whatever clock the recorder was pinned to (logical in tests), so
+// nothing here reads ambient time.
+func stampThroughSeam(rec *flightrec.Recorder) {
+	a := rec.Begin(2)
+	a.BeginNs = rec.Clock()()
+	rec.End(a)
+}

@@ -1,0 +1,38 @@
+// Flight-recorder flavor of the locksafe contract: the Recorder is a
+// mutex-guarded handle — copying one forks the span ring and its lock — while
+// the Active span handles are plain values whose copying is the API.
+package locksafe
+
+import "stochstream/internal/flightrec"
+
+// A diagnostics snapshot holding the recorder by value: the copy's mutex and
+// ring detach from the live recorder, so spans recorded after the snapshot
+// land in neither consistently.
+type bundleState struct {
+	step int
+	rec  flightrec.Recorder
+}
+
+func snapshotRecorder(rec *flightrec.Recorder, b *bundleState) {
+	b.step++
+	b.rec = *rec // want "assignment copies flightrec.Recorder by value"
+}
+
+func recorderByValue(rec flightrec.Recorder) { // want "signature passes flightrec.Recorder by value"
+	_ = &rec
+}
+
+func recorderPointerIsFine(rec *flightrec.Recorder) *flightrec.Recorder {
+	return rec
+}
+
+func activeSpansAreValues(rec *flightrec.Recorder) {
+	// Active handles and completed Spans carry no locks: copying is fine.
+	a := rec.Begin(1)
+	b := a
+	rec.End(b)
+	spans := rec.Spans()
+	for _, s := range spans {
+		_ = s
+	}
+}

@@ -1,0 +1,30 @@
+// Flight-recorder flavor of the stepretain contract: a diagnostics capture
+// that stores a step's pairs next to its spans. The spans are values the
+// recorder copied out — safe to keep; the pairs alias the engine's reused
+// step buffer and are not.
+package stepretain
+
+import (
+	"stochstream/internal/engine"
+	"stochstream/internal/flightrec"
+)
+
+type flightCapture struct {
+	spans []flightrec.Span
+	pairs []engine.Pair
+}
+
+func (c *flightCapture) record(j *engine.Join, rec *flightrec.Recorder, r, t engine.Tuple) {
+	a := rec.Begin(1)
+	c.pairs = j.Step(r, t) // want "engine.Step result retained"
+	rec.End(a)
+	c.spans = rec.Spans()
+}
+
+func (c *flightCapture) recordDetached(j *engine.Join, rec *flightrec.Recorder, r, t engine.Tuple) {
+	a := rec.Begin(1)
+	// Copying the pairs detaches them from the reused buffer: not flagged.
+	c.pairs = append(c.pairs[:0], j.Step(r, t)...)
+	rec.End(a)
+	c.spans = rec.Spans()
+}

@@ -140,6 +140,17 @@ func (g *Graph) MinCostFlow(source, sink, target int) (Result, error) {
 // ErrBudgetExceeded; the graph's residual state reflects the partial flow and
 // should be discarded.
 func (g *Graph) MinCostFlowBudget(source, sink, target int, budget Budget) (Result, error) {
+	obs := solveObserver.Load()
+	if obs == nil {
+		return g.minCostFlowBudget(source, sink, target, budget)
+	}
+	obs.Begin(SolverSSP)
+	res, err := g.minCostFlowBudget(source, sink, target, budget)
+	obs.End(SolverSSP, int64(res.Flow), err)
+	return res, err
+}
+
+func (g *Graph) minCostFlowBudget(source, sink, target int, budget Budget) (Result, error) {
 	if source == sink {
 		return Result{}, errors.New("mincostflow: source equals sink")
 	}

@@ -1,0 +1,35 @@
+package mincostflow
+
+import "sync/atomic"
+
+// Solver names reported to the SolveObserver, one per solve entry point.
+const (
+	// SolverSSP is the successive-shortest-path solver behind
+	// Graph.MinCostFlow / MinCostFlowBudget.
+	SolverSSP = "ssp"
+	// SolverCostScaling is the integer cost-scaling solver behind
+	// IntGraph.MinCostFlow.
+	SolverCostScaling = "cost-scaling"
+)
+
+// SolveObserver sees every solver attempt: Begin at entry, End at exit with
+// the routed flow and the outcome (nil on success). Both callbacks run on
+// the solving goroutine and must be cheap; the flight recorder installs one
+// to record per-attempt child spans.
+type SolveObserver struct {
+	Begin func(solver string)
+	End   func(solver string, flow int64, err error)
+}
+
+// solveObserver mirrors failureHook: a process-wide atomic pointer so the
+// hot path pays one atomic load when no observer is installed.
+var solveObserver atomic.Pointer[SolveObserver]
+
+// SetSolveObserver installs (or, with nil, removes) the process-wide solve
+// observer. Both callbacks must be non-nil on a non-nil observer.
+func SetSolveObserver(o *SolveObserver) {
+	if o != nil && (o.Begin == nil || o.End == nil) {
+		panic("mincostflow: SolveObserver requires both Begin and End")
+	}
+	solveObserver.Store(o)
+}

@@ -1,9 +1,11 @@
 package policy
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
+	"stochstream/internal/flightrec"
 	"stochstream/internal/join"
 	"stochstream/internal/stats"
 )
@@ -68,6 +70,12 @@ type Ladder struct {
 	// decision order. Used by the engine to feed telemetry counters and the
 	// downgrade trace.
 	OnDowngrade func(Downgrade)
+	// Flight, when non-nil, records every rung attempt as a PhaseRung child
+	// span of the current step — successful attempts end clean, failed ones
+	// carry the taxonomy error class — so a downgrade is attributable to the
+	// exact rung (and, via PhaseSolve children, the exact solver event)
+	// inside the exact step. The engine wires this from Config.Flight.
+	Flight *flightrec.Recorder
 
 	fallbacks []uint64
 	lastRung  int
@@ -114,13 +122,23 @@ func (p *Ladder) Reset(cfg join.Config, rng *stats.RNG) {
 // Evict implements join.Policy. It always returns a valid eviction set.
 func (p *Ladder) Evict(st *join.State, cands []join.Tuple, n int) []int {
 	for i, rung := range p.Rungs {
+		var sp flightrec.Active
+		if p.Flight != nil {
+			sp = p.Flight.BeginLabel(flightrec.PhaseRung, rung.Name())
+		}
 		evict, err := p.tryRung(rung, st, cands, n)
 		if err == nil {
 			p.seen, err = checkEviction(evict, len(cands), n, p.seen)
 		}
 		if err == nil {
+			if p.Flight != nil {
+				p.Flight.End(sp, len(cands), int64(n))
+			}
 			p.lastRung = i
 			return evict
+		}
+		if p.Flight != nil {
+			p.Flight.Fail(sp, len(cands), int64(n), flightErrClass(err))
 		}
 		p.fallbacks[i]++
 		if p.OnDowngrade != nil {
@@ -136,7 +154,30 @@ func (p *Ladder) Evict(st *join.State, cands []join.Tuple, n int) []int {
 	// Last resort: the built-in Lfixed rule, which cannot fail.
 	p.fallbacks[len(p.Rungs)]++
 	p.lastRung = len(p.Rungs)
+	if p.Flight != nil {
+		sp := p.Flight.BeginLabel(flightrec.PhaseRung, p.lfixed.Name())
+		evict := p.lfixed.Evict(st, cands, n)
+		p.Flight.End(sp, len(cands), int64(n))
+		return evict
+	}
 	return p.lfixed.Evict(st, cands, n)
+}
+
+// flightErrClass maps rung-failure errors to static taxonomy strings for
+// span records, so a failed attempt allocates nothing for its label.
+func flightErrClass(err error) string {
+	switch {
+	case errors.Is(err, ErrModelDiverged):
+		return "model-diverged"
+	case errors.Is(err, ErrSolverBudget):
+		return "solver-budget"
+	case errors.Is(err, ErrSolverFailed):
+		return "solver-failed"
+	case errors.Is(err, ErrInvalidEviction):
+		return "invalid-eviction"
+	default:
+		return "error"
+	}
 }
 
 // tryRung runs one rung, converting panics from non-Fallible rungs into

@@ -3,19 +3,52 @@ package telemetry
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 )
 
+// parseN resolves the n=K query parameter shared by /trace and /spans: an
+// absent parameter yields the default, a non-numeric or negative value is an
+// error (n=0 is valid and yields an empty result).
+func parseN(req *http.Request, def int) (int, error) {
+	s := req.URL.Query().Get("n")
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("parameter n=%q is not an integer", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("parameter n=%d is negative", v)
+	}
+	return v, nil
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
 // Handler returns the registry's HTTP surface:
 //
 //	/metrics       Prometheus text exposition
 //	/metrics.json  full JSON snapshot (metrics + trace)
 //	/trace?n=K     newest K decision records as a JSON array (default 32)
+//	/spans?n=K     newest K flight-recorder spans (default 128); available
+//	               when the engine wired a recorder via SetSpansFunc
+//	/bundle        POST/GET: write a diagnostics bundle now, respond with
+//	               its directory; available when wired via SetBundleFunc
 //	/debug/vars    expvar
 //	/debug/pprof/  runtime profiling
+//
+// Malformed or negative n on /trace and /spans is HTTP 400 with a JSON error
+// body, not a silent fallback to the default.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -27,16 +60,45 @@ func (r *Registry) Handler() http.Handler {
 		_ = r.WriteJSON(w)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
-		n := 32
-		if s := req.URL.Query().Get("n"); s != "" {
-			if v, err := strconv.Atoi(s); err == nil && v > 0 {
-				n = v
-			}
+		n, err := parseN(req, 32)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Trace().Last(n))
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, req *http.Request) {
+		fn := r.spansFn.Load()
+		if fn == nil {
+			httpError(w, http.StatusNotFound, "no flight recorder wired to this registry")
+			return
+		}
+		n, err := parseN(req, 128)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode((*fn)(n))
+	})
+	mux.HandleFunc("/bundle", func(w http.ResponseWriter, _ *http.Request) {
+		fn := r.bundleFn.Load()
+		if fn == nil {
+			httpError(w, http.StatusNotFound, "no bundle writer wired to this registry")
+			return
+		}
+		dir, err := (*fn)()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{"bundle": dir})
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -69,6 +70,152 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
 		t.Fatalf("/debug/pprof/: %d", code)
+	}
+}
+
+// httpGet is the shared request helper for the endpoint-validation tests.
+func httpGet(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// jsonError decodes the {"error": ...} body every rejected request carries.
+func jsonError(t *testing.T, body string) string {
+	t.Helper()
+	var m map[string]string
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("error body %q is not JSON: %v", body, err)
+	}
+	if m["error"] == "" {
+		t.Fatalf("error body %q has no error field", body)
+	}
+	return m["error"]
+}
+
+func TestTraceParamValidation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Trace().Record(DecisionRecord{Step: 1, Policy: "HEEB", Need: 1})
+	reg.Trace().Record(DecisionRecord{Step: 2, Policy: "HEEB", Need: 1})
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	// n=0 is a valid request for an empty window, not an error.
+	code, body := httpGet(t, srv, "/trace?n=0")
+	if code != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("/trace?n=0: %d %q, want 200 with an empty array", code, body)
+	}
+
+	// n beyond the ring size returns everything recorded, silently clamped.
+	code, body = httpGet(t, srv, "/trace?n=100000")
+	var recs []DecisionRecord
+	if code != http.StatusOK {
+		t.Fatalf("/trace?n=100000: %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("oversized n returned %d records, want all 2", len(recs))
+	}
+
+	for _, tc := range []struct {
+		path, wantErr string
+	}{
+		{"/trace?n=abc", "not an integer"},
+		{"/trace?n=1.5", "not an integer"},
+		{"/trace?n=-1", "negative"},
+	} {
+		code, body := httpGet(t, srv, tc.path)
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: %d, want 400", tc.path, code)
+		}
+		if msg := jsonError(t, body); !strings.Contains(msg, tc.wantErr) {
+			t.Fatalf("%s error = %q, want mention of %q", tc.path, msg, tc.wantErr)
+		}
+	}
+}
+
+func TestSpansEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	// Without a wired recorder the endpoint is absent, not empty.
+	code, body := httpGet(t, srv, "/spans")
+	if code != http.StatusNotFound {
+		t.Fatalf("/spans unwired: %d, want 404", code)
+	}
+	jsonError(t, body)
+
+	reg.SetSpansFunc(func(n int) any {
+		out := []int{}
+		for i := 0; i < n && i < 3; i++ {
+			out = append(out, i)
+		}
+		return out
+	})
+	code, body = httpGet(t, srv, "/spans?n=2")
+	if code != http.StatusOK {
+		t.Fatalf("/spans wired: %d", code)
+	}
+	var got []int
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("/spans?n=2 returned %v", got)
+	}
+
+	// Validation is shared with /trace: same 400 responses.
+	for _, path := range []string{"/spans?n=zz", "/spans?n=-3"} {
+		code, body := httpGet(t, srv, path)
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: %d, want 400", path, code)
+		}
+		jsonError(t, body)
+	}
+}
+
+func TestBundleEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	code, body := httpGet(t, srv, "/bundle")
+	if code != http.StatusNotFound {
+		t.Fatalf("/bundle unwired: %d, want 404", code)
+	}
+	jsonError(t, body)
+
+	reg.SetBundleFunc(func() (string, error) { return "out/bundle-0000", nil })
+	code, body = httpGet(t, srv, "/bundle")
+	if code != http.StatusOK {
+		t.Fatalf("/bundle: %d", code)
+	}
+	var m map[string]string
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["bundle"] != "out/bundle-0000" {
+		t.Fatalf("/bundle body = %v", m)
+	}
+
+	reg.SetBundleFunc(func() (string, error) { return "", errors.New("disk full") })
+	code, body = httpGet(t, srv, "/bundle")
+	if code != http.StatusInternalServerError {
+		t.Fatalf("/bundle failing writer: %d, want 500", code)
+	}
+	if msg := jsonError(t, body); !strings.Contains(msg, "disk full") {
+		t.Fatalf("/bundle error = %q", msg)
 	}
 }
 

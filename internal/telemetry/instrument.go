@@ -85,11 +85,15 @@ func (p *InstrumentedPolicy) Reset(cfg join.Config, rng *stats.RNG) {
 	p.Inner.Reset(cfg, rng)
 }
 
+// wallNowNs is the registry clock's wall fallback, isolated here so the
+// Registry.SetClock seam has exactly one wall-read site to displace.
+func wallNowNs() int64 { return time.Now().UnixNano() }
+
 // Evict implements join.Policy.
 func (p *InstrumentedPolicy) Evict(st *join.State, cands []join.Tuple, n int) []int {
-	start := time.Now()
+	start := p.Reg.nowNs()
 	evict := p.Inner.Evict(st, cands, n)
-	p.evictLatency.ObserveDuration(time.Since(start).Nanoseconds())
+	p.evictLatency.ObserveDuration(p.Reg.nowNs() - start)
 	p.decisions.Inc()
 	p.evictions.Add(int64(len(evict)))
 
@@ -107,9 +111,9 @@ func (p *InstrumentedPolicy) Evict(st *join.State, cands []join.Tuple, n int) []
 // recordTrace re-scores the candidates through the policy's own scorer and
 // stores the decision for later replay.
 func (p *InstrumentedPolicy) recordTrace(st *join.State, cands []join.Tuple, need int, evict []int) {
-	start := time.Now()
+	start := p.Reg.nowNs()
 	scores := p.scorer.ScoreCandidates(st, cands)
-	p.scoreLatency.ObserveDuration(time.Since(start).Nanoseconds())
+	p.scoreLatency.ObserveDuration(p.Reg.nowNs() - start)
 	evicted := make(map[int]bool, len(evict))
 	for _, i := range evict {
 		evicted[i] = true

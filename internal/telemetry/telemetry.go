@@ -81,6 +81,17 @@ type Registry struct {
 	gaugeFuncs map[string]func() float64
 	trace      *DecisionTrace
 	downgrades *DowngradeTrace
+
+	// clock, when set, replaces the wall clock for the registry's internal
+	// latency timings (InstrumentedPolicy). The engine installs the flight
+	// recorder's clock here so a run under a logical clock is byte-
+	// deterministic end to end.
+	clock atomic.Pointer[func() int64]
+	// spansFn and bundleFn back the /spans and /bundle HTTP endpoints; the
+	// engine wires them to the flight recorder so this package need not
+	// import it.
+	spansFn  atomic.Pointer[func(n int) any]
+	bundleFn atomic.Pointer[func() (string, error)]
 }
 
 // NewRegistry returns an empty registry with a decision trace of the default
@@ -163,6 +174,46 @@ func (r *Registry) HistogramWith(name string, bounds []float64) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// SetClock installs (or, with nil, removes) a nanosecond clock for the
+// registry's internal latency timings. Without one the wall clock is used.
+func (r *Registry) SetClock(fn func() int64) {
+	if fn == nil {
+		r.clock.Store(nil)
+		return
+	}
+	r.clock.Store(&fn)
+}
+
+// nowNs reads the registry's clock: the installed one, or the wall clock.
+func (r *Registry) nowNs() int64 {
+	if fn := r.clock.Load(); fn != nil {
+		return (*fn)()
+	}
+	return wallNowNs()
+}
+
+// SetSpansFunc installs the provider behind the /spans HTTP endpoint; the
+// returned value is JSON-encoded verbatim. The engine wires the flight
+// recorder's LastSpans here.
+func (r *Registry) SetSpansFunc(fn func(n int) any) {
+	if fn == nil {
+		r.spansFn.Store(nil)
+		return
+	}
+	r.spansFn.Store(&fn)
+}
+
+// SetBundleFunc installs the trigger behind the /bundle HTTP endpoint; it
+// returns the written bundle's directory. The engine wires the flight
+// recorder's WriteBundle here.
+func (r *Registry) SetBundleFunc(fn func() (string, error)) {
+	if fn == nil {
+		r.bundleFn.Store(nil)
+		return
+	}
+	r.bundleFn.Store(&fn)
 }
 
 // Trace returns the registry's decision trace.

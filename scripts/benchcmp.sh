@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# benchcmp.sh — guard the hot-path speedups recorded in BENCH_hotpath.json:
-# runs the BenchmarkStepHot* suite fresh (3 counts) and fails if any
-# benchmark's fresh median ns/op regresses more than the file's
-# regression_gate_percent (25%) past the recorded 'after' median.
+# benchcmp.sh — guard the repo's recorded performance baselines:
+#
+#   1. hot path: runs the BenchmarkStepHot* suite fresh (3 counts) and fails
+#      if any benchmark's fresh median ns/op regresses more than
+#      BENCH_hotpath.json's regression_gate_percent (25%) past the recorded
+#      'after' median;
+#   2. flight recorder: runs BenchmarkStepBare vs BenchmarkStepFlightRec and
+#      fails if the fresh-median overhead of the instrumented run exceeds
+#      BENCH_flightrec.json's overhead_budget_percent (10%).
 #
 #   ./scripts/benchcmp.sh            # full gate (3 x 50 iterations)
 #   ./scripts/benchcmp.sh -benchtime 20x -count 1   # quicker, noisier
@@ -24,3 +29,7 @@ fi
 go test -run '^$' -bench BenchmarkStepHot "${ARGS[@]}" . |
     tee /dev/stderr |
     go run ./scripts/benchcmp BENCH_hotpath.json
+
+go test -run '^$' -bench 'BenchmarkStep(Bare|FlightRec)$' "${ARGS[@]}" . |
+    tee /dev/stderr |
+    go run ./scripts/benchcmp -overhead BenchmarkStepBare BenchmarkStepFlightRec BENCH_flightrec.json

@@ -1,13 +1,23 @@
-// Command benchcmp compares a fresh `go test -bench BenchmarkStepHot` run
-// (read from stdin, standard go-test bench output) against the medians
-// recorded in BENCH_hotpath.json and fails when any benchmark's fresh median
-// regresses past the file's regression gate. scripts/benchcmp.sh wires it up.
+// Command benchcmp guards the repo's recorded performance baselines from
+// standard go-test bench output on stdin. It has two modes:
+//
+//	benchcmp BENCH_hotpath.json
+//	    compare a fresh `go test -bench BenchmarkStepHot` run against the
+//	    medians recorded in the baseline file and fail when any benchmark's
+//	    fresh median regresses past the file's regression gate;
+//
+//	benchcmp -overhead BenchmarkStepBare BenchmarkStepFlightRec BENCH_flightrec.json
+//	    compute the fresh-median overhead of the second benchmark over the
+//	    first and fail when it exceeds the file's overhead_budget_percent.
+//
+// scripts/benchcmp.sh wires both up.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -28,6 +38,13 @@ type benchFile struct {
 	Benchmarks            map[string]benchRecord `json:"benchmarks"`
 }
 
+// overheadFile is the schema of the overhead baselines (BENCH_telemetry.json,
+// BENCH_flightrec.json): only the budget is read, the recorded samples are
+// documentation.
+type overheadFile struct {
+	OverheadBudgetPercent float64 `json:"overhead_budget_percent"`
+}
+
 func median(xs []float64) float64 {
 	sort.Float64s(xs)
 	n := len(xs)
@@ -37,32 +54,13 @@ func median(xs []float64) float64 {
 	return (xs[n/2-1] + xs[n/2]) / 2
 }
 
-func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp BENCH_hotpath.json < bench-output")
-		os.Exit(2)
-	}
-	raw, err := os.ReadFile(os.Args[1])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchcmp:", err)
-		os.Exit(2)
-	}
-	var base benchFile
-	if err := json.Unmarshal(raw, &base); err != nil {
-		fmt.Fprintln(os.Stderr, "benchcmp: parse baseline:", err)
-		os.Exit(2)
-	}
-	gate := base.RegressionGatePercent
-	if gate <= 0 {
-		gate = 25
-	}
-
-	// Collect ns/op samples per benchmark name from the go-test output.
+// readSamples collects ns/op samples per benchmark name from go-test bench
+// output.
+func readSamples(r io.Reader) (map[string][]float64, error) {
 	fresh := map[string][]float64{}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		line := sc.Text()
-		fields := strings.Fields(line)
+		fields := strings.Fields(sc.Text())
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
@@ -77,12 +75,50 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchcmp: read stdin:", err)
-		os.Exit(2)
+		return nil, err
 	}
 	if len(fresh) == 0 {
-		fmt.Fprintln(os.Stderr, "benchcmp: no benchmark lines on stdin")
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	return fresh, nil
+}
+
+func fatal(args ...interface{}) {
+	fmt.Fprintln(os.Stderr, append([]interface{}{"benchcmp:"}, args...)...)
+	os.Exit(2)
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 4 && args[0] == "-overhead" {
+		runOverhead(args[1], args[2], args[3])
+		return
+	}
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp BENCH_hotpath.json < bench-output")
+		fmt.Fprintln(os.Stderr, "       benchcmp -overhead BARE_BENCH OVERHEAD_BENCH BASELINE.json < bench-output")
 		os.Exit(2)
+	}
+	runRegression(args[0])
+}
+
+func runRegression(baseline string) {
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		fatal(err)
+	}
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal("parse baseline:", err)
+	}
+	gate := base.RegressionGatePercent
+	if gate <= 0 {
+		gate = 25
+	}
+
+	fresh, err := readSamples(os.Stdin)
+	if err != nil {
+		fatal(err)
 	}
 
 	failed := false
@@ -115,4 +151,45 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runOverhead gates the fresh-median overhead of overheadName over bareName
+// against the baseline file's overhead_budget_percent.
+func runOverhead(bareName, overheadName, baseline string) {
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		fatal(err)
+	}
+	var base overheadFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal("parse baseline:", err)
+	}
+	budget := base.OverheadBudgetPercent
+	if budget <= 0 {
+		budget = 10
+	}
+
+	fresh, err := readSamples(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	bare, ok := fresh[bareName]
+	if !ok {
+		fatal(bareName, "missing from fresh run")
+	}
+	over, ok := fresh[overheadName]
+	if !ok {
+		fatal(overheadName, "missing from fresh run")
+	}
+	bm, om := median(bare), median(over)
+	overhead := (om - bm) / bm * 100
+	status := "ok"
+	code := 0
+	if overhead > budget {
+		status = fmt.Sprintf("OVER BUDGET (> %.0f%%)", budget)
+		code = 1
+	}
+	fmt.Printf("%s over %s: bare %12.0f  with %12.0f  overhead %+6.1f%%  budget %.0f%%  %s\n",
+		overheadName, bareName, bm, om, overhead, budget, status)
+	os.Exit(code)
 }

@@ -62,4 +62,50 @@ check "missing benchmark rejected" 1 \
 # run collapses the binary's exit 2 to its own nonzero status).
 check "empty input rejected" nonzero "no benchmarks here"
 
+# --- overhead mode (flight-recorder budget gate) -------------------------
+
+cat > "$tmp/overhead.json" <<'EOF'
+{"overhead_budget_percent": 10.0}
+EOF
+
+checkov() { # checkov <name> <want_status|nonzero> <bench output...>
+    local name=$1 want=$2 input=$3 status=0
+    printf '%s\n' "$input" |
+        go run ./scripts/benchcmp -overhead BenchmarkBareSynthetic BenchmarkFlightSynthetic "$tmp/overhead.json" \
+            > "$tmp/out.txt" 2>&1 || status=$?
+    if [ "$want" = nonzero ] && [ "$status" -ne 0 ]; then want=$status; fi
+    if [ "$status" -ne "$want" ]; then
+        echo "FAIL $name: exit $status, want $want"
+        sed 's/^/    /' "$tmp/out.txt"
+        fail=1
+    else
+        echo "ok   $name (exit $status)"
+    fi
+}
+
+# +50% median overhead blows the 10% budget.
+checkov "overhead +50% rejected" 1 \
+"BenchmarkBareSynthetic-8     50   1000 ns/op
+BenchmarkFlightSynthetic-8   50   1500 ns/op"
+
+# +5% median overhead is within budget.
+checkov "overhead +5% accepted" 0 \
+"BenchmarkBareSynthetic-8     50   1000 ns/op
+BenchmarkBareSynthetic-8     50    980 ns/op
+BenchmarkBareSynthetic-8     50   1020 ns/op
+BenchmarkFlightSynthetic-8   50   1050 ns/op
+BenchmarkFlightSynthetic-8   50   1040 ns/op
+BenchmarkFlightSynthetic-8   50   1060 ns/op"
+
+# Instrumented run faster than bare (noise) must still pass.
+checkov "overhead negative accepted" 0 \
+"BenchmarkBareSynthetic-8     50   1000 ns/op
+BenchmarkFlightSynthetic-8   50    950 ns/op"
+
+# Either benchmark missing from the fresh run is a hard error, not a pass.
+checkov "overhead missing bare rejected" nonzero \
+"BenchmarkFlightSynthetic-8   50   1000 ns/op"
+checkov "overhead missing flight rejected" nonzero \
+"BenchmarkBareSynthetic-8     50   1000 ns/op"
+
 exit $fail

@@ -15,9 +15,12 @@
 #   7. go test -race    — the full suite under the race detector
 #   8. chaos smoke      — seeded fault-injection campaign against the full
 #                         degradation ladder (docs/fault-tolerance.md)
-#   9. fuzz smoke       — 10s of FuzzStepEquivalence over the committed corpus
-#  10. gate self-test   — scripts/benchcmp_test.sh proves the perf gate fails
-#  11. bench smoke      — a build that breaks the benchmarks cannot land
+#   9. flight recorder  — race-detected flightrec suite plus the seeded
+#                         bundle-on-fault chaos run as a named, grep-able gate
+#                         (docs/observability.md)
+#  10. fuzz smoke       — 10s of FuzzStepEquivalence over the committed corpus
+#  11. gate self-test   — scripts/benchcmp_test.sh proves the perf gate fails
+#  12. bench smoke      — a build that breaks the benchmarks cannot land
 #
 # Run from the repo root:
 #
@@ -90,6 +93,15 @@ echo "==> chaos smoke (seeded fault injection)"
 # at full speed as a freestanding, grep-able gate so a chaos regression is
 # named in CI output rather than buried in the package list.
 go test -run '^TestChaos' -count=1 -v ./internal/faultinject | grep -E '^(=== RUN|--- (PASS|FAIL)|PASS|FAIL|ok)'
+
+echo "==> flight recorder (spans, lifecycle, bundles)"
+# Freestanding, grep-able reruns of the observability contract: the recorder
+# suite under the race detector, then the seeded chaos campaign that must
+# produce a loadable diagnostics bundle for every ladder downgrade. The
+# overhead budget itself (BENCH_flightrec.json) is gated by
+# scripts/benchcmp.sh, not here.
+go test -race -count=1 ./internal/flightrec
+go test -run '^TestChaosBundlePerFault$' -count=1 -v ./internal/faultinject | grep -E '^(=== RUN|--- (PASS|FAIL)|PASS|FAIL|ok)'
 
 echo "==> fuzz smoke (committed corpus + 10s)"
 go test -run '^$' -fuzz '^FuzzStepEquivalence$' -fuzztime 10s ./internal/engine
