@@ -1,0 +1,160 @@
+package stochstream
+
+import (
+	"testing"
+
+	"stochstream/internal/dist"
+	"stochstream/internal/engine"
+	"stochstream/internal/join"
+	"stochstream/internal/policy"
+	"stochstream/internal/process"
+	"stochstream/internal/shardrt"
+	"stochstream/internal/stats"
+)
+
+// Sharded-runtime benchmarks (BENCH_shard.json): all of them measure one
+// steady-state global step — cache full, every step probes, scores and
+// evicts — under the hot-path HEEB configuration, with a fixed total cache
+// budget of 256 slots.
+//
+// The scaling argument is algorithmic, not parallel: replacement scoring is
+// linear in the cache the decision runs over, so splitting one 256-slot
+// cache into N shards means a global step scores ~2·256/N candidates
+// instead of ~256. BenchmarkShardedStep8 vs BenchmarkShardedBaseline is the
+// recorded ≥3x gate (scripts/benchcmp.sh -scale mode); the per-shard worker
+// goroutines add channel hops but the win does not depend on extra cores.
+//
+// BenchmarkStepLoop256 vs BenchmarkStepBatch256 pins the enabling refactor:
+// batching the ingress amortizes the per-step clock reads and telemetry
+// flushes, so StepBatch must never be slower than the equivalent Step loop
+// (the -overhead gate in the same baseline file).
+
+const (
+	shardBenchCache = 256
+	shardBenchBatch = 64
+)
+
+func shardBenchProcs() [2]process.Process {
+	return [2]process.Process{
+		&process.LinearTrend{Slope: 1, Intercept: -1, Noise: dist.BoundedNormal(2, 12)},
+		&process.LinearTrend{Slope: 1, Intercept: 0, Noise: dist.BoundedNormal(3, 15)},
+	}
+}
+
+func shardBenchStream(n int) ([]int, []int) {
+	procs := shardBenchProcs()
+	rng := stats.NewRNG(21)
+	return procs[0].Generate(rng.Split(), n), procs[1].Generate(rng.Split(), n)
+}
+
+// benchmarkStepLoop measures the single operator driven one Step at a time.
+func BenchmarkStepLoop256(b *testing.B) {
+	warm := shardBenchCache + shardBenchBatch
+	n := warm + b.N
+	r, s := shardBenchStream(n)
+	j, err := engine.NewJoin(engine.Config{
+		CacheSize: shardBenchCache,
+		Procs:     shardBenchProcs(),
+		Policy:    policy.NewHEEB(hotOpts()),
+		Seed:      1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for t := 0; t < warm; t++ {
+		j.Step(engine.Tuple{Key: r[t]}, engine.Tuple{Key: s[t]})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for t := warm; t < n; t++ {
+		j.Step(engine.Tuple{Key: r[t]}, engine.Tuple{Key: s[t]})
+	}
+}
+
+// BenchmarkStepBatch256 is the same stream through StepBatch in
+// shardBenchBatch-sized chunks; the gate requires it no slower than the
+// loop.
+func BenchmarkStepBatch256(b *testing.B) {
+	warm := shardBenchCache + shardBenchBatch
+	n := warm + b.N
+	r, s := shardBenchStream(n)
+	j, err := engine.NewJoin(engine.Config{
+		CacheSize: shardBenchCache,
+		Procs:     shardBenchProcs(),
+		Policy:    policy.NewHEEB(hotOpts()),
+		Seed:      1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]engine.TuplePair, 0, shardBenchBatch)
+	feed := func(lo, hi int) {
+		for lo < hi {
+			k := hi
+			if k > lo+shardBenchBatch {
+				k = lo + shardBenchBatch
+			}
+			batch = batch[:0]
+			for t := lo; t < k; t++ {
+				batch = append(batch, engine.TuplePair{
+					R: engine.Tuple{Key: r[t]},
+					S: engine.Tuple{Key: s[t]},
+				})
+			}
+			j.StepBatch(batch)
+			lo = k
+		}
+	}
+	feed(0, warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	feed(warm, n)
+}
+
+// BenchmarkShardedBaseline is the single-engine baseline the sharded gate
+// compares against: the identical stream, budget and policy configuration,
+// batched exactly like the sharded runtime's ingress.
+func BenchmarkShardedBaseline(b *testing.B) { BenchmarkStepBatch256(b) }
+
+func benchmarkSharded(b *testing.B, shards int) {
+	rt, err := shardrt.New(shardrt.Config{
+		Shards:     shards,
+		TotalCache: shardBenchCache,
+		Procs:      shardBenchProcs(),
+		NewPolicy:  func(int) join.Policy { return policy.NewHEEB(hotOpts()) },
+		Seed:       1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	// Warm until every shard's cache is full even under routing skew.
+	warm := 2 * shardBenchCache
+	n := warm + b.N
+	r, s := shardBenchStream(n)
+	steps := make([]shardrt.Step, n)
+	for t := range steps {
+		steps[t] = shardrt.Step{R: engine.Tuple{Key: r[t]}, S: engine.Tuple{Key: s[t]}}
+	}
+	feed := func(lo, hi int) {
+		for lo < hi {
+			k := hi
+			if k > lo+shardBenchBatch {
+				k = lo + shardBenchBatch
+			}
+			if _, err := rt.IngestBatch(steps[lo:k]); err != nil {
+				b.Fatal(err)
+			}
+			lo = k
+		}
+	}
+	feed(0, warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	feed(warm, n)
+}
+
+func BenchmarkShardedStep1(b *testing.B) { benchmarkSharded(b, 1) }
+func BenchmarkShardedStep2(b *testing.B) { benchmarkSharded(b, 2) }
+func BenchmarkShardedStep4(b *testing.B) { benchmarkSharded(b, 4) }
+func BenchmarkShardedStep8(b *testing.B) { benchmarkSharded(b, 8) }

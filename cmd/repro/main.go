@@ -10,6 +10,8 @@
 //	repro -figure 8 -metrics         # append a Prometheus telemetry snapshot
 //	repro -figure 8 -trace 10        # dump the last 10 eviction decisions
 //	repro -checkpoint f -bundle-dir d  # also dump a flight-recorder bundle
+//	repro -shards 4 -batch 64        # demo join on the sharded runtime
+//	repro -shards 4 -checkpoint f    # sharded checkpoint (restore with -shards 4)
 //	repro -list                      # show available figures
 //
 // Each figure prints the same series the paper plots; EXPERIMENTS.md records
@@ -28,6 +30,7 @@ import (
 	"stochstream/internal/engine"
 	"stochstream/internal/flightrec"
 	"stochstream/internal/process"
+	"stochstream/internal/shardrt"
 	"stochstream/internal/stats"
 )
 
@@ -61,6 +64,8 @@ func run(args []string, stdout io.Writer) error {
 		ckptPath   = fs.String("checkpoint", "", "run the checkpoint demo join for -len steps and write its state to FILE (no -figure needed; -seed/-len/-cache apply)")
 		restPath   = fs.String("restore", "", "restore the checkpoint demo join from FILE and replay -len further steps (requires the same -seed and -cache the checkpoint was written with)")
 		bundleDir  = fs.String("bundle-dir", "", "run the checkpoint demo with the flight recorder attached and dump a diagnostics bundle into DIR at the end (also where fault bundles land if the run crashes)")
+		shards     = fs.Int("shards", 0, "run the demo join on the sharded runtime with N hash-partitioned shards instead of one engine (no -figure needed; -seed/-len/-cache/-checkpoint/-restore apply, -cache is the total budget)")
+		batchSize  = fs.Int("batch", 64, "ingress batch size (global steps per dispatch) for -shards")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +83,9 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintln(stdout, "  ", id)
 		}
 		return nil
+	}
+	if *shards > 0 {
+		return runShardedDemo(stdout, *ckptPath, *restPath, *bundleDir, *seed, *length, *cache, *shards, *batchSize)
 	}
 	if *ckptPath != "" || *restPath != "" || *bundleDir != "" {
 		return runCheckpointDemo(stdout, *ckptPath, *restPath, *bundleDir, *seed, *length, *cache)
@@ -266,6 +274,94 @@ func runCheckpointDemo(stdout io.Writer, ckptPath, restPath, bundleDir string, s
 		}
 		fmt.Fprintf(stdout, "bundle written to %s: reason %q  step %d  spans %d (of %d recorded)  tracked keys %d  checkpoint %d bytes\n",
 			dir, b.Manifest.Reason, b.Manifest.Step, b.Manifest.Spans, b.Manifest.SpansTotal, b.Manifest.TrackedKeys, len(b.Checkpoint))
+	}
+	return nil
+}
+
+// runShardedDemo is the checkpoint demo on the sharded runtime: the same
+// seeded Gaussian-walk streams, hash-partitioned across -shards engines and
+// fed through batched ingress. -checkpoint/-restore go through the sharded
+// manifest, so a restore needs the same -shards/-cache/-seed the checkpoint
+// was written with; -bundle-dir attaches a flight recorder per shard
+// (bundles land under DIR/shard-<i>/ on downgrades or faults).
+func runShardedDemo(stdout io.Writer, ckptPath, restPath, bundleDir string, seed uint64, length, cache, shards, batch int) error {
+	if batch <= 0 {
+		return fmt.Errorf("-batch must be positive, got %d", batch)
+	}
+	if length <= 0 {
+		length = 2000
+	}
+	if cache <= 0 {
+		cache = 10
+	}
+	cfg := shardrt.Config{
+		Shards:     shards,
+		TotalCache: cache,
+		Window:     demoWindow,
+		Procs:      demoProcs(),
+		Seed:       seed,
+	}
+	if bundleDir != "" {
+		cfg.Flight = true
+		cfg.FlightDir = bundleDir
+		cfg.FlightSampleEvery = 1
+	}
+	rt, err := shardrt.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	start := 0
+	if restPath != "" {
+		f, err := os.Open(restPath)
+		if err != nil {
+			return err
+		}
+		err = rt.Restore(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", restPath, err)
+		}
+		start = rt.Metrics().Ingested
+		fmt.Fprintf(stdout, "restored %s: resuming at step %d\n", restPath, start)
+	}
+	r, s := demoStreams(seed, start+length)
+	for lo := start; lo < start+length; lo += batch {
+		hi := lo + batch
+		if hi > start+length {
+			hi = start + length
+		}
+		steps := make([]shardrt.Step, 0, hi-lo)
+		for t := lo; t < hi; t++ {
+			steps = append(steps, shardrt.Step{R: engine.Tuple{Key: r[t]}, S: engine.Tuple{Key: s[t]}})
+		}
+		if _, err := rt.IngestBatch(steps); err != nil {
+			return fmt.Errorf("batch at step %d: %w", lo, err)
+		}
+	}
+	if err := rt.CheckInvariants(); err != nil {
+		return err
+	}
+	m := rt.Metrics()
+	fmt.Fprintf(stdout, "sharded demo join (shards %d, total cache %d, window %d, seed %d, batch %d): steps %d  batches %d  pairs %d  rebalances %d\n",
+		shards, cache, demoWindow, seed, batch, m.Ingested, m.Batches, m.Pairs, m.Rebalances)
+	for _, sm := range m.Shards {
+		fmt.Fprintf(stdout, "  shard %d: budget %d  steps %d  pairs %d  evictions %d  expired %d  cached %d\n",
+			sm.Shard, sm.Budget, sm.Engine.Steps, sm.Engine.Pairs, sm.Engine.Evictions, sm.Engine.Expired, sm.Engine.CacheLen)
+	}
+	if ckptPath != "" {
+		f, err := os.Create(ckptPath)
+		if err != nil {
+			return err
+		}
+		if err := rt.Checkpoint(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "sharded checkpoint written to %s (resume with -shards %d -restore %s)\n", ckptPath, shards, ckptPath)
 	}
 	return nil
 }

@@ -253,3 +253,88 @@ func TestRunRestoreWrongConfig(t *testing.T) {
 		t.Fatal("restore with a mismatched -cache should error")
 	}
 }
+
+// shardedMetricsLines extracts the aggregate and per-shard metrics lines, the
+// part of the output that must be identical between an uninterrupted run and
+// a checkpoint-restore-replay run.
+func shardedMetricsLines(out string) string {
+	var keep []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "sharded demo join") || strings.HasPrefix(line, "  shard ") {
+			keep = append(keep, line)
+		}
+	}
+	return strings.Join(keep, "\n")
+}
+
+func TestRunShardedDemoFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-shards", "4", "-batch", "32", "-len", "400", "-seed", "5", "-cache", "16"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sharded demo join (shards 4, total cache 16") {
+		t.Fatalf("missing aggregate line:\n%s", out)
+	}
+	if !strings.Contains(out, "steps 400") || !strings.Contains(out, "batches 13") {
+		t.Fatalf("wrong step/batch accounting:\n%s", out)
+	}
+	for _, want := range []string{"  shard 0:", "  shard 1:", "  shard 2:", "  shard 3:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunShardedCheckpointRestoreFlags(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "sharded.ckpt")
+
+	// Lengths are multiples of the 64-step batch so the restored run's batch
+	// boundaries line up with the uninterrupted run's and even the batch
+	// counter matches; the engine state itself is batch-boundary-invariant.
+	var first bytes.Buffer
+	if err := run([]string{"-shards", "3", "-checkpoint", ckpt, "-len", "320", "-seed", "5", "-cache", "12"}, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "steps 320") || !strings.Contains(first.String(), "sharded checkpoint written") {
+		t.Fatalf("checkpoint run output:\n%s", first.String())
+	}
+
+	var resumed bytes.Buffer
+	if err := run([]string{"-shards", "3", "-restore", ckpt, "-len", "192", "-seed", "5", "-cache", "12"}, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resumed.String(), "resuming at step 320") {
+		t.Fatalf("restore run output:\n%s", resumed.String())
+	}
+
+	// Reference: 512 uninterrupted steps with the same batching. Aggregate
+	// and per-shard metrics must match the resumed run exactly.
+	var full bytes.Buffer
+	if err := run([]string{"-shards", "3", "-len", "512", "-seed", "5", "-cache", "12"}, &full); err != nil {
+		t.Fatal(err)
+	}
+	got, want := shardedMetricsLines(resumed.String()), shardedMetricsLines(full.String())
+	if got == "" || got != want {
+		t.Fatalf("resumed metrics:\n%s\nuninterrupted metrics:\n%s", got, want)
+	}
+}
+
+func TestRunShardedRestoreWrongConfig(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "sharded.ckpt")
+	if err := run([]string{"-shards", "2", "-checkpoint", ckpt, "-len", "50", "-seed", "5", "-cache", "8"}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	// A different shard count must be rejected, not silently re-partitioned.
+	if err := run([]string{"-shards", "4", "-restore", ckpt, "-len", "50", "-seed", "5", "-cache", "8"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("restore with a mismatched -shards should error")
+	}
+}
+
+func TestRunShardedBadBatch(t *testing.T) {
+	if err := run([]string{"-shards", "2", "-batch", "0", "-len", "50"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-batch 0 should error")
+	}
+}

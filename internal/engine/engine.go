@@ -131,12 +131,16 @@ type Join struct {
 	// probed by binary search over the band interval.
 	ord [2][]valID
 
-	// Step-scoped scratch, reused across steps.
-	out    []Pair
-	tuples []join.Tuple
-	drop   []bool
-	probeR []int
-	probeS []int
+	// Step-scoped scratch, reused across steps. out backs Step results,
+	// batchOut StepBatch results; they are distinct so an interleaved
+	// Step/StepBatch sequence cannot alias a still-visible result slice
+	// sooner than the documented "valid until the next call" contract.
+	out      []Pair
+	batchOut []Pair
+	tuples   []join.Tuple
+	drop     []bool
+	probeR   []int
+	probeS   []int
 
 	// Telemetry handles, resolved once in NewJoin so Step pays only clock
 	// reads and atomic writes; all nil when Config.Telemetry is nil.
@@ -149,7 +153,7 @@ type Join struct {
 	// Flight-recorder state (see flight.go). rec is Config.Flight (nil keeps
 	// the hot path bare); now is the resolved clock — the recorder's when one
 	// is attached, the wall seam otherwise; pendingBundle carries a mid-step
-	// fault reason to finishStep, which dumps once the state is consistent.
+	// fault reason to closeStep, which dumps once the state is consistent.
 	rec           *flightrec.Recorder
 	now           func() int64
 	pendingBundle string
@@ -210,12 +214,24 @@ func NewJoin(cfg Config) (*Join, error) {
 // even though replacement policies cannot influence them.
 //
 // The returned slice is owned by the operator and valid only until the next
-// Step call; callers that retain pairs must copy them.
+// Step or StepBatch call; callers that retain pairs must copy them.
 func (j *Join) Step(r, s Tuple) []Pair {
 	var startNs int64
 	if j.stepLatency != nil || j.rec != nil {
 		startNs = j.now()
 	}
+	out, pairs, evictions := j.stepCore(r, s, j.out[:0])
+	j.out = out
+	j.observeStep(startNs, pairs, evictions, 1)
+	return out
+}
+
+// stepCore is one synchronized step minus the per-call telemetry: it appends
+// this step's pairs to out and returns the grown slice plus the pair and
+// eviction counts. Step and StepBatch wrap it — Step observes latency per
+// call, StepBatch once per batch — so both share one state machine and stay
+// byte-identical per step.
+func (j *Join) stepCore(r, s Tuple, out []Pair) ([]Pair, int, int) {
 	var stepSpan, sp flightrec.Active
 	if j.rec != nil {
 		stepSpan = j.rec.BeginStep(j.time)
@@ -241,7 +257,9 @@ func (j *Join) Step(r, s Tuple) []Pair {
 	if j.rec != nil {
 		j.rec.End(sp, expired, 0)
 	}
-	out := j.emitMatches(t, r, s)
+	n0 := len(out)
+	out = j.emitMatches(t, r, s, out)
+	pairs := len(out) - n0
 
 	// Admission + replacement, mirroring the simulator's candidate order:
 	// cached entries in cache order, then the two arrivals.
@@ -253,8 +271,8 @@ func (j *Join) Step(r, s Tuple) []Pair {
 			j.lifeTuple(flightrec.LifeAdmit, t, rT, 0)
 			j.lifeTuple(flightrec.LifeAdmit, t, sT, 0)
 		}
-		j.finishStep(stepSpan, startNs, len(out), 0)
-		return out
+		j.closeStep(stepSpan, pairs, 0)
+		return out, pairs, 0
 	}
 	j.tuples = j.tuples[:0]
 	for i := range j.cache {
@@ -321,8 +339,8 @@ func (j *Join) Step(r, s Tuple) []Pair {
 	if j.rec != nil {
 		j.rec.End(sp, need, int64(len(j.cache)))
 	}
-	j.finishStep(stepSpan, startNs, len(out), need)
-	return out
+	j.closeStep(stepSpan, pairs, need)
+	return out, pairs, need
 }
 
 // pruneExpired evicts every window-expired entry before candidate assembly
@@ -352,11 +370,11 @@ func (j *Join) pruneExpired(t int) int {
 	return cut
 }
 
-// emitMatches probes the index with both arrivals and emits the resulting
-// pairs in cache (ID) order — exactly the order a front-to-back linear scan
-// produces — followed by the same-time pair if the arrivals match.
-func (j *Join) emitMatches(t int, r, s Tuple) []Pair {
-	out := j.out[:0]
+// emitMatches probes the index with both arrivals and appends the resulting
+// pairs to out in cache (ID) order — exactly the order a front-to-back linear
+// scan produces — followed by the same-time pair if the arrivals match.
+func (j *Join) emitMatches(t int, r, s Tuple, out []Pair) []Pair {
+	n0 := len(out)
 	var sp flightrec.Active
 	if j.rec != nil {
 		sp = j.rec.Begin(flightrec.PhaseProbe)
@@ -400,10 +418,9 @@ func (j *Join) emitMatches(t int, r, s Tuple) []Pair {
 			}
 		}
 	}
-	j.m.Pairs += len(out)
-	j.out = out
+	j.m.Pairs += len(out) - n0
 	if j.rec != nil {
-		j.rec.End(sp, len(out), int64(sameTime))
+		j.rec.End(sp, len(out)-n0, int64(sameTime))
 	}
 	return out
 }

@@ -122,23 +122,34 @@ func (j *Join) telemetrySources() flightrec.BundleSources {
 	return src
 }
 
-// finishStep closes out one Step: latency telemetry, the step root span,
-// and any bundle dump a downgrade requested mid-step.
-func (j *Join) finishStep(sp flightrec.Active, startNs int64, pairs, evictions int) {
-	if j.stepLatency != nil {
-		j.stepLatency.ObserveDuration(j.now() - startNs)
-		j.stepCount.Inc()
-		j.pairCount.Add(int64(pairs))
-		j.evictCount.Add(int64(evictions))
+// closeStep ends one step's root span and flushes any bundle dump a
+// downgrade requested mid-step. stepCore calls it on every exit path, so a
+// batch still dumps one bundle per downgraded step, with the checkpoint
+// taken at that step's (consistent) end state — not the batch's.
+func (j *Join) closeStep(sp flightrec.Active, pairs, evictions int) {
+	if j.rec == nil {
+		return
 	}
-	if j.rec != nil {
-		j.rec.EndStep(sp, pairs, int64(evictions))
-		if j.pendingBundle != "" {
-			reason := j.pendingBundle
-			j.pendingBundle = ""
-			j.autoDumpBundle(reason)
-		}
+	j.rec.EndStep(sp, pairs, int64(evictions))
+	if j.pendingBundle != "" {
+		reason := j.pendingBundle
+		j.pendingBundle = ""
+		j.autoDumpBundle(reason)
 	}
+}
+
+// observeStep records the latency-histogram observation and the inline
+// counters for n steps' worth of work. Step passes n = 1; StepBatch passes
+// the batch length, amortizing one clock-read pair and one histogram
+// observation across the whole batch (see docs/observability.md).
+func (j *Join) observeStep(startNs int64, pairs, evictions, n int) {
+	if j.stepLatency == nil {
+		return
+	}
+	j.stepLatency.ObserveDuration(j.now() - startNs)
+	j.stepCount.Add(int64(n))
+	j.pairCount.Add(int64(pairs))
+	j.evictCount.Add(int64(evictions))
 }
 
 // lifeTuple records one lifecycle event for a tuple's key when the flight

@@ -52,6 +52,11 @@ var decisionPkgs = []string{
 	// Recorder.Clock), never time.Now directly, or two replays of the same
 	// seed stop being byte-identical.
 	"stochstream/internal/flightrec",
+	// The sharded runtime's routing, batching, merge order and budget
+	// rebalancing all decide which tuples reach which cache and when; any
+	// clock or ambient-rand read there breaks checkpoint replay of the
+	// whole runtime, not just one shard.
+	"stochstream/internal/shardrt",
 }
 
 // emissionPkgs additionally carry result emission and metric export, whose

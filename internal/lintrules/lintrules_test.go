@@ -78,6 +78,12 @@ func TestScoping(t *testing.T) {
 		{"dettaint", "stochstream/internal/checkpoint", true},
 		{"dettaint", "stochstream/internal/faultinject", true},
 		{"dettaint", "stochstream/internal/flightrec", true},
+		{"dettaint", "stochstream/internal/shardrt", true},
+		{"errdiscipline", "stochstream/internal/shardrt", true},
+		{"maprange", "stochstream/internal/shardrt", true},
+		{"stepretain", "stochstream/internal/shardrt", true},
+		{"locksafe", "stochstream/internal/shardrt", true},
+		{"scorepure", "stochstream/internal/shardrt", false},
 		{"errdiscipline", "stochstream/internal/flightrec", true},
 		{"maprange", "stochstream/internal/flightrec", true},
 		{"dettaint", "stochstream/internal/stats", false}, // stats owns the RNGs

@@ -11,11 +11,12 @@ import (
 // enforces.
 const enginePath = "stochstream/internal/engine"
 
-// Stepretain enforces the engine's buffer-reuse contract: the slice
-// returned by (*engine.Join).Step is owned by the operator and valid only
-// until the next Step call, so callers must not retain it (or any sub-slice
-// of it) beyond the step. The type system cannot express this; the analyzer
-// flags the stores that outlive the step:
+// Stepretain enforces the engine's buffer-reuse contract: the slices
+// returned by (*engine.Join).Step and (*engine.Join).StepBatch are owned by
+// the operator and valid only until the next Step/StepBatch call, so callers
+// must not retain them (or any sub-slice of one) beyond the step. The type
+// system cannot express this; the analyzer flags the stores that outlive the
+// step:
 //
 //   - assignment of a Step result (or a sub-slice of one) into a struct
 //     field, a package-level variable, or an element of either,
@@ -98,7 +99,7 @@ func checkStepretainBody(pass *analysis.Pass, body *ast.BlockStmt) {
 }
 
 func report(pass *analysis.Pass, at ast.Expr) {
-	pass.Reportf(at.Pos(), "engine.Step result retained beyond the step: the returned slice is reused by the next Step call; copy the pairs (append(dst, res...)) before storing them")
+	pass.Reportf(at.Pos(), "engine.Step result retained beyond the step: the returned slice is reused by the next Step/StepBatch call; copy the pairs (append(dst, res...)) before storing them")
 }
 
 // isStepResult reports whether e is a call to (*engine.Join).Step, a
@@ -128,7 +129,7 @@ func isStepCall(info *types.Info, call *ast.CallExpr) bool {
 		return false
 	}
 	fn, ok := s.Obj().(*types.Func)
-	if !ok || fn.Name() != "Step" {
+	if !ok || (fn.Name() != "Step" && fn.Name() != "StepBatch") {
 		return false
 	}
 	recv := s.Recv()

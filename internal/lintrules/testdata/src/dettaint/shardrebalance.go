@@ -1,0 +1,36 @@
+package dettaint
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Shard-runtime-shaped decision code: budget rebalancing is a replacement
+// decision spread across shards, so clock- or rand-driven moves break
+// whole-runtime checkpoint replay exactly like a nondeterministic eviction
+// would.
+
+type shardBudget struct {
+	budget int
+	pairs  int
+}
+
+// rebalanceByClock jitters the rebalance cadence off the wall clock.
+func rebalanceByClock(shards []shardBudget) int {
+	if time.Now().UnixNano()%2 == 0 { // want "time.Now in decision code"
+		return 0
+	}
+	worst := 0
+	for i, sh := range shards {
+		if sh.pairs < shards[worst].pairs {
+			worst = i
+		}
+	}
+	return worst
+}
+
+// pickDonorByRand breaks benefit-rate ties with ambient randomness instead
+// of the documented lowest-shard-ID rule.
+func pickDonorByRand(shards []shardBudget) int {
+	return rand.Intn(len(shards)) // want "global math/rand Intn in decision code"
+}

@@ -1,0 +1,35 @@
+package locksafe
+
+import "sync"
+
+// Shard-runtime-shaped violations: a shard handle owns channels plus a
+// mutex-guarded recorder, so copying it forks the lock state and detaches
+// the copy's recorder from the worker's.
+
+type shardRecorder struct {
+	mu    sync.Mutex
+	spans []int
+}
+
+type shardHandle struct {
+	id  int
+	rec shardRecorder
+}
+
+func snapshotShard(sh shardHandle) int { // want "signature passes locksafe.shardHandle by value"
+	return sh.id
+}
+
+func gatherShards(shards []shardHandle) int {
+	total := 0
+	for _, sh := range shards { // want "range value copies locksafe.shardHandle"
+		total += sh.id
+	}
+	return total
+}
+
+func shardByPointerIsFine(sh *shardHandle) int {
+	sh.rec.mu.Lock()
+	defer sh.rec.mu.Unlock()
+	return len(sh.rec.spans)
+}

@@ -1,0 +1,34 @@
+// Seeded violations for the batched-step surface: StepBatch returns the
+// same operator-owned buffer contract as Step, so retaining its result (or
+// a sub-slice, or a local it flowed through) is flagged identically.
+package stepretain
+
+import "stochstream/internal/engine"
+
+var lastBatchPairs []engine.Pair
+
+func batchStoreInField(j *engine.Join, s *sink, batch []engine.TuplePair) {
+	s.pairs = j.StepBatch(batch) // want "engine.Step result retained"
+}
+
+func batchStoreInGlobal(j *engine.Join, batch []engine.TuplePair) {
+	lastBatchPairs = j.StepBatch(batch) // want "engine.Step result retained"
+}
+
+func batchStoreSubslice(j *engine.Join, s *sink, batch []engine.TuplePair) {
+	s.pairs = j.StepBatch(batch)[1:] // want "engine.Step result retained"
+}
+
+func batchStoreViaLocal(j *engine.Join, s *sink, batch []engine.TuplePair) {
+	res := j.StepBatch(batch)
+	s.pairs = res // want "engine.Step result retained"
+}
+
+func batchCopyOutIsFine(j *engine.Join, s *sink, batch []engine.TuplePair) {
+	// Copying detaches the pairs from the reused buffer: not flagged.
+	s.pairs = append(s.pairs[:0], j.StepBatch(batch)...)
+}
+
+func batchLocalUseIsFine(j *engine.Join, batch []engine.TuplePair) int {
+	return len(j.StepBatch(batch))
+}

@@ -26,3 +26,18 @@ func (j *Join) Step(r, s Tuple) []Pair {
 	j.out = append(j.out, Pair{R: r, S: s})
 	return j.out
 }
+
+// TuplePair mirrors the real engine's batched-step input.
+type TuplePair struct {
+	R, S Tuple
+}
+
+// StepBatch mirrors the real StepBatch: the returned slice is valid only
+// until the next Step or StepBatch call.
+func (j *Join) StepBatch(batch []TuplePair) []Pair {
+	j.out = j.out[:0]
+	for _, tp := range batch {
+		j.out = append(j.out, Pair{R: tp.R, S: tp.S})
+	}
+	return j.out
+}

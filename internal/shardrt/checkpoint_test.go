@@ -1,0 +1,176 @@
+package shardrt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"stochstream/internal/engine"
+)
+
+// TestShardedCheckpointReplay is the fault-tolerance gate for the sharded
+// runtime: run a rebalancing multi-shard stream to completion, then rerun it
+// with a checkpoint/restore in the middle (into a freshly built runtime), and
+// require the interrupted run's full output and final state to be
+// byte-identical to the uninterrupted one. The cut point deliberately leaves
+// carried lane tails and a post-rebalance budget split in the manifest.
+func TestShardedCheckpointReplay(t *testing.T) {
+	cfg := Config{
+		Shards: 4, TotalCache: 48, Procs: trendProcs(), Seed: 21,
+		RebalanceEvery: 3, RebalanceStep: 2, MinBudget: 3,
+	}
+	steps := genSteps(77, 1200)
+	const batchSize = 53 // does not divide the stream: lanes carry at the cut
+	const cut = 7        // checkpoint after this many batches
+
+	// Uninterrupted run.
+	base, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := ingestAll(t, base, steps, batchSize)
+	wantMetrics := base.Metrics()
+	if _, err := base.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: ingest cut batches, checkpoint, discard the runtime,
+	// restore into a fresh one, continue from the same stream position.
+	first, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotPairs []Pair
+	pos := 0
+	for b := 0; b < cut; b++ {
+		hi := pos + batchSize
+		if hi > len(steps) {
+			hi = len(steps)
+		}
+		pairs, err := first.IngestBatch(steps[pos:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotPairs = append(gotPairs, copyShardPairs(pairs)...)
+		pos = hi
+	}
+	var ckpt bytes.Buffer
+	if err := first.Checkpoint(&ckpt); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if _, err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Restore(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if err := second.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after restore: %v", err)
+	}
+	for lo := pos; lo < len(steps); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(steps) {
+			hi = len(steps)
+		}
+		pairs, err := second.IngestBatch(steps[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotPairs = append(gotPairs, copyShardPairs(pairs)...)
+	}
+	tail, err := second.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPairs = append(gotPairs, tail...)
+	gotMetrics := second.Metrics()
+	if _, err := second.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(gotPairs) != len(wantPairs) {
+		t.Fatalf("interrupted run emitted %d pairs, uninterrupted %d", len(gotPairs), len(wantPairs))
+	}
+	for i := range gotPairs {
+		if gotPairs[i] != wantPairs[i] {
+			t.Fatalf("pair %d diverged after restore: %+v vs %+v", i, gotPairs[i], wantPairs[i])
+		}
+	}
+	if gotMetrics.Ingested != wantMetrics.Ingested || gotMetrics.Pairs != wantMetrics.Pairs ||
+		gotMetrics.Batches != wantMetrics.Batches || gotMetrics.Rebalances != wantMetrics.Rebalances {
+		t.Fatalf("runtime metrics diverged:\n  got  %+v\n  want %+v", gotMetrics, wantMetrics)
+	}
+	for i := range wantMetrics.Shards {
+		if gotMetrics.Shards[i] != wantMetrics.Shards[i] {
+			t.Fatalf("shard %d metrics diverged:\n  got  %+v\n  want %+v", i, gotMetrics.Shards[i], wantMetrics.Shards[i])
+		}
+	}
+}
+
+func copyShardPairs(pairs []Pair) []Pair {
+	return append([]Pair(nil), pairs...)
+}
+
+// TestShardedCheckpointFingerprint: a manifest only restores into a runtime
+// built with the same partitioning configuration.
+func TestShardedCheckpointFingerprint(t *testing.T) {
+	cfg := Config{Shards: 2, TotalCache: 16, Procs: trendProcs(), Seed: 4}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, rt, genSteps(9, 200), 32)
+	var ckpt bytes.Buffer
+	if err := rt.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+
+	for name, bad := range map[string]Config{
+		"shards": {Shards: 4, TotalCache: 16, Procs: trendProcs(), Seed: 4},
+		"cache":  {Shards: 2, TotalCache: 20, Procs: trendProcs(), Seed: 4},
+		"window": {Shards: 2, TotalCache: 16, Window: 8, Procs: trendProcs(), Seed: 4},
+		"seed":   {Shards: 2, TotalCache: 16, Procs: trendProcs(), Seed: 5},
+	} {
+		other, err := New(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := other.Restore(bytes.NewReader(ckpt.Bytes())); !errors.Is(err, engine.ErrConfigMismatch) {
+			t.Fatalf("%s mismatch restored with err %v, want ErrConfigMismatch", name, err)
+		}
+		other.Close()
+	}
+
+	// Matching config accepts the same bytes.
+	same, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := same.Restore(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatalf("matching config rejected: %v", err)
+	}
+	same.Close()
+
+	// Garbage is rejected before any state is touched, and a closed runtime
+	// refuses both directions.
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage restore succeeded")
+	}
+	fresh.Close()
+	if err := fresh.Checkpoint(&bytes.Buffer{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint after Close: %v, want ErrClosed", err)
+	}
+	if err := fresh.Restore(bytes.NewReader(ckpt.Bytes())); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Restore after Close: %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,91 @@
+package shardrt
+
+// Online budget rebalancing: every RebalanceEvery batches the coordinator
+// compares per-shard benefit rates — pairs produced since the last cycle per
+// budget slot — and moves RebalanceStep slots from the lowest-rate shard to
+// the highest-rate one, bounded below by the MinBudget floor. The move calls
+// engine.Resize, which evicts the donor down with its own policy
+// immediately, so the budget invariant holds before the next batch. All
+// inputs are deterministic (engine metrics, fixed tie-breaks by shard ID),
+// so rebalanced runs replay exactly.
+
+type rebalancer struct {
+	// lastPairs is each shard's cumulative pair count at the last cycle.
+	lastPairs []int
+	moves     int
+}
+
+func (rb *rebalancer) init(shards int) {
+	rb.lastPairs = make([]int, shards)
+}
+
+// maybeRebalance runs one rebalance cycle when the cadence hits. Called at
+// the end of dispatch, when every worker is quiescent, so touching the shard
+// engines directly is safe.
+func (rt *Runtime) maybeRebalance() {
+	every := rt.cfg.RebalanceEvery
+	if every <= 0 || rt.batches%every != 0 || len(rt.shards) < 2 {
+		return
+	}
+	minBudget := rt.cfg.MinBudget
+	if minBudget == 0 {
+		minBudget = 1
+	}
+	step := rt.cfg.RebalanceStep
+	if step == 0 {
+		step = 1
+	}
+	// Benefit rate per shard: pairs since the last cycle per budget slot.
+	// Ties break toward the lower shard ID on both ends, so the cycle is a
+	// pure function of the run so far. Shards already at the floor cannot
+	// donate, so they are excluded from the worst-rate pick — otherwise a
+	// drained shard would win every tie and wedge the cycle while other
+	// low-rate shards still hold spare budget.
+	best, worst := -1, -1
+	var bestRate, worstRate float64
+	for i, sh := range rt.shards {
+		pairs := sh.eng.Metrics().Pairs
+		rate := float64(pairs-rt.reb.lastPairs[i]) / float64(sh.budget)
+		rt.reb.lastPairs[i] = pairs
+		if best < 0 || rate > bestRate {
+			best, bestRate = i, rate
+		}
+		if sh.budget > minBudget && (worst < 0 || rate < worstRate) {
+			worst, worstRate = i, rate
+		}
+	}
+	if worst < 0 {
+		return
+	}
+	if best == worst || bestRate <= worstRate {
+		return
+	}
+	donor, recv := rt.shards[worst], rt.shards[best]
+	if step > donor.budget-minBudget {
+		step = donor.budget - minBudget
+	}
+	if step <= 0 {
+		return
+	}
+	// Shrink the donor first so the total budget never exceeds TotalCache,
+	// even transiently.
+	if err := donor.eng.Resize(donor.budget - step); err != nil {
+		return
+	}
+	if err := recv.eng.Resize(recv.budget + step); err != nil {
+		// Roll the donor back; its evictions stand (Resize cannot unevict)
+		// but the budget conservation invariant must.
+		_ = donor.eng.Resize(donor.budget)
+		return
+	}
+	donor.budget -= step
+	recv.budget += step
+	if donor.budgetGauge != nil {
+		donor.budgetGauge.Set(float64(donor.budget))
+		recv.budgetGauge.Set(float64(recv.budget))
+	}
+	rt.reb.moves++
+	if rt.rebalances != nil {
+		rt.rebalances.Add(int64(step))
+	}
+}

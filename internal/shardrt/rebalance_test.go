@@ -1,0 +1,104 @@
+package shardrt
+
+import (
+	"testing"
+
+	"stochstream/internal/engine"
+)
+
+// skewKeys returns join keys that all route to the same shard, so every pair
+// lands there and the other shards produce nothing.
+func skewKeys(shards, want, n int) []int {
+	var keys []int
+	for k := 0; len(keys) < n; k++ {
+		if ShardOf(k, shards) == want {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestRebalanceSkewShiftsBudget: under a fully skewed workload the rebalancer
+// moves budget from the idle shards to the hot one, the per-shard floor
+// holds, and the total is conserved at every cycle.
+func TestRebalanceSkewShiftsBudget(t *testing.T) {
+	const (
+		shards    = 4
+		total     = 32
+		minBudget = 2
+	)
+	hot := ShardOf(1, shards)
+	keys := skewKeys(shards, hot, 8)
+	rt, err := New(Config{
+		Shards: shards, TotalCache: total, Seed: 13,
+		RebalanceEvery: 2, RebalanceStep: 2, MinBudget: minBudget,
+		Telemetry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	start := rt.Budgets()[hot]
+	for round := 0; round < 40; round++ {
+		steps := make([]Step, 8)
+		for i := range steps {
+			k := keys[(round+i)%len(keys)]
+			steps[i] = Step{R: engine.Tuple{Key: k}, S: engine.Tuple{Key: k}}
+		}
+		if _, err := rt.IngestBatch(steps); err != nil {
+			t.Fatal(err)
+		}
+		// Floor and conservation hold after every batch, not just at the end.
+		for i, b := range rt.Budgets() {
+			if b < minBudget {
+				t.Fatalf("round %d: shard %d budget %d below floor %d", round, i, b, minBudget)
+			}
+		}
+		if err := rt.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+
+	budgets := rt.Budgets()
+	if budgets[hot] <= start {
+		t.Fatalf("hot shard %d budget %d did not grow from %d under full skew (budgets %v)", hot, budgets[hot], start, budgets)
+	}
+	for i, b := range budgets {
+		if i != hot && b != minBudget {
+			t.Fatalf("idle shard %d holds budget %d, want drained to floor %d (budgets %v)", i, b, minBudget, budgets)
+		}
+	}
+	m := rt.Metrics()
+	if m.Rebalances == 0 {
+		t.Fatal("no rebalance cycles recorded")
+	}
+	if got := rt.CoordinatorRegistry().Snapshot().Counters["shardrt_rebalance_moves_total"]; got == 0 {
+		t.Fatal("coordinator counter shardrt_rebalance_moves_total stayed zero")
+	}
+	// The shard registries mirror the budget through the gauge.
+	for i, b := range budgets {
+		if g := rt.Registry(i).Snapshot().Gauges["shardrt_cache_budget"]; g != float64(b) {
+			t.Fatalf("shard %d gauge %g, want %d", i, g, b)
+		}
+	}
+}
+
+// TestRebalanceDisabled: with RebalanceEvery 0 the even split never moves.
+func TestRebalanceDisabled(t *testing.T) {
+	rt, err := New(Config{Shards: 3, TotalCache: 12, Procs: trendProcs(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ingestAll(t, rt, genSteps(4, 600), 50)
+	want := []int{4, 4, 4}
+	for i, b := range rt.Budgets() {
+		if b != want[i] {
+			t.Fatalf("budgets moved without a rebalancer: %v", rt.Budgets())
+		}
+	}
+	if m := rt.Metrics(); m.Rebalances != 0 {
+		t.Fatalf("recorded %d rebalances with rebalancing disabled", m.Rebalances)
+	}
+}

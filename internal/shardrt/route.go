@@ -1,0 +1,44 @@
+package shardrt
+
+import (
+	"stochstream/internal/engine"
+)
+
+// Tagged is the runtime's internal payload wrapper: every arrival is tagged
+// with its global ingress sequence number before routing, so emitted pairs
+// can be merged into one deterministic global order and hand the caller's
+// original payload back. It is exported only because per-shard checkpoints
+// gob-encode cached payloads; treat it as opaque.
+type Tagged struct {
+	Seq     uint64
+	Payload interface{}
+}
+
+// ShardOf maps a join key to its shard with a Fibonacci-style multiplicative
+// hash: platform-independent, deterministic, and scrambling enough that the
+// trend workloads (keys drifting through a contiguous range) spread across
+// shards instead of marching through them one at a time.
+func ShardOf(key, shards int) int {
+	if shards == 1 {
+		return 0
+	}
+	h := uint64(int64(key)) * 0x9E3779B97F4A7C15
+	h ^= h >> 32
+	return int(h % uint64(shards))
+}
+
+// convertPair unwraps one engine pair into the runtime's result type: the
+// Tagged payloads become the global sequence numbers plus the caller's
+// payloads.
+func convertPair(p engine.Pair, shard int) Pair {
+	rt := p.R.Payload.(Tagged)
+	st := p.S.Payload.(Tagged)
+	return Pair{
+		RSeq:     rt.Seq,
+		SSeq:     st.Seq,
+		R:        engine.Tuple{Key: p.R.Key, Payload: rt.Payload},
+		S:        engine.Tuple{Key: p.S.Key, Payload: st.Payload},
+		SameStep: p.SameTime,
+		Shard:    shard,
+	}
+}

@@ -1,0 +1,555 @@
+// Package shardrt is the sharded operator runtime: it hash-partitions the
+// join-key domain across N independent engine.Join instances, each with its
+// own cache budget, telemetry registry, flight recorder and policy (so each
+// shard can carry its own degradation ladder), and drives them with batched
+// ingress over per-shard channels.
+//
+// Partitioning an equijoin by key is lossless: two tuples can only pair when
+// their keys match, and matching keys hash to the same shard, so the union
+// of the shards' outputs is exactly the single-operator output over the same
+// per-shard arrival interleavings. What sharding does change is the arrival
+// interleaving each cache sees (a shard steps only when the batcher has an
+// arrival pair for it) and the cache budget (TotalCache is split across the
+// shards), so a sharded run is its own deterministic system — the per-shard
+// differential harness holds each shard byte-identical to a ReferenceJoin
+// fed the same shard-local stream, and the merge-order pin holds the global
+// emission order fixed.
+//
+// Throughput: the replacement policies score every cached candidate on each
+// eviction, so decision cost is linear in the cache budget. Splitting one
+// budget-C cache into N budget-C/N shards means a global step (two arrivals,
+// landing on at most two shards) scores ~2·C/N candidates instead of ~C, an
+// algorithmic win that needs no parallelism — and the per-shard channels
+// additionally let the shards run on separate cores where the host has them.
+// See docs/performance.md, "Sharded runtime".
+package shardrt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"stochstream/internal/engine"
+	"stochstream/internal/flightrec"
+	"stochstream/internal/join"
+	"stochstream/internal/process"
+	"stochstream/internal/telemetry"
+)
+
+// Step is one synchronized step of global arrivals: one tuple from each
+// stream, exactly like the two engine.Step arguments.
+type Step struct {
+	R, S engine.Tuple
+}
+
+// Pair is one join result with its global provenance: the ingress sequence
+// numbers of both sides (RSeq/SSeq), the shard that produced it, and the
+// caller's original payloads (the runtime's internal tagging is unwrapped).
+type Pair struct {
+	// RSeq and SSeq are the global ingress sequence numbers of the two
+	// sides: every arrival is numbered 2·step (R) and 2·step+1 (S) at
+	// ingress, before routing, so pairs from different shards are globally
+	// comparable. The merge orders results by (max, min) of the two — the
+	// triggering arrival first, ties broken by the cached partner — which
+	// is unique per pair and pinned by TestMergeOrder.
+	RSeq, SSeq uint64
+	// R and S carry the join keys and the caller's payloads.
+	R, S engine.Tuple
+	// SameStep marks a pair whose two sides were paired into the same
+	// shard-local step (engine.Pair.SameTime under the shard's clock).
+	// Because the batcher pairs each shard's R and S lanes positionally,
+	// this is a property of the shard-local interleaving, not of the global
+	// step numbers — two arrivals from different global steps can share a
+	// shard step.
+	SameStep bool
+	// Shard is the shard that produced the pair.
+	Shard int
+}
+
+// Config configures the sharded runtime.
+type Config struct {
+	// Shards is the number of partitions (>= 1).
+	Shards int
+	// TotalCache is the cache budget summed over all shards; it is split
+	// evenly (remainder to the lowest shard IDs) and thereafter moved
+	// between shards by the rebalancer.
+	TotalCache int
+	// Window > 0 enables sliding-window semantics per shard. A shard's
+	// clock advances only when the shard steps, so the window counts
+	// shard-local steps, not global ones; see docs/performance.md.
+	Window int
+	// Procs carries the stream models for model-driven policies.
+	Procs [2]process.Process
+	// NewPolicy builds shard i's replacement policy; nil uses the engine
+	// default (HEEB with the models, RAND otherwise). Each shard needs its
+	// own instance — policies are stateful — which is why this is a factory
+	// and not a value.
+	NewPolicy func(shard int) join.Policy
+	// Seed drives per-shard policy randomness; each shard derives its own
+	// seed from it.
+	Seed uint64
+	// Telemetry, when true, attaches a registry to every shard engine plus
+	// a runtime registry for the coordinator's own counters; Registry and
+	// Handler expose them, aggregated across shards.
+	Telemetry bool
+	// Flight, when true, attaches a flight recorder to every shard engine.
+	Flight bool
+	// FlightDir, when non-empty, implies Flight and gives every shard a
+	// bundle directory FlightDir/shard-<i> so faults dump per-shard
+	// diagnostics bundles.
+	FlightDir string
+	// FlightSampleEvery is the per-shard lifecycle sampling rate (0 keeps
+	// the recorder default).
+	FlightSampleEvery int
+	// QueueDepth bounds the per-shard ingress channel (batches in flight
+	// per shard); 0 means 1.
+	QueueDepth int
+	// RebalanceEvery, in ingested batches, is the budget-rebalance cadence;
+	// 0 disables rebalancing.
+	RebalanceEvery int
+	// RebalanceStep is how many budget slots move per cycle (0 means 1).
+	RebalanceStep int
+	// MinBudget is the per-shard budget floor the rebalancer will not cross
+	// (0 means 1), so no shard starves.
+	MinBudget int
+}
+
+// ErrClosed is returned by operations on a runtime after Close.
+var ErrClosed = errors.New("shardrt: runtime is closed")
+
+// ErrBadStep wraps ingress validation failures: out-of-domain join keys are
+// rejected before any state is touched, mirroring engine.StepChecked.
+var ErrBadStep = errors.New("shardrt: bad step")
+
+func (cfg *Config) validate() error {
+	if cfg.Shards < 1 {
+		return fmt.Errorf("shardrt: Shards must be >= 1, got %d", cfg.Shards)
+	}
+	min := cfg.MinBudget
+	if min == 0 {
+		min = 1
+	}
+	if min < 1 {
+		return fmt.Errorf("shardrt: MinBudget must be >= 1, got %d", min)
+	}
+	if cfg.TotalCache < cfg.Shards*min {
+		return fmt.Errorf("shardrt: TotalCache %d cannot give %d shards the %d-slot floor", cfg.TotalCache, cfg.Shards, min)
+	}
+	if cfg.Window < 0 {
+		return fmt.Errorf("shardrt: Window must be >= 0, got %d", cfg.Window)
+	}
+	if cfg.RebalanceEvery < 0 || cfg.RebalanceStep < 0 || cfg.QueueDepth < 0 {
+		return fmt.Errorf("shardrt: RebalanceEvery, RebalanceStep and QueueDepth must be >= 0")
+	}
+	return nil
+}
+
+// shard is one partition: its engine, observability handles and worker
+// plumbing. The coordinator owns batchBuf between a result gather and the
+// next dispatch; the channel handoff transfers ownership to the worker.
+type shard struct {
+	id     int
+	eng    *engine.Join
+	reg    *telemetry.Registry
+	rec    *flightrec.Recorder
+	budget int
+	// budgetGauge mirrors budget into the shard registry (nil without
+	// telemetry).
+	budgetGauge *telemetry.Gauge
+
+	in       chan []engine.TuplePair
+	res      chan shardResult
+	batchBuf []engine.TuplePair
+	pending  bool
+}
+
+type shardResult struct {
+	pairs []Pair
+	err   error
+}
+
+// Runtime is the sharded operator. It is driven from one goroutine
+// (IngestBatch/Flush/Close and every accessor); internally each shard steps
+// on its own worker goroutine. Accessors that touch shard engines are safe
+// between calls because the result gather at the end of every dispatch
+// leaves all workers quiescent.
+type Runtime struct {
+	cfg    Config
+	shards []*shard
+	// lanes[i][side] holds routed arrivals shard i has not stepped yet: the
+	// engine's synchronized-step model needs one tuple per stream per step,
+	// so the batcher pairs each shard's R and S lanes and carries the
+	// unmatched tail to the next batch (Flush pads it out with NoValue).
+	lanes [][2][]engine.Tuple
+	seq   uint64
+	// ingested counts global steps accepted; batches counts IngestBatch
+	// dispatches (the rebalance clock).
+	ingested int
+	batches  int
+	merged   int
+	out      []Pair
+	closed   bool
+
+	reg        *telemetry.Registry // coordinator registry (nil without telemetry)
+	rebalances *telemetry.Counter
+	reb        rebalancer
+}
+
+// New validates the configuration and builds the runtime: engines, per-shard
+// observability, and one worker goroutine per shard.
+func New(cfg Config) (*Runtime, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.FlightDir != "" {
+		cfg.Flight = true
+	}
+	qd := cfg.QueueDepth
+	if qd == 0 {
+		qd = 1
+	}
+	rt := &Runtime{
+		cfg:   cfg,
+		lanes: make([][2][]engine.Tuple, cfg.Shards),
+	}
+	if cfg.Telemetry {
+		rt.reg = telemetry.NewRegistry()
+		rt.rebalances = rt.reg.Counter("shardrt_rebalance_moves_total")
+		rt.reg.GaugeFunc("shardrt_shards", func() float64 { return float64(cfg.Shards) })
+	}
+	base := cfg.TotalCache / cfg.Shards
+	rem := cfg.TotalCache % cfg.Shards
+	for i := 0; i < cfg.Shards; i++ {
+		budget := base
+		if i < rem {
+			budget++
+		}
+		sh := &shard{
+			id:     i,
+			budget: budget,
+			in:     make(chan []engine.TuplePair, qd),
+			res:    make(chan shardResult, qd),
+		}
+		ecfg := engine.Config{
+			CacheSize: budget,
+			Window:    cfg.Window,
+			Procs:     cfg.Procs,
+			Seed:      shardSeed(cfg.Seed, i),
+		}
+		if cfg.NewPolicy != nil {
+			ecfg.Policy = cfg.NewPolicy(i)
+		}
+		if cfg.Telemetry {
+			sh.reg = telemetry.NewRegistry()
+			sh.budgetGauge = sh.reg.Gauge("shardrt_cache_budget")
+			sh.budgetGauge.Set(float64(budget))
+			ecfg.Telemetry = sh.reg
+		}
+		if cfg.Flight {
+			opts := flightrec.Options{
+				SampleSeed:  shardSeed(cfg.Seed, i),
+				SampleEvery: cfg.FlightSampleEvery,
+			}
+			if cfg.FlightDir != "" {
+				opts.BundleDir = fmt.Sprintf("%s/shard-%d", cfg.FlightDir, i)
+			}
+			sh.rec = flightrec.New(opts)
+			ecfg.Flight = sh.rec
+		}
+		eng, err := engine.NewJoin(ecfg)
+		if err != nil {
+			rt.stopWorkers()
+			return nil, fmt.Errorf("shardrt: shard %d: %w", i, err)
+		}
+		sh.eng = eng
+		rt.shards = append(rt.shards, sh)
+		go sh.run()
+	}
+	rt.reb.init(cfg.Shards)
+	return rt, nil
+}
+
+// shardSeed derives shard i's seed from the base seed with a splitmix-style
+// increment, so shards never share a policy RNG stream.
+func shardSeed(seed uint64, i int) uint64 {
+	return seed + uint64(i+1)*0x9E3779B97F4A7C15
+}
+
+// run is the shard worker: it steps every batch it receives and answers with
+// the converted pairs. A policy panic is captured and surfaced as the
+// batch's error instead of deadlocking the coordinator.
+func (sh *shard) run() {
+	for batch := range sh.in {
+		sh.res <- sh.step(batch)
+	}
+	close(sh.res)
+}
+
+func (sh *shard) step(batch []engine.TuplePair) (out shardResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = shardResult{err: fmt.Errorf("shardrt: shard %d: step panic: %v", sh.id, r)}
+		}
+	}()
+	pairs := sh.eng.StepBatch(batch)
+	conv := make([]Pair, len(pairs))
+	for i, p := range pairs {
+		conv[i] = convertPair(p, sh.id)
+	}
+	return shardResult{pairs: conv}
+}
+
+// IngestBatch feeds a batch of global steps and returns every pair produced
+// by the shard work it could dispatch. All keys are validated up front —
+// a bad step rejects the whole batch before any state changes. Arrivals
+// whose key is process.NoValue are dropped at ingress (they can never join);
+// the rest are routed to their shard's lanes, and each shard steps
+// min(|R lane|, |S lane|) synchronized steps. Unpaired lane tails carry over
+// to the next batch; Flush drains them.
+//
+// The returned slice is owned by the runtime and valid until the next
+// IngestBatch/Flush/Close call; callers that retain pairs must copy them.
+func (rt *Runtime) IngestBatch(steps []Step) ([]Pair, error) {
+	if rt.closed {
+		return nil, ErrClosed
+	}
+	for i, st := range steps {
+		if err := checkKey(st.R.Key); err != nil {
+			return nil, fmt.Errorf("%w: step %d stream R: %v", ErrBadStep, i, err)
+		}
+		if err := checkKey(st.S.Key); err != nil {
+			return nil, fmt.Errorf("%w: step %d stream S: %v", ErrBadStep, i, err)
+		}
+	}
+	for _, st := range steps {
+		rseq, sseq := rt.seq, rt.seq+1
+		rt.seq += 2
+		if st.R.Key != process.NoValue {
+			i := ShardOf(st.R.Key, rt.cfg.Shards)
+			rt.lanes[i][0] = append(rt.lanes[i][0], engine.Tuple{Key: st.R.Key, Payload: Tagged{Seq: rseq, Payload: st.R.Payload}})
+		}
+		if st.S.Key != process.NoValue {
+			i := ShardOf(st.S.Key, rt.cfg.Shards)
+			rt.lanes[i][1] = append(rt.lanes[i][1], engine.Tuple{Key: st.S.Key, Payload: Tagged{Seq: sseq, Payload: st.S.Payload}})
+		}
+	}
+	rt.ingested += len(steps)
+	return rt.dispatch(false)
+}
+
+// Flush drains the lane tails: every shard steps its remaining arrivals,
+// with the shorter lane padded by NoValue tuples (which can never join but
+// do occupy a cache slot until evicted, exactly as a NoValue arrival fed to
+// the single operator would). Call it at end of stream, before a checkpoint
+// that must capture all routed work, or before reading final metrics.
+func (rt *Runtime) Flush() ([]Pair, error) {
+	if rt.closed {
+		return nil, ErrClosed
+	}
+	return rt.dispatch(true)
+}
+
+// checkKey mirrors engine.StepChecked's domain check at the ingress
+// boundary.
+func checkKey(k int) error {
+	if k != process.NoValue && (k < engine.MinKey || k > engine.MaxKey) {
+		return fmt.Errorf("key %d outside [%d, %d]", k, engine.MinKey, engine.MaxKey)
+	}
+	return nil
+}
+
+// dispatch pairs each shard's lanes into a StepBatch, hands the batches to
+// the workers, gathers every result, and merges them into the global
+// emission order. With drain set the longer lane is padded instead of
+// carried.
+func (rt *Runtime) dispatch(drain bool) ([]Pair, error) {
+	for i, sh := range rt.shards {
+		lr, ls := rt.lanes[i][0], rt.lanes[i][1]
+		k := len(lr)
+		if len(ls) < k {
+			k = len(ls)
+		}
+		if drain {
+			k = len(lr)
+			if len(ls) > k {
+				k = len(ls)
+			}
+		}
+		if k == 0 {
+			sh.pending = false
+			continue
+		}
+		batch := sh.batchBuf[:0]
+		for x := 0; x < k; x++ {
+			pad := engine.Tuple{Key: process.NoValue, Payload: Tagged{}}
+			r, s := pad, pad
+			if x < len(lr) {
+				r = lr[x]
+			}
+			if x < len(ls) {
+				s = ls[x]
+			}
+			batch = append(batch, engine.TuplePair{R: r, S: s})
+		}
+		rt.lanes[i][0] = consumeLane(lr, k)
+		rt.lanes[i][1] = consumeLane(ls, k)
+		sh.batchBuf = batch
+		sh.in <- batch
+		sh.pending = true
+	}
+	out := rt.out[:0]
+	var firstErr error
+	for _, sh := range rt.shards {
+		if !sh.pending {
+			continue
+		}
+		res := <-sh.res
+		sh.pending = false
+		if res.err != nil && firstErr == nil {
+			firstErr = res.err
+		}
+		out = append(out, res.pairs...)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sortPairs(out)
+	rt.out = out
+	rt.merged += len(out)
+	rt.batches++
+	rt.maybeRebalance()
+	return out, nil
+}
+
+// consumeLane drops the first k routed tuples, keeping the tail at the front
+// of the same backing array.
+func consumeLane(lane []engine.Tuple, k int) []engine.Tuple {
+	if k >= len(lane) {
+		return lane[:0]
+	}
+	n := copy(lane, lane[k:])
+	return lane[:n]
+}
+
+// Close drains the lanes (so no routed arrival is silently dropped), stops
+// the workers and marks the runtime closed. The returned pairs are the
+// drain's output. Close is idempotent; later calls return ErrClosed.
+func (rt *Runtime) Close() ([]Pair, error) {
+	if rt.closed {
+		return nil, ErrClosed
+	}
+	out, err := rt.dispatch(true)
+	rt.closed = true
+	rt.stopWorkers()
+	return out, err
+}
+
+func (rt *Runtime) stopWorkers() {
+	for _, sh := range rt.shards {
+		if sh.eng != nil {
+			close(sh.in)
+		}
+	}
+}
+
+// ShardCount returns the number of shards.
+func (rt *Runtime) ShardCount() int { return len(rt.shards) }
+
+// Budgets returns the current per-shard cache budgets (summing to
+// Config.TotalCache).
+func (rt *Runtime) Budgets() []int {
+	out := make([]int, len(rt.shards))
+	for i, sh := range rt.shards {
+		out[i] = sh.budget
+	}
+	return out
+}
+
+// Metrics is a snapshot of the runtime's counters plus every shard engine's
+// metrics.
+type Metrics struct {
+	// Ingested counts accepted global steps; Batches the dispatches;
+	// Pairs the merged result pairs returned to the caller; Rebalances the
+	// budget moves performed.
+	Ingested   int
+	Batches    int
+	Pairs      int
+	Rebalances int
+	Shards     []ShardMetrics
+}
+
+// ShardMetrics is one shard's view: its current budget and its engine
+// counters (engine.Metrics semantics, shard-local step clock).
+type ShardMetrics struct {
+	Shard  int
+	Budget int
+	Engine engine.Metrics
+}
+
+// Metrics snapshots the runtime. Safe between IngestBatch calls (workers
+// are quiescent then).
+func (rt *Runtime) Metrics() Metrics {
+	m := Metrics{
+		Ingested:   rt.ingested,
+		Batches:    rt.batches,
+		Pairs:      rt.merged,
+		Rebalances: rt.reb.moves,
+	}
+	for _, sh := range rt.shards {
+		m.Shards = append(m.Shards, ShardMetrics{Shard: sh.id, Budget: sh.budget, Engine: sh.eng.Metrics()})
+	}
+	return m
+}
+
+// CheckInvariants runs engine.CheckInvariants on every shard plus the
+// runtime-level budget conservation check. Safe between IngestBatch calls.
+func (rt *Runtime) CheckInvariants() error {
+	total := 0
+	for _, sh := range rt.shards {
+		if err := sh.eng.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", sh.id, err)
+		}
+		total += sh.budget
+	}
+	if total != rt.cfg.TotalCache {
+		return fmt.Errorf("shardrt: budgets sum to %d, want TotalCache %d", total, rt.cfg.TotalCache)
+	}
+	return nil
+}
+
+// Registry returns shard i's telemetry registry (nil without telemetry).
+func (rt *Runtime) Registry(i int) *telemetry.Registry { return rt.shards[i].reg }
+
+// CoordinatorRegistry returns the runtime's own registry (nil without
+// telemetry).
+func (rt *Runtime) CoordinatorRegistry() *telemetry.Registry { return rt.reg }
+
+// Recorder returns shard i's flight recorder (nil without Flight).
+func (rt *Runtime) Recorder(i int) *flightrec.Recorder { return rt.shards[i].rec }
+
+// Shard returns shard i's engine for tests and tooling. The engine is only
+// quiescent between IngestBatch/Flush calls; do not touch it concurrently
+// with one.
+func (rt *Runtime) Shard(i int) *engine.Join { return rt.shards[i].eng }
+
+// sortPairs orders merged results by (trigger, partner) sequence: the later
+// (triggering) arrival first, ties broken by the cached partner's sequence.
+// The key is unique — two tuples pair at most once — so the order is total
+// and deterministic regardless of shard interleaving.
+func sortPairs(out []Pair) {
+	sort.Slice(out, func(a, b int) bool {
+		ta, pa := mergeKey(out[a])
+		tb, pb := mergeKey(out[b])
+		if ta != tb {
+			return ta < tb
+		}
+		return pa < pb
+	})
+}
+
+func mergeKey(p Pair) (trigger, partner uint64) {
+	if p.RSeq >= p.SSeq {
+		return p.RSeq, p.SSeq
+	}
+	return p.SSeq, p.RSeq
+}

@@ -70,7 +70,12 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // format: counters with TYPE counter, gauges with TYPE gauge, histograms as
 // cumulative le-buckets with _sum/_count plus derived p50/p90/p99 gauges.
 func (r *Registry) WritePrometheus(w io.Writer) {
-	s := r.Snapshot()
+	writeSnapshotPrometheus(w, r.Snapshot())
+}
+
+// writeSnapshotPrometheus renders one already-captured snapshot; the
+// registry writer and the sharded aggregate writer (ShardSet) share it.
+func writeSnapshotPrometheus(w io.Writer, s Snapshot) {
 	for _, name := range sortedKeys(s.Counters) {
 		base, labels := splitName(name)
 		fmt.Fprintf(w, "# TYPE %s counter\n", base)

@@ -7,7 +7,13 @@
 #      'after' median;
 #   2. flight recorder: runs BenchmarkStepBare vs BenchmarkStepFlightRec and
 #      fails if the fresh-median overhead of the instrumented run exceeds
-#      BENCH_flightrec.json's overhead_budget_percent (10%).
+#      BENCH_flightrec.json's overhead_budget_percent (10%);
+#   3. batched ingress: runs BenchmarkStepLoop256 vs BenchmarkStepBatch256
+#      and fails if StepBatch's fresh-median overhead over the looped Step
+#      exceeds BENCH_shard.json's overhead_budget_percent (10%);
+#   4. sharded runtime: runs BenchmarkShardedBaseline vs BenchmarkShardedStep8
+#      and fails if the fresh-median speedup falls below BENCH_shard.json's
+#      min_speedup_x (3x).
 #
 #   ./scripts/benchcmp.sh            # full gate (3 x 50 iterations)
 #   ./scripts/benchcmp.sh -benchtime 20x -count 1   # quicker, noisier
@@ -22,8 +28,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ARGS=(-benchtime 50x -count 3)
+# The shard gates measure single ~1.4ms global steps, so 50 iterations per
+# run is dominated by run-to-run CPU drift; they get a higher iteration
+# floor by default. Explicit arguments override both.
+SHARD_ARGS=(-benchtime 500x -count 5)
 if [ "$#" -gt 0 ]; then
     ARGS=("$@")
+    SHARD_ARGS=("$@")
 fi
 
 go test -run '^$' -bench BenchmarkStepHot "${ARGS[@]}" . |
@@ -33,3 +44,11 @@ go test -run '^$' -bench BenchmarkStepHot "${ARGS[@]}" . |
 go test -run '^$' -bench 'BenchmarkStep(Bare|FlightRec)$' "${ARGS[@]}" . |
     tee /dev/stderr |
     go run ./scripts/benchcmp -overhead BenchmarkStepBare BenchmarkStepFlightRec BENCH_flightrec.json
+
+go test -run '^$' -bench 'BenchmarkStep(Loop|Batch)256$' "${SHARD_ARGS[@]}" . |
+    tee /dev/stderr |
+    go run ./scripts/benchcmp -overhead BenchmarkStepLoop256 BenchmarkStepBatch256 BENCH_shard.json
+
+go test -run '^$' -bench 'BenchmarkSharded(Baseline|Step8)$' "${SHARD_ARGS[@]}" . |
+    tee /dev/stderr |
+    go run ./scripts/benchcmp -scale BenchmarkShardedBaseline BenchmarkShardedStep8 BENCH_shard.json

@@ -8,9 +8,14 @@
 //
 //	benchcmp -overhead BenchmarkStepBare BenchmarkStepFlightRec BENCH_flightrec.json
 //	    compute the fresh-median overhead of the second benchmark over the
-//	    first and fail when it exceeds the file's overhead_budget_percent.
+//	    first and fail when it exceeds the file's overhead_budget_percent;
 //
-// scripts/benchcmp.sh wires both up.
+//	benchcmp -scale BenchmarkShardedBaseline BenchmarkShardedStep8 BENCH_shard.json
+//	    compute the fresh-median speedup of the second benchmark over the
+//	    first (base median / scaled median) and fail when it falls short of
+//	    the file's min_speedup_x.
+//
+// scripts/benchcmp.sh wires all three up.
 package main
 
 import (
@@ -43,6 +48,12 @@ type benchFile struct {
 // documentation.
 type overheadFile struct {
 	OverheadBudgetPercent float64 `json:"overhead_budget_percent"`
+}
+
+// scaleFile is the schema of the speedup baselines (BENCH_shard.json): only
+// the floor is read, the recorded samples are documentation.
+type scaleFile struct {
+	MinSpeedupX float64 `json:"min_speedup_x"`
 }
 
 func median(xs []float64) float64 {
@@ -94,9 +105,14 @@ func main() {
 		runOverhead(args[1], args[2], args[3])
 		return
 	}
+	if len(args) == 4 && args[0] == "-scale" {
+		runScale(args[1], args[2], args[3])
+		return
+	}
 	if len(args) != 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchcmp BENCH_hotpath.json < bench-output")
 		fmt.Fprintln(os.Stderr, "       benchcmp -overhead BARE_BENCH OVERHEAD_BENCH BASELINE.json < bench-output")
+		fmt.Fprintln(os.Stderr, "       benchcmp -scale BASE_BENCH SCALED_BENCH BASELINE.json < bench-output")
 		os.Exit(2)
 	}
 	runRegression(args[0])
@@ -191,5 +207,49 @@ func runOverhead(bareName, overheadName, baseline string) {
 	}
 	fmt.Printf("%s over %s: bare %12.0f  with %12.0f  overhead %+6.1f%%  budget %.0f%%  %s\n",
 		overheadName, bareName, bm, om, overhead, budget, status)
+	os.Exit(code)
+}
+
+// runScale gates the fresh-median speedup of scaledName over baseName
+// (base median / scaled median) against the baseline file's min_speedup_x.
+func runScale(baseName, scaledName, baseline string) {
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		fatal(err)
+	}
+	var base scaleFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal("parse baseline:", err)
+	}
+	floor := base.MinSpeedupX
+	if floor <= 0 {
+		fatal("baseline", baseline, "has no positive min_speedup_x")
+	}
+
+	fresh, err := readSamples(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	bs, ok := fresh[baseName]
+	if !ok {
+		fatal(baseName, "missing from fresh run")
+	}
+	ss, ok := fresh[scaledName]
+	if !ok {
+		fatal(scaledName, "missing from fresh run")
+	}
+	bm, sm := median(bs), median(ss)
+	if sm <= 0 {
+		fatal(scaledName, "has non-positive median")
+	}
+	speedup := bm / sm
+	status := "ok"
+	code := 0
+	if speedup < floor {
+		status = fmt.Sprintf("TOO SLOW (< %.1fx)", floor)
+		code = 1
+	}
+	fmt.Printf("%s vs %s: base %12.0f  scaled %12.0f  speedup %5.2fx  floor %.1fx  %s\n",
+		scaledName, baseName, bm, sm, speedup, floor, status)
 	os.Exit(code)
 }

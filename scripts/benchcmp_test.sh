@@ -108,4 +108,70 @@ checkov "overhead missing bare rejected" nonzero \
 checkov "overhead missing flight rejected" nonzero \
 "BenchmarkBareSynthetic-8     50   1000 ns/op"
 
+# --- scale mode (sharded-runtime speedup gate) ---------------------------
+
+cat > "$tmp/scale.json" <<'EOF'
+{"min_speedup_x": 3.0}
+EOF
+
+checksc() { # checksc <name> <want_status|nonzero> <bench output...>
+    local name=$1 want=$2 input=$3 status=0
+    printf '%s\n' "$input" |
+        go run ./scripts/benchcmp -scale BenchmarkBaseSynthetic BenchmarkShardedSynthetic "$tmp/scale.json" \
+            > "$tmp/out.txt" 2>&1 || status=$?
+    if [ "$want" = nonzero ] && [ "$status" -ne 0 ]; then want=$status; fi
+    if [ "$status" -ne "$want" ]; then
+        echo "FAIL $name: exit $status, want $want"
+        sed 's/^/    /' "$tmp/out.txt"
+        fail=1
+    else
+        echo "ok   $name (exit $status)"
+    fi
+}
+
+# 4x median speedup clears the 3x floor.
+checksc "scale 4x accepted" 0 \
+"BenchmarkBaseSynthetic-8      50   4000 ns/op
+BenchmarkBaseSynthetic-8      50   4100 ns/op
+BenchmarkBaseSynthetic-8      50   3900 ns/op
+BenchmarkShardedSynthetic-8   50   1000 ns/op
+BenchmarkShardedSynthetic-8   50    990 ns/op
+BenchmarkShardedSynthetic-8   50   1010 ns/op"
+
+# 2x median speedup falls short of the 3x floor.
+checksc "scale 2x rejected" 1 \
+"BenchmarkBaseSynthetic-8      50   2000 ns/op
+BenchmarkShardedSynthetic-8   50   1000 ns/op"
+
+# The medians decide: a single fast outlier must not rescue a slow run.
+checksc "scale outlier median rejected" 1 \
+"BenchmarkBaseSynthetic-8      50   2000 ns/op
+BenchmarkShardedSynthetic-8   50    100 ns/op
+BenchmarkShardedSynthetic-8   50   1000 ns/op
+BenchmarkShardedSynthetic-8   50   1100 ns/op"
+
+# Either benchmark missing from the fresh run is a hard error, not a pass.
+checksc "scale missing base rejected" nonzero \
+"BenchmarkShardedSynthetic-8   50   1000 ns/op"
+checksc "scale missing sharded rejected" nonzero \
+"BenchmarkBaseSynthetic-8      50   1000 ns/op"
+
+# A baseline without a positive floor is a configuration error, not a pass.
+cat > "$tmp/scale-bad.json" <<'EOF'
+{"min_speedup_x": 0}
+EOF
+status=0
+printf '%s\n' \
+"BenchmarkBaseSynthetic-8      50   4000 ns/op
+BenchmarkShardedSynthetic-8   50   1000 ns/op" |
+    go run ./scripts/benchcmp -scale BenchmarkBaseSynthetic BenchmarkShardedSynthetic "$tmp/scale-bad.json" \
+        > "$tmp/out.txt" 2>&1 || status=$?
+if [ "$status" -eq 0 ]; then
+    echo "FAIL scale zero floor rejected: exit 0, want nonzero"
+    sed 's/^/    /' "$tmp/out.txt"
+    fail=1
+else
+    echo "ok   scale zero floor rejected (exit $status)"
+fi
+
 exit $fail

@@ -18,9 +18,12 @@
 #   9. flight recorder  — race-detected flightrec suite plus the seeded
 #                         bundle-on-fault chaos run as a named, grep-able gate
 #                         (docs/observability.md)
-#  10. fuzz smoke       — 10s of FuzzStepEquivalence over the committed corpus
-#  11. gate self-test   — scripts/benchcmp_test.sh proves the perf gate fails
-#  12. bench smoke      — a build that breaks the benchmarks cannot land
+#  10. shard runtime    — race-detected shardrt suite plus the recorded
+#                         sharded-speedup gate (BENCH_shard.json, ≥3x at 8
+#                         shards; docs/performance.md)
+#  11. fuzz smoke       — 10s of FuzzStepEquivalence over the committed corpus
+#  12. gate self-test   — scripts/benchcmp_test.sh proves the perf gate fails
+#  13. bench smoke      — a build that breaks the benchmarks cannot land
 #
 # Run from the repo root:
 #
@@ -102,6 +105,16 @@ echo "==> flight recorder (spans, lifecycle, bundles)"
 # scripts/benchcmp.sh, not here.
 go test -race -count=1 ./internal/flightrec
 go test -run '^TestChaosBundlePerFault$' -count=1 -v ./internal/faultinject | grep -E '^(=== RUN|--- (PASS|FAIL)|PASS|FAIL|ok)'
+
+echo "==> shard runtime (race suite + sharded-speedup gate)"
+# Freestanding rerun of the sharded-runtime contract under the race detector
+# (merge determinism, differential vs per-shard references, rebalancing,
+# sharded checkpoints), then the recorded speedup floor: 8 shards must stay
+# ≥ BENCH_shard.json's min_speedup_x over the single-engine baseline. The
+# StepBatch overhead budget in the same file is gated by scripts/benchcmp.sh.
+go test -race -count=1 ./internal/shardrt
+go test -run '^$' -bench 'BenchmarkSharded(Baseline|Step8)$' -benchtime 200x -count 3 . |
+    go run ./scripts/benchcmp -scale BenchmarkShardedBaseline BenchmarkShardedStep8 BENCH_shard.json
 
 echo "==> fuzz smoke (committed corpus + 10s)"
 go test -run '^$' -fuzz '^FuzzStepEquivalence$' -fuzztime 10s ./internal/engine
