@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -50,8 +51,9 @@ type options struct {
 	// the serial order. Loading is always serial (the loader memoizes
 	// through plain maps); only the analysis phase fans out.
 	Parallel int
-	// Timing reports load/analysis wall times on stderr — the numbers
-	// recorded in BENCH_stochlint.json.
+	// Timing reports load/analysis wall times plus per-analyzer aggregates
+	// on stderr — the numbers recorded in BENCH_stochlint.json. Combined
+	// with JSON it wraps the finding array in a {findings, timing} envelope.
 	Timing bool
 }
 
@@ -61,7 +63,7 @@ func main() {
 	fs.BoolVar(&opts.JSON, "json", false, "emit findings as a JSON array (file/line/col/analyzer/message/suppressed)")
 	fs.StringVar(&opts.Dir, "C", "", "run as if stochlint were started in `dir`")
 	fs.IntVar(&opts.Parallel, "parallel", runtime.GOMAXPROCS(0), "max packages analyzed concurrently (1 = serial)")
-	fs.BoolVar(&opts.Timing, "timing", false, "report load/analysis wall times on stderr")
+	fs.BoolVar(&opts.Timing, "timing", false, "report load/analysis wall times and per-analyzer aggregates (with -json: wrap findings in a {findings, timing} envelope)")
 	_ = fs.Parse(os.Args[1:])
 	code, err := run(opts, fs.Args(), os.Stdout, os.Stderr)
 	if err != nil {
@@ -80,6 +82,32 @@ type jsonFinding struct {
 	Analyzer   string `json:"analyzer"`
 	Message    string `json:"message"`
 	Suppressed bool   `json:"suppressed"`
+}
+
+// jsonAnalyzerTiming is one analyzer's aggregate cost across all packages
+// it ran on. With -parallel > 1 the per-analyzer times are summed CPU-side
+// wall times of concurrent workers, so they can exceed analyze_ms.
+type jsonAnalyzerTiming struct {
+	Analyzer string `json:"analyzer"`
+	Ms       int64  `json:"ms"`
+	Packages int    `json:"packages"`
+}
+
+// jsonTiming is the -json -timing envelope's timing block.
+type jsonTiming struct {
+	LoadMs    int64                `json:"load_ms"`
+	AnalyzeMs int64                `json:"analyze_ms"`
+	Parallel  int                  `json:"parallel"`
+	Packages  int                  `json:"packages"`
+	Analyzers []jsonAnalyzerTiming `json:"analyzers"`
+}
+
+// jsonReport is the -json output when -timing is also set: the same finding
+// records, wrapped alongside the timing block. Plain -json stays a bare
+// array so the golden file and existing consumers are unaffected.
+type jsonReport struct {
+	Findings []jsonFinding `json:"findings"`
+	Timing   jsonTiming    `json:"timing"`
 }
 
 // run executes one driver invocation and returns its exit code: 0 clean,
@@ -153,6 +181,12 @@ func run(opts options, patterns []string, stdout, stderr io.Writer) (int, error)
 	analyzeStart := time.Now()
 	perFindings := make([][]analysis.Finding, len(pkgs))
 	perErr := make([]error, len(pkgs))
+	type analyzerCost struct {
+		dur  time.Duration
+		pkgs int
+	}
+	costs := map[string]*analyzerCost{}
+	var costsMu sync.Mutex
 	sem := make(chan struct{}, opts.Parallel)
 	var wg sync.WaitGroup
 	for i, pkg := range pkgs {
@@ -165,7 +199,20 @@ func run(opts options, patterns []string, stdout, stderr io.Writer) (int, error)
 				if !r.Applies(pkg.Path) {
 					continue
 				}
+				start := time.Now()
 				fs, err := analysis.RunAnalyzerWith(r.Analyzer, table, prog, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+				if opts.Timing {
+					d := time.Since(start)
+					costsMu.Lock()
+					c := costs[r.Analyzer.Name]
+					if c == nil {
+						c = &analyzerCost{}
+						costs[r.Analyzer.Name] = c
+					}
+					c.dur += d
+					c.pkgs++
+					costsMu.Unlock()
+				}
 				if err != nil {
 					perErr[i] = err
 					return
@@ -204,9 +251,26 @@ func run(opts options, patterns []string, stdout, stderr io.Writer) (int, error)
 	}
 	analysis.SortFindings(findings)
 
+	var timing *jsonTiming
 	if opts.Timing {
 		fmt.Fprintf(stderr, "stochlint: loaded %d packages (%d source incl. deps) in %dms, analyzed in %dms (parallel=%d)\n",
 			len(pkgs), len(srcPkgs), loadDur.Milliseconds(), analyzeDur.Milliseconds(), opts.Parallel)
+		names := make([]string, 0, len(costs))
+		for name := range costs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		timing = &jsonTiming{
+			LoadMs:    loadDur.Milliseconds(),
+			AnalyzeMs: analyzeDur.Milliseconds(),
+			Parallel:  opts.Parallel,
+			Packages:  len(pkgs),
+		}
+		for _, name := range names {
+			c := costs[name]
+			timing.Analyzers = append(timing.Analyzers, jsonAnalyzerTiming{Analyzer: name, Ms: c.dur.Milliseconds(), Packages: c.pkgs})
+			fmt.Fprintf(stderr, "stochlint:   %-14s %4dms over %d package(s)\n", name, c.dur.Milliseconds(), c.pkgs)
+		}
 	}
 
 	unsuppressed := 0
@@ -230,7 +294,13 @@ func run(opts options, patterns []string, stdout, stderr io.Writer) (int, error)
 		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		// With -timing the array is wrapped in an envelope carrying the
+		// timing block; without it the bare array stays the stable schema.
+		var payload interface{} = out
+		if timing != nil {
+			payload = jsonReport{Findings: out, Timing: *timing}
+		}
+		if err := enc.Encode(payload); err != nil {
 			return 0, err
 		}
 	} else {

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"stochstream/internal/lintrules"
 )
 
 // TestGoldenJSON pins the -json output over the seeded corpus byte for byte:
@@ -63,6 +66,64 @@ func TestCleanCorpus(t *testing.T) {
 	}
 	if got := buf.String(); got != "[]\n" {
 		t.Errorf("output = %q, want empty JSON array", got)
+	}
+}
+
+// TestTimingJSONSchema pins the -json -timing envelope: the same finding
+// records under "findings", and a timing block with load/analyze wall
+// times, the worker cap, the package count, and one aggregate entry per
+// analyzer that ran, sorted by name.
+func TestTimingJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run(options{JSON: true, Timing: true, Dir: "testdata/mod", Parallel: 2}, []string{"./..."}, &buf, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("-json -timing output is not a {findings, timing} envelope: %v\n%s", err, buf.Bytes())
+	}
+	if len(report.Findings) == 0 {
+		t.Error("envelope carries no findings (the mod corpus seeds several)")
+	}
+	tm := report.Timing
+	if tm.Parallel != 2 {
+		t.Errorf("timing.parallel = %d, want 2", tm.Parallel)
+	}
+	if tm.Packages == 0 {
+		t.Error("timing.packages = 0")
+	}
+	if tm.LoadMs < 0 || tm.AnalyzeMs < 0 {
+		t.Errorf("negative wall times: load=%d analyze=%d", tm.LoadMs, tm.AnalyzeMs)
+	}
+	ran := map[string]jsonAnalyzerTiming{}
+	for i, at := range tm.Analyzers {
+		if i > 0 && !(tm.Analyzers[i-1].Analyzer < at.Analyzer) {
+			t.Errorf("timing.analyzers not sorted by name: %q before %q", tm.Analyzers[i-1].Analyzer, at.Analyzer)
+		}
+		if at.Packages == 0 {
+			t.Errorf("analyzer %s ran on 0 packages", at.Analyzer)
+		}
+		ran[at.Analyzer] = at
+	}
+	// Every suite rule that applies to some corpus package must appear; the
+	// concurrency suite covers internal/shardrt, so all four are present.
+	for _, name := range []string{"goleak", "chandiscipline", "atomicfield", "mergedet", "dettaint", "floateq"} {
+		if _, ok := ran[name]; !ok {
+			t.Errorf("timing.analyzers missing %s", name)
+		}
+	}
+	if len(ran) > len(lintrules.Analyzers()) {
+		t.Errorf("timing lists %d analyzers, more than the suite's %d", len(ran), len(lintrules.Analyzers()))
+	}
+
+	// Without -timing the output stays a bare array (the golden schema).
+	var plain bytes.Buffer
+	if _, err := run(options{JSON: true, Dir: "testdata/mod", Parallel: 2}, []string{"./..."}, &plain, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var arr []jsonFinding
+	if err := json.Unmarshal(plain.Bytes(), &arr); err != nil {
+		t.Fatalf("plain -json output is not a bare finding array: %v", err)
 	}
 }
 

@@ -1,0 +1,54 @@
+// Concurrency seeds for the golden corpus: one violation per analyzer of
+// the concurrency suite — a leaked goroutine, an undrained queue send, a
+// torn atomic field, and a merge emitted in arrival order.
+package shardrt
+
+import "sync/atomic"
+
+// SpawnLoop leaks a goroutine: an unconditional loop with no exit.
+func SpawnLoop() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+// Queue is sent on but never drained anywhere in the module.
+type Queue struct {
+	ch chan int
+}
+
+// Push blocks forever once the buffer fills.
+func (q *Queue) Push(v int) {
+	q.ch <- v
+}
+
+// Hits mixes atomic increments with a plain read.
+type Hits struct {
+	n int64
+}
+
+// Inc bumps the counter atomically.
+func (h *Hits) Inc() {
+	atomic.AddInt64(&h.n, 1)
+}
+
+// Peek reads it plainly — the tear.
+func (h *Hits) Peek() int64 {
+	return h.n
+}
+
+// Rec mirrors the runtime's merged record.
+type Rec struct {
+	RSeq int
+	SSeq int
+}
+
+// Merge returns the receive loop's accumulation unsorted: arrival order.
+func Merge(ch chan Rec) []Rec {
+	var out []Rec
+	for v := range ch {
+		out = append(out, v)
+	}
+	return out
+}

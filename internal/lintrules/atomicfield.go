@@ -1,0 +1,126 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strconv"
+
+	"stochstream/internal/lintrules/analysis"
+	"stochstream/internal/lintrules/dataflow"
+)
+
+// Atomicfield mechanizes the contract the shardrt HTTP surface documents in
+// prose: a struct field that any code accesses through function-style
+// sync/atomic calls (atomic.AddInt64(&c.hits, 1)) must never be read or
+// written plainly outside a constructor. A plain load of an atomically
+// written field is a data race that tears on 32-bit platforms and is
+// reordered freely by the memory model — the counter the metrics endpoint
+// reports stops matching what the workers wrote.
+//
+// The atomically-accessed field set is collected program-wide (an atomic
+// write in one package poisons plain reads of the same field everywhere),
+// so the cross-package case only an interprocedural collection can see is
+// covered. Constructors — functions returning the field's owning struct
+// type (or a pointer to it) — are exempt: before the value escapes the
+// constructor no other goroutine can hold it.
+//
+// Method-style atomics (atomic.Int64 fields) are invisible here on
+// purpose: their type already makes plain access impossible, which is the
+// recommended fix.
+const atomicfieldName = "atomicfield"
+
+var Atomicfield = &analysis.Analyzer{
+	Name: atomicfieldName,
+	Doc:  "fields accessed via sync/atomic anywhere must not be read or written plainly outside the constructor",
+	Run:  runAtomicfield,
+}
+
+// ownsField reports whether t (after pointer deref) is the named struct
+// type declaring fld.
+func ownsField(t types.Type, fld *types.Var) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == fld {
+			return true
+		}
+	}
+	return false
+}
+
+// isConstructorOf reports whether fn is a constructor of fld's owning
+// struct: a non-method function with a result of that type.
+func isConstructorOf(fn *types.Func, fld *types.Var) bool {
+	sig := fn.Signature()
+	if sig.Recv() != nil {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if ownsField(sig.Results().At(i).Type(), fld) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicfield(pass *analysis.Pass) (interface{}, error) {
+	prog, _ := pass.Facts.(*dataflow.Program)
+	if prog == nil {
+		return nil, nil // the field set is a whole-program property
+	}
+
+	// Every field with a function-style atomic access anywhere, with the
+	// first access (in deterministic program order) as the witness for
+	// messages.
+	witness := map[*types.Var]string{}
+	for _, f := range prog.Funcs() {
+		for _, a := range f.Conc().Atomics {
+			if _, ok := witness[a.Field]; !ok {
+				pos := prog.Fset.Position(a.Call.Pos())
+				witness[a.Field] = "atomic." + a.Name + " at " + filepath.Base(pos.Filename) + ":" + strconv.Itoa(pos.Line)
+			}
+		}
+	}
+	if len(witness) == 0 {
+		return nil, nil
+	}
+
+	for _, f := range prog.FuncsOf(pass.Pkg.Path()) {
+		// The atomic calls' own operands are the legal accesses.
+		atomicSel := map[*ast.SelectorExpr]bool{}
+		for _, a := range f.Conc().Atomics {
+			atomicSel[a.Sel] = true
+		}
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSel[sel] {
+				return true
+			}
+			s := pass.TypesInfo.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			fld, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			w, tracked := witness[fld]
+			if !tracked || isConstructorOf(f.Obj, fld) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "plain access to field %s, which is accessed atomically elsewhere (%s): mixing sync/atomic and direct loads/stores tears reads under concurrent ingest; use sync/atomic for every access outside the constructor, or make the field an atomic.Int64-style type", fld.Name(), w)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,103 @@
+package lintrules
+
+import (
+	"go/types"
+
+	"stochstream/internal/lintrules/analysis"
+	"stochstream/internal/lintrules/dataflow"
+)
+
+// Chandiscipline enforces the channel contracts the sharded runtime's
+// bounded queues depend on, in decision packages:
+//
+//   - drain pairing: a send on a channel the function owns (a struct field
+//     or a variable, not a parameter) must have a receive or range
+//     somewhere in the program — a bounded channel with no drain blocks the
+//     coordinator the moment the buffer fills. The pairing looks through
+//     helper calls on both sides via dataflow.ChanParamFacts, so a worker
+//     that drains inside a helper still counts.
+//   - no send-after-close: within a function's CFG, a send must not be
+//     reachable after a close of the same channel (send on a closed channel
+//     panics). Closes performed by a callee on a forwarded channel count;
+//     `defer close(ch)` does not — it runs at function exit, whatever its
+//     textual position.
+//   - close-by-owner: a channel held in a struct field may only be closed
+//     by code in the field's declaring package. Closing another package's
+//     queue from outside races its senders; the owner must expose a
+//     Close/Stop method instead.
+//
+// Sends on channel parameters are exempt from drain pairing: the caller
+// owns both ends (engine.Run's out channel is the canonical case).
+const chandisciplineName = "chandiscipline"
+
+var Chandiscipline = &analysis.Analyzer{
+	Name: chandisciplineName,
+	Doc:  "bounded-channel sends need a reachable drain; no send-after-close; channel fields close only in their owning package",
+	Run:  runChandiscipline,
+}
+
+func runChandiscipline(pass *analysis.Pass) (interface{}, error) {
+	prog, _ := pass.Facts.(*dataflow.Program)
+	if prog == nil {
+		return nil, nil // pairing is a whole-program property
+	}
+	store := dataflow.ChanParamFacts(prog)
+	drained := chanRootsWith(prog, store, dataflow.ChanRecv)
+
+	for _, f := range prog.FuncsOf(pass.Pkg.Path()) {
+		params := map[types.Object]bool{}
+		for _, v := range dataflow.ParamVars(f.Obj) {
+			params[v] = true
+		}
+		ops := effectiveChanOps(f, store)
+
+		// Non-deferred closes, for the in-function ordering check.
+		var closes []chanOpSite
+		for _, op := range ops {
+			if op.Kind == dataflow.ChanClose && !op.Deferred && op.Root.Valid() {
+				closes = append(closes, op)
+			}
+		}
+
+		for _, op := range ops {
+			switch op.Kind {
+			case dataflow.ChanSend:
+				if !op.Root.Valid() {
+					continue
+				}
+				isParam := op.Root.Obj != nil && params[op.Root.Obj]
+				if !isParam && !drained[op.Root] {
+					pass.Reportf(op.Pos(), "send on channel %s with no receive or range anywhere in the program: a bounded channel with no drain blocks once the buffer fills; pair every send path with a worker drain and a Flush/Close shutdown", op.Root.Name())
+					continue
+				}
+				for _, cl := range closes {
+					if cl.Root != op.Root {
+						continue
+					}
+					clSite, ok1 := f.CFG().SiteOf(cl.Node)
+					opSite, ok2 := f.CFG().SiteOf(op.Node)
+					if ok1 && ok2 && f.CFG().ReachableAfter(clSite, opSite) {
+						via := ""
+						if cl.via != nil {
+							via = " (closed via " + funcDisplayName(cl.via) + ")"
+						}
+						pass.Reportf(op.Pos(), "send on %s is reachable after close(%s)%s: sending on a closed channel panics; close only after every sender has stopped", op.Root.Name(), op.Root.Name(), via)
+						break
+					}
+				}
+			case dataflow.ChanClose:
+				// Ownership applies to direct closes of field channels; a
+				// projected close already reports (or is legal) inside the
+				// helper that performs it.
+				if op.via != nil || op.Root.Field == nil {
+					continue
+				}
+				owner := op.Root.Field.Pkg()
+				if owner != nil && owner.Path() != f.Pkg.Path {
+					pass.Reportf(op.Pos(), "close of channel field %s owned by package %s: only the owning package's shutdown path may close its queues (closing from outside races the owner's senders); expose a Close/Stop method instead", op.Root.Name(), owner.Path())
+				}
+			}
+		}
+	}
+	return nil, nil
+}

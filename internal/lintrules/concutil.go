@@ -1,0 +1,155 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"stochstream/internal/lintrules/dataflow"
+)
+
+// Helpers shared by the concurrency analyzers (goleak, chandiscipline,
+// atomicfield, mergedet). They fold the dataflow layer's per-function
+// concurrency surfaces (Func.Conc) and channel-parameter summaries
+// (dataflow.ChanParamFacts) into the program-wide sets the analyzers
+// query: which channel roots are closed, drained or sent-to anywhere, and
+// which sync.WaitGroup roots are waited on.
+
+// chanOpSite is one channel operation as an analyzer sees it: the direct
+// operation, or a call site projected through the callee's channel-parameter
+// summary (a helper that closes its channel parameter makes the call site an
+// effective close of the argument's root). via names the callee for
+// projected ops; nil for direct ones.
+type chanOpSite struct {
+	dataflow.ChanOp
+	via *types.Func
+}
+
+// effectiveChanOps returns f's channel operations: its own, plus the ops
+// its call sites perform through callees' summaries. Only ops whose root
+// resolves are projected — an unresolvable argument cannot be paired with
+// anything anyway.
+func effectiveChanOps(f *dataflow.Func, store *dataflow.FactStore) []chanOpSite {
+	var ops []chanOpSite
+	for _, op := range f.Conc().ChanOps {
+		ops = append(ops, chanOpSite{ChanOp: op})
+	}
+	info := f.Pkg.Info
+	for _, c := range f.Calls {
+		cf, _ := store.Get(c.StaticObj).(*dataflow.ChanParamFact)
+		if cf == nil {
+			continue
+		}
+		for k, arg := range c.Site.Args {
+			root := dataflow.RootOf(info, arg)
+			if !root.Valid() {
+				continue
+			}
+			j := dataflow.ArgParamIndex(c.StaticObj, k)
+			if j < len(cf.Sends) && cf.Sends[j] {
+				ops = append(ops, chanOpSite{ChanOp: dataflow.ChanOp{Kind: dataflow.ChanSend, Node: c.Site, Root: root}, via: c.StaticObj})
+			}
+			if j < len(cf.Recvs) && cf.Recvs[j] {
+				ops = append(ops, chanOpSite{ChanOp: dataflow.ChanOp{Kind: dataflow.ChanRecv, Node: c.Site, Root: root}, via: c.StaticObj})
+			}
+			if j < len(cf.Closes) && cf.Closes[j] {
+				ops = append(ops, chanOpSite{ChanOp: dataflow.ChanOp{Kind: dataflow.ChanClose, Node: c.Site, Root: root}, via: c.StaticObj})
+			}
+		}
+	}
+	return ops
+}
+
+// chanRootsWith returns every root that some function in the program
+// applies ops of the given kinds to (range counts as a receive). Field
+// roots are shared across instances; local and parameter roots only ever
+// match operations within their own function, which is exactly the
+// visibility a local channel has.
+func chanRootsWith(prog *dataflow.Program, store *dataflow.FactStore, kinds ...dataflow.ChanOpKind) map[dataflow.Root]bool {
+	want := map[dataflow.ChanOpKind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+		if k == dataflow.ChanRecv {
+			want[dataflow.ChanRange] = true
+		}
+	}
+	out := map[dataflow.Root]bool{}
+	for _, f := range prog.Funcs() {
+		for _, op := range effectiveChanOps(f, store) {
+			if want[op.Kind] && op.Root.Valid() {
+				out[op.Root] = true
+			}
+		}
+	}
+	return out
+}
+
+// isNamedType reports whether t (after pointer deref) is the named type
+// pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// waitGroupCall matches a method call on a sync.WaitGroup value and returns
+// the receiver's root and the method name.
+func waitGroupCall(info *types.Info, call *ast.CallExpr) (dataflow.Root, string, bool) {
+	sel, ok := unparenExpr(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return dataflow.Root{}, "", false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return dataflow.Root{}, "", false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return dataflow.Root{}, "", false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil || !isNamedType(recv.Type(), "sync", "WaitGroup") {
+		return dataflow.Root{}, "", false
+	}
+	return dataflow.RootOf(info, sel.X), sel.Sel.Name, true
+}
+
+// waitGroupRoots returns every WaitGroup root the program calls the given
+// method on (e.g. "Wait").
+func waitGroupRoots(prog *dataflow.Program, method string) map[dataflow.Root]bool {
+	out := map[dataflow.Root]bool{}
+	for _, f := range prog.Funcs() {
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if root, m, ok := waitGroupCall(f.Pkg.Info, call); ok && m == method && root.Valid() {
+					out[root] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isCtxDoneRecv matches `<-x.Done()` for a context.Context x.
+func isCtxDoneRecv(info *types.Info, recv *ast.UnaryExpr) bool {
+	call, ok := unparenExpr(recv.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := unparenExpr(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	s := info.Selections[sel]
+	if s == nil {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sync"
 )
 
 // CFG is a function's control-flow graph: basic blocks of executable AST
@@ -26,6 +27,9 @@ type CFG struct {
 	Exit   *Block
 
 	refs map[types.Object][]Ref
+
+	siteOnce sync.Once
+	sites    map[ast.Node]NodeSite
 }
 
 // Block is one basic block. Nodes are the executable AST fragments in
@@ -71,6 +75,66 @@ func (c *CFG) ReadAfter(ref Ref) bool {
 		}
 	}
 	return false
+}
+
+// NodeSite locates an AST node in its function's CFG: the block and
+// position of the executable node containing it. Sites order operations
+// against each other (via ReachableAfter) the same way Ref.Block/Seq order
+// variable references.
+type NodeSite struct {
+	Block *Block
+	Seq   int
+}
+
+// SiteOf returns the CFG location of the executable node containing n,
+// building the (lazy, per-CFG) index on first use. Nodes in dead code still
+// have sites (unreachable code gets blocks); nodes outside the CFG —
+// compound-statement keywords, types — do not.
+func (c *CFG) SiteOf(n ast.Node) (NodeSite, bool) {
+	c.siteOnce.Do(c.buildSites)
+	s, ok := c.sites[n]
+	return s, ok
+}
+
+func (c *CFG) buildSites() {
+	c.sites = map[ast.Node]NodeSite{}
+	for _, blk := range c.Blocks {
+		for seq, node := range blk.Nodes {
+			site := NodeSite{Block: blk, Seq: seq}
+			claim := func(m ast.Node) bool {
+				if m != nil {
+					if _, seen := c.sites[m]; !seen {
+						c.sites[m] = site
+					}
+				}
+				return true
+			}
+			// A range statement is appended whole as the loop header, but its
+			// body executes in the loop's body blocks: claim only the header
+			// parts here, so the body's own blocks claim their nodes.
+			if r, ok := node.(*ast.RangeStmt); ok {
+				claim(r)
+				for _, sub := range []ast.Node{r.Key, r.Value, r.X} {
+					if sub != nil {
+						ast.Inspect(sub, claim)
+					}
+				}
+				continue
+			}
+			ast.Inspect(node, claim)
+		}
+	}
+}
+
+// ReachableAfter reports whether b can execute strictly after a: later in
+// the same block, in any block reachable from a's, or — when a's block sits
+// on a cycle — anywhere in the block via the back edge. This is the
+// ordering query behind send-after-close and sort-before-return checks.
+func (c *CFG) ReachableAfter(a, b NodeSite) bool {
+	if a.Block == b.Block && b.Seq > a.Seq {
+		return true
+	}
+	return c.reachableFrom(a.Block)[b.Block]
 }
 
 // reachableFrom returns the blocks reachable from b through at least one

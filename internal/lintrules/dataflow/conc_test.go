@@ -1,0 +1,155 @@
+package dataflow
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// opsOf renders a function's channel operations as "kind:root" strings,
+// with "+defer" marking deferred closes.
+func opsOf(f *Func) []string {
+	var out []string
+	for _, op := range f.Conc().ChanOps {
+		s := op.Kind.String() + ":" + op.Root.Name()
+		if op.Deferred {
+			s += "+defer"
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestConcCollection(t *testing.T) {
+	p := loadProgram(t)
+
+	sp := funcByName(t, p, "spawns").Conc().Spawns
+	if len(sp) != 3 {
+		t.Fatalf("spawns: %d spawn sites, want 3", len(sp))
+	}
+	if sp[0].Lit == nil || sp[0].Callee != nil {
+		t.Errorf("spawn 0: want literal spawn, got %+v", sp[0])
+	}
+	if sp[1].Callee == nil || sp[1].Callee.Name() != "drainChan" {
+		t.Errorf("spawn 1: want resolved callee drainChan, got %+v", sp[1])
+	}
+	if sp[2].Lit != nil || sp[2].Callee != nil {
+		t.Errorf("spawn 2: want dynamic spawn (no body), got %+v", sp[2])
+	}
+
+	cases := []struct {
+		fn   string
+		want []string
+	}{
+		{"sendParam", []string{"send:ch"}},
+		{"drainChan", []string{"range:ch"}},
+		{"closeParam", []string{"close:ch"}},
+		{"fieldOps", []string{"close:in+defer", "send:in"}},
+		{"closeThenSend", []string{"close:ch", "send:ch"}},
+	}
+	for _, c := range cases {
+		got := opsOf(funcByName(t, p, c.fn))
+		if len(got) != len(c.want) {
+			t.Fatalf("%s ops = %v, want %v", c.fn, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s ops = %v, want %v", c.fn, got, c.want)
+			}
+		}
+	}
+
+	at := funcByName(t, p, "bumpAtomic").Conc().Atomics
+	if len(at) != 1 || at[0].Name != "AddInt64" || at[0].Field.Name() != "hits" {
+		t.Errorf("bumpAtomic atomics = %+v, want one AddInt64 on hits", at)
+	}
+}
+
+func TestSpawnFacts(t *testing.T) {
+	p := loadProgram(t)
+	store := SpawnFacts(p)
+	for name, want := range map[string]bool{
+		"spawns":  true,
+		"spawner": true, // transitively, through the call to spawns
+		"clean":   false,
+		"recv":    false,
+	} {
+		f := funcByName(t, p, name)
+		if got, _ := store.Get(f.Obj).(bool); got != want {
+			t.Errorf("spawnFact(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestChanParamFacts(t *testing.T) {
+	p := loadProgram(t)
+	store := ChanParamFacts(p)
+	cases := []struct {
+		fn                  string
+		sends, recvs, close bool
+	}{
+		{"sendParam", true, false, false},
+		{"forwardSend", true, false, false}, // through the forwarded call
+		{"drainChan", false, true, false},   // range counts as receive
+		{"recv", false, true, false},
+		{"closeParam", false, false, true},
+	}
+	for _, c := range cases {
+		f := funcByName(t, p, c.fn)
+		fact, _ := store.Get(f.Obj).(*ChanParamFact)
+		if fact == nil {
+			t.Fatalf("%s: no channel-parameter fact", c.fn)
+		}
+		if fact.Sends[0] != c.sends || fact.Recvs[0] != c.recvs || fact.Closes[0] != c.close {
+			t.Errorf("%s fact = sends %v recvs %v closes %v, want %v %v %v",
+				c.fn, fact.Sends[0], fact.Recvs[0], fact.Closes[0], c.sends, c.recvs, c.close)
+		}
+	}
+}
+
+// siteOfOp locates a function's i-th channel op in its CFG.
+func siteOfOp(t *testing.T, f *Func, i int) NodeSite {
+	t.Helper()
+	s, ok := f.CFG().SiteOf(f.Conc().ChanOps[i].Node)
+	if !ok {
+		t.Fatalf("%s: op %d not located in CFG", f.Name(), i)
+	}
+	return s
+}
+
+func TestCFGSiteOrdering(t *testing.T) {
+	p := loadProgram(t)
+
+	// closeThenSend: ops are [close, send]; the send is reachable after the
+	// close, not the other way around.
+	f := funcByName(t, p, "closeThenSend")
+	cl, snd := siteOfOp(t, f, 0), siteOfOp(t, f, 1)
+	if !f.CFG().ReachableAfter(cl, snd) {
+		t.Error("closeThenSend: send not reachable after close")
+	}
+	if f.CFG().ReachableAfter(snd, cl) {
+		t.Error("closeThenSend: close reachable after send (straight-line code)")
+	}
+
+	// sendThenClose: ops are [send, close]; the send precedes the close.
+	f = funcByName(t, p, "sendThenClose")
+	snd, cl = siteOfOp(t, f, 0), siteOfOp(t, f, 1)
+	if f.CFG().ReachableAfter(cl, snd) {
+		t.Error("sendThenClose: send reachable after close")
+	}
+
+	// loopSend: the close is after the loop; no back edge reaches the send
+	// from it.
+	f = funcByName(t, p, "loopSend")
+	snd, cl = siteOfOp(t, f, 0), siteOfOp(t, f, 1)
+	if f.CFG().ReachableAfter(cl, snd) {
+		t.Error("loopSend: in-loop send reachable after post-loop close")
+	}
+	if !f.CFG().ReachableAfter(snd, cl) {
+		t.Error("loopSend: post-loop close not reachable after in-loop send")
+	}
+
+	// A node that is not in the function does not resolve.
+	if _, ok := f.CFG().SiteOf(&ast.BadStmt{}); ok {
+		t.Error("SiteOf resolved a foreign node")
+	}
+}

@@ -1,0 +1,412 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the concurrency surface of the dataflow layer: per-function
+// collection of goroutine spawn sites, channel operations and sync/atomic
+// field accesses (Func.Conc), a root abstraction that identifies the
+// variable or struct field behind an operand across instances (RootOf), and
+// two interprocedural summaries — SpawnFacts ("calling this function may
+// start a goroutine") and ChanParamFacts ("this function sends on /
+// receives from / closes its i-th channel parameter, directly or through
+// callees") — that the goleak, chandiscipline, atomicfield and mergedet
+// analyzers are built on.
+
+// SpawnSite is one `go` statement in a function body (nested function
+// literals included, like Func.Calls).
+type SpawnSite struct {
+	Stmt *ast.GoStmt
+	// Callee is the statically resolved spawn target (go sh.run()); nil
+	// when the goroutine body is a function literal or a dynamic call.
+	Callee *types.Func
+	// Lit is the spawned literal for `go func() { ... }()` spawns.
+	Lit *ast.FuncLit
+}
+
+// ChanOpKind classifies one channel operation.
+type ChanOpKind int
+
+const (
+	ChanSend ChanOpKind = iota
+	ChanRecv
+	ChanRange
+	ChanClose
+)
+
+func (k ChanOpKind) String() string {
+	switch k {
+	case ChanSend:
+		return "send"
+	case ChanRecv:
+		return "receive"
+	case ChanRange:
+		return "range"
+	case ChanClose:
+		return "close"
+	}
+	return "?"
+}
+
+// Root identifies the variable behind an operand expression in a way that
+// is stable across instances: a struct field (sh.in resolves to the field
+// declaration, shared by every shard), or a local, parameter or
+// package-level variable object. The zero Root means the expression's base
+// could not be resolved (a call result, a map element, ...), and analyzers
+// must treat operations on it conservatively.
+type Root struct {
+	// Field is the field declaration when the operand is a struct field
+	// selector, however deep the selector chain.
+	Field *types.Var
+	// Obj is the variable object for plain identifiers and package-qualified
+	// variables.
+	Obj types.Object
+}
+
+// Valid reports whether the root resolved to a field or variable.
+func (r Root) Valid() bool { return r.Field != nil || r.Obj != nil }
+
+// Name renders the root for diagnostics: "T.field" for fields, the
+// variable name otherwise.
+func (r Root) Name() string {
+	if r.Field != nil {
+		return r.Field.Name()
+	}
+	if r.Obj != nil {
+		return r.Obj.Name()
+	}
+	return "?"
+}
+
+// RootOf resolves an operand expression to its Root, looking through
+// parens, index and slice expressions. It is not channel-specific: the
+// same resolution identifies WaitGroup receivers and atomic operands.
+func RootOf(info *types.Info, e ast.Expr) Root {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if s := info.Selections[x]; s != nil && s.Kind() == types.FieldVal {
+				if v, ok := s.Obj().(*types.Var); ok {
+					return Root{Field: v}
+				}
+				return Root{}
+			}
+			// Qualified package-level variable (pkg.Ch).
+			if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+				return Root{Obj: v}
+			}
+			return Root{}
+		case *ast.Ident:
+			obj := info.Defs[x]
+			if obj == nil {
+				obj = info.Uses[x]
+			}
+			if v, ok := obj.(*types.Var); ok {
+				return Root{Obj: v}
+			}
+			return Root{}
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return Root{}
+			}
+			e = x.X
+		default:
+			return Root{}
+		}
+	}
+}
+
+// ChanOp is one channel operation in a function body. Node is the operation
+// itself (SendStmt, receive UnaryExpr, RangeStmt, or the close CallExpr) and
+// can be located in the function's CFG via CFG.SiteOf for ordering queries.
+type ChanOp struct {
+	Kind ChanOpKind
+	Node ast.Node
+	Root Root
+	// Deferred marks a close that runs at function exit (`defer close(ch)`):
+	// its textual position says nothing about execution order relative to
+	// the function's sends, so ordering checks must skip it.
+	Deferred bool
+}
+
+// Pos returns the operation's source position.
+func (op ChanOp) Pos() token.Pos { return op.Node.Pos() }
+
+// AtomicAccess is one function-style sync/atomic call whose operand is the
+// address of a struct field (atomic.AddInt64(&c.hits, 1)). Method-style
+// atomics (atomic.Int64 fields) are not recorded: the type system already
+// prevents plain access to their values.
+type AtomicAccess struct {
+	Call *ast.CallExpr
+	// Sel is the field selector under the & operand — recorded so plain-
+	// access scans can exempt the atomic call's own operand.
+	Sel   *ast.SelectorExpr
+	Field *types.Var
+	Name  string // the atomic function, e.g. "AddInt64"
+}
+
+// Conc is one function's concurrency surface, collected lazily like the
+// CFG. Operations inside nested function literals are attributed to the
+// enclosing function (the same flattening as Func.Calls): a receive inside
+// a spawned closure still drains the channel, which is the conservative
+// direction for every pairing query built on top.
+type Conc struct {
+	Spawns  []SpawnSite
+	ChanOps []ChanOp
+	Atomics []AtomicAccess
+}
+
+// Conc returns the function's concurrency surface, built on first use.
+func (f *Func) Conc() *Conc {
+	f.concOnce.Do(func() { f.conc = collectConc(f.Decl.Body, f.Pkg.Info) })
+	return f.conc
+}
+
+func collectConc(body *ast.BlockStmt, info *types.Info) *Conc {
+	c := &Conc{}
+	// Deferred calls run at function exit; mark their channel closes so
+	// ordering checks (send-after-close) do not misread the textual order.
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && d.Call != nil {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			sp := SpawnSite{Stmt: n}
+			if lit, ok := unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				sp.Lit = lit
+			} else {
+				sp.Callee = CalleeObj(info, n.Call)
+			}
+			c.Spawns = append(c.Spawns, sp)
+		case *ast.SendStmt:
+			c.ChanOps = append(c.ChanOps, ChanOp{Kind: ChanSend, Node: n, Root: RootOf(info, n.Chan)})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.ChanOps = append(c.ChanOps, ChanOp{Kind: ChanRecv, Node: n, Root: RootOf(info, n.X)})
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					c.ChanOps = append(c.ChanOps, ChanOp{Kind: ChanRange, Node: n, Root: RootOf(info, n.X)})
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(n.Args) == 1 {
+					c.ChanOps = append(c.ChanOps, ChanOp{
+						Kind:     ChanClose,
+						Node:     n,
+						Root:     RootOf(info, n.Args[0]),
+						Deferred: deferred[n],
+					})
+				}
+				return true
+			}
+			if a, ok := atomicFieldAccess(info, n); ok {
+				c.Atomics = append(c.Atomics, a)
+			}
+		}
+		return true
+	})
+	return c
+}
+
+// atomicFieldAccess matches a function-style sync/atomic call whose first
+// argument is the address of a struct field.
+func atomicFieldAccess(info *types.Info, call *ast.CallExpr) (AtomicAccess, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return AtomicAccess{}, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return AtomicAccess{}, false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return AtomicAccess{}, false
+	}
+	un, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return AtomicAccess{}, false
+	}
+	fsel, ok := unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return AtomicAccess{}, false
+	}
+	s := info.Selections[fsel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return AtomicAccess{}, false
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return AtomicAccess{}, false
+	}
+	return AtomicAccess{Call: call, Sel: fsel, Field: v, Name: sel.Sel.Name}, true
+}
+
+// ParamVars returns a function's parameter objects, receiver first for
+// methods — the index space of ChanParamFact.
+func ParamVars(obj *types.Func) []*types.Var {
+	sig := obj.Signature()
+	var out []*types.Var
+	if r := sig.Recv(); r != nil {
+		out = append(out, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// ArgParamIndex maps a call-site argument position to the callee's
+// ParamVars index: methods shift by one for the receiver, and variadic
+// overflow maps onto the last parameter.
+func ArgParamIndex(callee *types.Func, arg int) int {
+	off := 0
+	if callee.Signature().Recv() != nil {
+		off = 1
+	}
+	n := callee.Signature().Params().Len() + off
+	i := arg + off
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// SpawnFacts returns per-function summaries (as bool facts) of whether
+// calling the function may start a goroutine, directly or through any chain
+// of static callees.
+func SpawnFacts(p *Program) *FactStore {
+	transfer := func(f *Func, store *FactStore) interface{} {
+		if len(f.Conc().Spawns) > 0 {
+			return true
+		}
+		for _, c := range f.Calls {
+			if v, _ := store.Get(c.StaticObj).(bool); v {
+				return true
+			}
+		}
+		return false
+	}
+	return p.Facts("conc:spawns", transfer, func(a, b interface{}) bool { return a == b })
+}
+
+// ChanParamFact summarizes what a function does to its channel-typed
+// parameters (ParamVars index space): Sends[i] / Recvs[i] / Closes[i] —
+// the function sends on, receives or ranges from, or closes parameter i,
+// directly or by forwarding it to a callee that does. Range counts as a
+// receive: both drain the channel.
+type ChanParamFact struct {
+	Sends  []bool
+	Recvs  []bool
+	Closes []bool
+}
+
+func chanParamEq(a, b interface{}) bool {
+	x, _ := a.(*ChanParamFact)
+	y, _ := b.(*ChanParamFact)
+	if x == nil || y == nil {
+		return x == y
+	}
+	return boolSliceEq(x.Sends, y.Sends) && boolSliceEq(x.Recvs, y.Recvs) && boolSliceEq(x.Closes, y.Closes)
+}
+
+func boolSliceEq(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func isChanType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// ChanParamFacts computes (or returns the memoized) channel-parameter
+// summaries for the whole program.
+func ChanParamFacts(p *Program) *FactStore {
+	transfer := func(f *Func, store *FactStore) interface{} {
+		params := ParamVars(f.Obj)
+		fact := &ChanParamFact{
+			Sends:  make([]bool, len(params)),
+			Recvs:  make([]bool, len(params)),
+			Closes: make([]bool, len(params)),
+		}
+		idx := map[types.Object]int{}
+		for i, v := range params {
+			if isChanType(v.Type()) {
+				idx[v] = i
+			}
+		}
+		if len(idx) == 0 {
+			return fact
+		}
+		for _, op := range f.Conc().ChanOps {
+			if op.Root.Obj == nil {
+				continue
+			}
+			i, ok := idx[op.Root.Obj]
+			if !ok {
+				continue
+			}
+			switch op.Kind {
+			case ChanSend:
+				fact.Sends[i] = true
+			case ChanRecv, ChanRange:
+				fact.Recvs[i] = true
+			case ChanClose:
+				fact.Closes[i] = true
+			}
+		}
+		for _, c := range f.Calls {
+			cf, _ := store.Get(c.StaticObj).(*ChanParamFact)
+			if cf == nil {
+				continue
+			}
+			for k, arg := range c.Site.Args {
+				root := RootOf(f.Pkg.Info, arg)
+				if root.Obj == nil {
+					continue
+				}
+				i, ok := idx[root.Obj]
+				if !ok {
+					continue
+				}
+				j := ArgParamIndex(c.StaticObj, k)
+				if j < len(cf.Sends) && cf.Sends[j] {
+					fact.Sends[i] = true
+				}
+				if j < len(cf.Recvs) && cf.Recvs[j] {
+					fact.Recvs[i] = true
+				}
+				if j < len(cf.Closes) && cf.Closes[j] {
+					fact.Closes[i] = true
+				}
+			}
+		}
+		return fact
+	}
+	return p.Facts("conc:chanparam", transfer, chanParamEq)
+}

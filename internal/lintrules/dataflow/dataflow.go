@@ -65,6 +65,9 @@ type Func struct {
 
 	cfgOnce sync.Once
 	cfg     *CFG
+
+	concOnce sync.Once
+	conc     *Conc
 }
 
 // Name returns a compact package-qualified name for messages, e.g.

@@ -1,0 +1,88 @@
+// Concurrency-surface corpus: spawn sites of every kind, channel
+// operations on fields, locals and parameters, forwarded channel
+// parameters, deferred closes, atomic field access, and ordered
+// close-then-send shapes for the CFG site queries.
+package dfa
+
+import "sync/atomic"
+
+type hub struct {
+	in   chan int
+	hits int64
+}
+
+// spawns holds one spawn of each kind: literal, resolved callee, dynamic.
+func spawns(fn func()) {
+	go func() { _ = recv(make(chan int)) }()
+	go drainChan(make(chan int))
+	go fn()
+}
+
+func drainChan(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+func recv(ch chan int) int {
+	return <-ch
+}
+
+// sendParam sends on its parameter — a direct channel-parameter fact.
+func sendParam(ch chan int) {
+	ch <- 1
+}
+
+// forwardSend forwards its parameter to sendParam — the fact must
+// propagate through the call.
+func forwardSend(ch chan int) {
+	sendParam(ch)
+}
+
+// closeParam closes its parameter.
+func closeParam(ch chan int) {
+	close(ch)
+}
+
+// spawner transitively spawns: it calls spawns, which starts goroutines.
+func spawner() {
+	spawns(func() {})
+}
+
+// fieldOps sends on and closes a struct field; the deferred close carries
+// the Deferred flag.
+func (h *hub) fieldOps() {
+	defer close(h.in)
+	h.in <- 1
+}
+
+// closeThenSend orders a close before a send on the same local — the CFG
+// site query must see the send as reachable after the close.
+func closeThenSend() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1
+}
+
+// sendThenClose is the legal order: the close is not reachable before the
+// send.
+func sendThenClose() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// loopSend sends inside a loop body after a conditional close in a prior
+// iteration is reachable via the back edge.
+func loopSend(n int) {
+	ch := make(chan int, 8)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+}
+
+// bumpAtomic accesses hub.hits via function-style sync/atomic.
+func (h *hub) bumpAtomic() {
+	atomic.AddInt64(&h.hits, 1)
+}

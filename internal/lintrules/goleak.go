@@ -1,0 +1,267 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"stochstream/internal/lintrules/analysis"
+	"stochstream/internal/lintrules/dataflow"
+)
+
+// Goleak requires every goroutine spawned in emission-scoped packages to
+// have a proven termination path. The sharded runtime's replay guarantee
+// assumes workers are quiescent between dispatches and gone after Close; a
+// leaked worker keeps a shard engine alive past the runtime's lifetime and
+// turns the next chaos or checkpoint run nondeterministic.
+//
+// For each `go` statement the analyzer resolves the goroutine body (a
+// function literal, or the statically resolved callee — across package
+// boundaries) and proves one of:
+//
+//   - structural termination: every loop in the body is bounded (has a
+//     condition or ranges over a finite collection);
+//   - channel-closed: a `for range ch` worker's channel is closed somewhere
+//     in the program — directly, or by a helper that closes its channel
+//     parameter (via dataflow.ChanParamFacts), with spawn-site arguments
+//     substituted into the spawned function's parameters;
+//   - an exit inside an unconditional loop: a return, a break that targets
+//     the loop, or a context cancellation receive (<-ctx.Done());
+//   - WaitGroup-waited: the body calls Done on a WaitGroup some reachable
+//     code Waits on — the author's explicit termination claim, which the
+//     race-detected suites then exercise dynamically.
+//
+// A goroutine that blocks on a channel nothing ever sends on or closes, or
+// that runs a (*net/http.Server).Serve loop whose shutdown the analysis
+// cannot see, is reported at the spawn site. The Serve case is the
+// reviewed-suppression seam: when the server handle escapes to a caller
+// that owns the shutdown, say so in a //lint:ignore goleak reason.
+const goleakName = "goleak"
+
+var Goleak = &analysis.Analyzer{
+	Name: goleakName,
+	Doc:  "every spawned goroutine needs a proven termination path (closed channel, context, exit, or waited WaitGroup)",
+	Run:  runGoleak,
+}
+
+// serveMethods are the net/http.Server methods that block until shutdown.
+var serveMethods = map[string]bool{
+	"Serve": true, "ServeTLS": true, "ListenAndServe": true, "ListenAndServeTLS": true,
+}
+
+func isServeMethod(fn *types.Func) bool {
+	if fn == nil || !serveMethods[fn.Name()] {
+		return false
+	}
+	recv := fn.Signature().Recv()
+	return recv != nil && isNamedType(recv.Type(), "net/http", "Server")
+}
+
+func runGoleak(pass *analysis.Pass) (interface{}, error) {
+	prog, _ := pass.Facts.(*dataflow.Program)
+	if prog == nil {
+		return nil, nil // spawn-site proofs need whole-program context
+	}
+	store := dataflow.ChanParamFacts(prog)
+	closed := chanRootsWith(prog, store, dataflow.ChanClose)
+	sent := chanRootsWith(prog, store, dataflow.ChanSend)
+	waited := waitGroupRoots(prog, "Wait")
+	for _, f := range prog.FuncsOf(pass.Pkg.Path()) {
+		for _, sp := range f.Conc().Spawns {
+			checkSpawn(pass, prog, f, sp, closed, sent, waited)
+		}
+	}
+	return nil, nil
+}
+
+func checkSpawn(pass *analysis.Pass, prog *dataflow.Program, f *dataflow.Func, sp dataflow.SpawnSite,
+	closed, sent, waited map[dataflow.Root]bool) {
+	siteInfo := f.Pkg.Info
+	bodyInfo := siteInfo
+	var body *ast.BlockStmt
+	// subst maps the spawned function's parameters to the spawn-site
+	// arguments' roots, so `go worker(jobs)` proves termination against the
+	// caller's jobs channel, not the callee's opaque parameter.
+	subst := map[types.Object]dataflow.Root{}
+	switch {
+	case sp.Lit != nil:
+		body = sp.Lit.Body
+	case sp.Callee != nil:
+		callee := prog.FuncOf(sp.Callee)
+		if callee == nil {
+			// External spawn target: the one named contract is the blocking
+			// http server loop.
+			if isServeMethod(sp.Callee) {
+				reportServe(pass, sp.Stmt.Pos(), sp.Callee.Name())
+			}
+			return
+		}
+		body = callee.Decl.Body
+		bodyInfo = callee.Pkg.Info
+		params := dataflow.ParamVars(sp.Callee)
+		if recv := sp.Callee.Signature().Recv(); recv != nil {
+			if sel, ok := unparenExpr(sp.Stmt.Call.Fun).(*ast.SelectorExpr); ok {
+				if r := dataflow.RootOf(siteInfo, sel.X); r.Valid() {
+					subst[params[0]] = r
+				}
+			}
+		}
+		for k, arg := range sp.Stmt.Call.Args {
+			j := dataflow.ArgParamIndex(sp.Callee, k)
+			if j < len(params) {
+				if r := dataflow.RootOf(siteInfo, arg); r.Valid() {
+					subst[params[j]] = r
+				}
+			}
+		}
+	default:
+		return // dynamic spawn (function value): no body to reason about
+	}
+
+	resolve := func(r dataflow.Root) dataflow.Root {
+		if r.Obj != nil {
+			if s, ok := subst[r.Obj]; ok {
+				return s
+			}
+		}
+		return r
+	}
+
+	// WaitGroup evidence: the body Dones a WaitGroup that reachable code
+	// Waits on — accepted as the author's termination claim for loops the
+	// structural checks cannot bound.
+	wgCovered := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if root, m, ok := waitGroupCall(bodyInfo, call); ok && m == "Done" && waited[resolve(root)] {
+				wgCovered = true
+			}
+		}
+		return true
+	})
+
+	reported := false
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !reported {
+			reported = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+
+	// Receives that are select communication clauses are exempt from the
+	// blocked-forever check: the select exits through whichever case is
+	// live, and flagging each dead alternative would over-report.
+	selectRecv := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok && comm.Comm != nil {
+				ast.Inspect(comm.Comm, func(m ast.Node) bool {
+					if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+						selectRecv[u] = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isServeMethod(dataflow.CalleeObj(bodyInfo, n)) {
+				reportServe(pass, sp.Stmt.Pos(), dataflow.CalleeObj(bodyInfo, n).Name())
+				reported = true
+			}
+		case *ast.RangeStmt:
+			tv, ok := bodyInfo.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+				return true
+			}
+			root := resolve(dataflow.RootOf(bodyInfo, n.X))
+			if !root.Valid() {
+				return true // cannot name the channel: stay silent
+			}
+			if !closed[root] {
+				report(sp.Stmt.Pos(), "goroutine ranges over channel %s that nothing in the program closes: the worker never exits; close it on the shutdown path (WaitGroup-wait it there if senders must drain first)", root.Name())
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				return true // bounded (or at least condition-gated) loop
+			}
+			if !loopHasExit(bodyInfo, n) && !wgCovered {
+				report(sp.Stmt.Pos(), "goroutine loops forever with no termination path: no return or loop-breaking exit, no context cancellation, and no WaitGroup the program waits on; give the loop a shutdown signal (ctx.Done or a closed quit channel)")
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || isCtxDoneRecv(bodyInfo, n) || selectRecv[n] {
+				return true
+			}
+			root := resolve(dataflow.RootOf(bodyInfo, n.X))
+			if !root.Valid() {
+				return true
+			}
+			if !closed[root] && !sent[root] {
+				report(sp.Stmt.Pos(), "goroutine blocks receiving from channel %s, but nothing in the program sends on or closes it: the goroutine can never exit; close the channel on the shutdown path", root.Name())
+			}
+		}
+		return true
+	})
+}
+
+func reportServe(pass *analysis.Pass, pos token.Pos, method string) {
+	pass.Reportf(pos, "goroutine runs (*http.Server).%s, which blocks until the server shuts down, and no shutdown path is visible to the analysis: tie the server to its owner's Close path, or //lint:ignore goleak with the reason the caller owns the returned server", method)
+}
+
+// loopHasExit reports whether an unconditional `for { ... }` loop has a
+// path out of the goroutine: a return, a break that targets this loop
+// (plain break at nesting depth zero, or any labeled break), or a context
+// cancellation receive. Nested function literals are skipped — their
+// returns do not exit the goroutine.
+func loopHasExit(info *types.Info, loop *ast.ForStmt) bool {
+	exit := false
+	var scan func(n ast.Node, depth int)
+	scan = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if exit || m == nil {
+				return false
+			}
+			if m == n {
+				return true
+			}
+			switch s := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				exit = true
+				return false
+			case *ast.BranchStmt:
+				if s.Tok == token.BREAK && (s.Label != nil || depth == 0) {
+					exit = true
+				}
+				return false
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				// A plain break below binds to this construct, not our loop.
+				scan(s, depth+1)
+				return false
+			case *ast.UnaryExpr:
+				if s.Op == token.ARROW && isCtxDoneRecv(info, s) {
+					exit = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	scan(loop.Body, 0)
+	return exit
+}

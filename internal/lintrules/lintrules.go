@@ -1,15 +1,19 @@
-// Package lintrules is stochlint's analyzer suite: eight custom static
+// Package lintrules is stochlint's analyzer suite: twelve custom static
 // checks that mechanically enforce the determinism and correctness
 // contracts the paper's guarantees rest on (Theorem 3 dominance optimality
 // and the Corollary 3–5 incremental updates require every replacement
 // decision to be a pure, deterministic function of stream state).
 //
-// Four of the analyzers — dettaint, stepescape, scorepure, errdiscipline —
-// are interprocedural: they run on per-function summaries computed over the
-// whole module by internal/lintrules/dataflow (call graph, fixed-point
-// solver, CFG def-use chains), so a contract violation hidden behind any
-// chain of helper calls still surfaces. The rest are syntactic or
-// type-based per-package checks.
+// Eight of the analyzers are interprocedural, running on per-function
+// summaries computed over the whole module by internal/lintrules/dataflow
+// (call graph, fixed-point solver, CFG def-use chains), so a contract
+// violation hidden behind any chain of helper calls still surfaces. Four of
+// those — dettaint, stepescape, scorepure, errdiscipline — track value and
+// purity contracts; the other four — goleak, chandiscipline, atomicfield,
+// mergedet — are the concurrency-safety suite over the sharded runtime
+// (goroutine termination, channel discipline, atomic-vs-plain field access,
+// and merge-order determinism). The rest are syntactic or type-based
+// per-package checks.
 //
 // The analyzers are built on internal/lintrules/analysis, an offline mirror
 // of the golang.org/x/tools/go/analysis API. cmd/stochlint is the
@@ -77,6 +81,13 @@ func inAny(pkgPath string, roots []string) bool {
 
 func everywhere(string) bool { return true }
 
+// mergedetPkgs scope the merge-order determinism check to the sharded
+// runtime, the one place that merges concurrent shard outputs into an
+// emission order.
+var mergedetPkgs = []string{
+	"stochstream/internal/shardrt",
+}
+
 // Rules returns the stochlint suite with its package scoping.
 func Rules() []Rule {
 	return []Rule{
@@ -88,12 +99,17 @@ func Rules() []Rule {
 		{Locksafe, everywhere},
 		{Scorepure, func(p string) bool { return inAny(p, scorepurePkgs) }},
 		{Errdiscipline, func(p string) bool { return inAny(p, decisionPkgs) }},
+		{Goleak, func(p string) bool { return inAny(p, emissionPkgs) }},
+		{Chandiscipline, func(p string) bool { return inAny(p, decisionPkgs) }},
+		{Atomicfield, func(p string) bool { return inAny(p, emissionPkgs) }},
+		{Mergedet, func(p string) bool { return inAny(p, mergedetPkgs) }},
 	}
 }
 
-// Analyzers returns the eight analyzers without scoping, for tests and docs.
+// Analyzers returns the twelve analyzers without scoping, for tests and docs.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Dettaint, Maprange, Floateq, Stepretain, Stepescape, Locksafe, Scorepure, Errdiscipline,
+		Goleak, Chandiscipline, Atomicfield, Mergedet,
 	}
 }

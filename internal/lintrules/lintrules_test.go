@@ -49,6 +49,22 @@ func TestErrdiscipline(t *testing.T) {
 	analysistest.Run(t, testdata(t), lintrules.Errdiscipline, "errdiscipline")
 }
 
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Goleak, "goleak")
+}
+
+func TestChandiscipline(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Chandiscipline, "chandiscipline")
+}
+
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Atomicfield, "atomicfield")
+}
+
+func TestMergedet(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Mergedet, "mergedet")
+}
+
 // TestStaleignore runs the whole suite plus the suppression audit over the
 // staleignore corpus: live directives stay silent, stale and misnamed ones
 // report under the "staleignore" pseudo-analyzer.
@@ -65,8 +81,8 @@ func TestScoping(t *testing.T) {
 	for _, r := range lintrules.Rules() {
 		byName[r.Analyzer.Name] = r
 	}
-	if len(byName) != 8 {
-		t.Fatalf("expected 8 rules, got %d", len(byName))
+	if len(byName) != 12 {
+		t.Fatalf("expected 12 rules, got %d", len(byName))
 	}
 	cases := []struct {
 		analyzer string
@@ -100,6 +116,18 @@ func TestScoping(t *testing.T) {
 		{"stepretain", "stochstream", true},
 		{"stepescape", "stochstream/internal/cachepolicy", true},
 		{"locksafe", "stochstream/cmd/repro", true},
+		{"goleak", "stochstream/internal/shardrt", true},
+		{"goleak", "stochstream/internal/telemetry", true},
+		{"goleak", "stochstream/internal/join", true},
+		{"goleak", "stochstream/internal/workload", false},
+		{"chandiscipline", "stochstream/internal/shardrt", true},
+		{"chandiscipline", "stochstream/internal/engine", true},
+		{"chandiscipline", "stochstream/internal/telemetry", false},
+		{"atomicfield", "stochstream/internal/telemetry", true},
+		{"atomicfield", "stochstream/internal/shardrt", true},
+		{"atomicfield", "stochstream/internal/stats", false},
+		{"mergedet", "stochstream/internal/shardrt", true},
+		{"mergedet", "stochstream/internal/engine", false},
 	}
 	for _, c := range cases {
 		if got := byName[c.analyzer].Applies(c.pkg); got != c.want {

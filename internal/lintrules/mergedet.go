@@ -1,0 +1,369 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"stochstream/internal/lintrules/analysis"
+	"stochstream/internal/lintrules/dataflow"
+)
+
+// Mergedet is the static twin of shardrt's TestMergeOrder: the merged
+// emission order of the sharded runtime must derive only from ingress
+// sequence IDs, never from channel-receive or goroutine-completion order.
+// Data that arrives over a channel (`res := <-sh.res`, `for v := range ch`)
+// is in scheduling order — which shard finished first — and letting that
+// order escape (returned, or stored into a struct field or package
+// variable) makes replay diverge run to run even with identical inputs.
+//
+// The analyzer runs a small taint pass per function: channel receives and
+// calls to functions summarized as returning arrival-ordered data are
+// sources; returns and persistent stores are sinks; a sort by sequence
+// numbers — sort.Slice/SliceStable with a comparator that reads only
+// seq-named fields (mergeKey style), or a call to a helper like sortPairs
+// that does so to its parameter — sanitizes, provided the sort is on a
+// CFG path before the sink. Summaries propagate both directions across
+// packages: a helper that returns arrival order taints its callers'
+// results, and a helper that seq-sorts its slice parameter sanitizes at
+// the call site.
+const mergedetName = "mergedet"
+
+var Mergedet = &analysis.Analyzer{
+	Name: mergedetName,
+	Doc:  "merged emission order must derive from seq IDs, not channel-receive or goroutine-completion order",
+	Run:  runMergedet,
+}
+
+// mergeFact is one function's summary for the analysis.
+type mergeFact struct {
+	// seqOnly: the body reads only seq-named fields and calls only other
+	// seqOnly functions — safe as (part of) a merge comparator.
+	seqOnly bool
+	// sortsBySeq[i] (ParamVars index space): the function seq-sorts its
+	// i-th slice parameter, directly or through a callee.
+	sortsBySeq []bool
+	// returnsArrival: some return value derives from channel-receive order
+	// with no seq sort before it.
+	returnsArrival bool
+}
+
+func mergeEq(a, b interface{}) bool {
+	x, _ := a.(*mergeFact)
+	y, _ := b.(*mergeFact)
+	if x == nil || y == nil {
+		return x == y
+	}
+	if x.seqOnly != y.seqOnly || x.returnsArrival != y.returnsArrival || len(x.sortsBySeq) != len(y.sortsBySeq) {
+		return false
+	}
+	for i := range x.sortsBySeq {
+		if x.sortsBySeq[i] != y.sortsBySeq[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bodySeqOnly reports whether node reads only sequence-numbered state: every
+// struct field it selects has "seq" in its name, it performs no channel
+// receives, and every call target is a builtin, a type conversion, or a
+// module function already summarized seqOnly.
+func bodySeqOnly(info *types.Info, store *dataflow.FactStore, node ast.Node) bool {
+	ok := true
+	ast.Inspect(node, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if s := info.Selections[n]; s != nil && s.Kind() == types.FieldVal {
+				if !hasSeqName(s.Obj().Name()) {
+					ok = false
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ok = false
+			}
+		case *ast.CallExpr:
+			fun := unparenExpr(n.Fun)
+			if tv, isType := info.Types[fun]; isType && tv.IsType() {
+				return true // conversion
+			}
+			if id, isIdent := fun.(*ast.Ident); isIdent {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+			callee := dataflow.CalleeObj(info, n)
+			if callee == nil {
+				ok = false
+				return false
+			}
+			cf, _ := store.Get(callee).(*mergeFact)
+			if cf == nil || !cf.seqOnly {
+				ok = false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func hasSeqName(name string) bool {
+	lower := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		lower[i] = c
+	}
+	s := string(lower)
+	for i := 0; i+3 <= len(s); i++ {
+		if s[i:i+3] == "seq" {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeViolation is one arrival-order escape in a function body.
+type mergeViolation struct {
+	pos      token.Pos
+	isReturn bool
+	what     string // "returned" or the stored lvalue description
+}
+
+// mergeAnalyze runs the per-function taint pass and returns the function's
+// summary inputs: its violations, its sanitize map (root object → seq-sort
+// sites), and whether it is seqOnly. It reads callee summaries only through
+// store, so it is safe inside the fixed-point transfer.
+func mergeAnalyze(f *dataflow.Func, store *dataflow.FactStore) (violations []mergeViolation, sortsParam []bool) {
+	info := f.Pkg.Info
+	body := f.Decl.Body
+
+	// --- taint: which variables hold arrival-ordered data ---
+	tainted := map[types.Object]bool{}
+	var taintedExpr func(e ast.Expr) bool
+	taintedExpr = func(e ast.Expr) bool {
+		switch e := unparenExpr(e).(type) {
+		case *ast.Ident:
+			var obj types.Object = info.Defs[e]
+			if obj == nil {
+				obj = info.Uses[e]
+			}
+			return obj != nil && tainted[obj]
+		case *ast.UnaryExpr:
+			return e.Op == token.ARROW // receive: the arrival-order source
+		case *ast.SliceExpr:
+			return taintedExpr(e.X)
+		case *ast.SelectorExpr:
+			return taintedExpr(e.X) // field of an arrival-ordered value
+		case *ast.CallExpr:
+			if id, ok := unparenExpr(e.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					if b.Name() == "append" {
+						for _, a := range e.Args {
+							if taintedExpr(a) {
+								return true
+							}
+						}
+					}
+					return false
+				}
+			}
+			if callee := dataflow.CalleeObj(info, e); callee != nil {
+				if cf, _ := store.Get(callee).(*mergeFact); cf != nil && cf.returnsArrival {
+					return true
+				}
+			}
+			return false
+		}
+		return false
+	}
+
+	// Fixed point over assignments and range statements: receives taint
+	// their targets, taint flows through append chains.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				multi := len(n.Rhs) == 1 && len(n.Lhs) > 1 // v, ok := <-ch
+				for i, lhs := range n.Lhs {
+					rhs := n.Rhs[0]
+					if !multi && i < len(n.Rhs) {
+						rhs = n.Rhs[i]
+					}
+					if !taintedExpr(rhs) {
+						continue
+					}
+					if r := dataflow.RootOf(info, lhs); r.Obj != nil && !tainted[r.Obj] {
+						tainted[r.Obj] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+					return true
+				}
+				if n.Key != nil {
+					if r := dataflow.RootOf(info, n.Key); r.Obj != nil && !tainted[r.Obj] {
+						tainted[r.Obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// --- sanitize sites: root object → nodes where it is seq-sorted ---
+	sortSites := map[types.Object][]ast.Node{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// sort.Slice / sort.SliceStable with a seq-only comparator.
+		if sel, ok := unparenExpr(call.Fun).(*ast.SelectorExpr); ok && len(call.Args) == 2 {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if pn, ok := info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "sort" &&
+					(sel.Sel.Name == "Slice" || sel.Sel.Name == "SliceStable") {
+					if lit, ok := unparenExpr(call.Args[1]).(*ast.FuncLit); ok && bodySeqOnly(info, store, lit.Body) {
+						if r := dataflow.RootOf(info, call.Args[0]); r.Obj != nil {
+							sortSites[r.Obj] = append(sortSites[r.Obj], call)
+						}
+					}
+					return true
+				}
+			}
+		}
+		// A callee that seq-sorts its slice parameter sanitizes the argument.
+		if callee := dataflow.CalleeObj(info, call); callee != nil {
+			cf, _ := store.Get(callee).(*mergeFact)
+			if cf != nil {
+				for k, arg := range call.Args {
+					j := dataflow.ArgParamIndex(callee, k)
+					if j < len(cf.sortsBySeq) && cf.sortsBySeq[j] {
+						if r := dataflow.RootOf(info, arg); r.Obj != nil {
+							sortSites[r.Obj] = append(sortSites[r.Obj], call)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	cfg := f.CFG()
+	sanitized := func(e ast.Expr, sink ast.Node) bool {
+		r := dataflow.RootOf(info, e)
+		if r.Obj == nil {
+			return false
+		}
+		sinkSite, ok := cfg.SiteOf(sink)
+		if !ok {
+			return false
+		}
+		for _, sn := range sortSites[r.Obj] {
+			if ss, ok := cfg.SiteOf(sn); ok && cfg.ReachableAfter(ss, sinkSite) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// --- sinks: returns and persistent stores (function literals skipped:
+	// their returns are not this function's). Only ordered collections
+	// escape arrival order — a scalar or error pulled out of a received
+	// value carries no sequence.
+	ordered := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Array:
+			return true
+		}
+		return false
+	}
+	skipFuncLits(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if ordered(res) && taintedExpr(res) && !sanitized(res, n) {
+					violations = append(violations, mergeViolation{pos: n.Pos(), isReturn: true, what: "returned"})
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if !isPersistentLvalue(info, lhs) {
+					continue
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if ordered(rhs) && taintedExpr(rhs) && !sanitized(rhs, n) {
+					violations = append(violations, mergeViolation{pos: n.Pos(), what: "stored"})
+				}
+			}
+		}
+	})
+
+	// --- sortsBySeq over the parameter index space ---
+	params := dataflow.ParamVars(f.Obj)
+	sortsParam = make([]bool, len(params))
+	for i, v := range params {
+		if _, isSlice := v.Type().Underlying().(*types.Slice); !isSlice {
+			continue
+		}
+		if len(sortSites[v]) > 0 {
+			sortsParam[i] = true
+		}
+	}
+	return violations, sortsParam
+}
+
+// mergedetFacts computes (or returns the memoized) per-function merge-order
+// summaries for the whole program.
+func mergedetFacts(prog *dataflow.Program) *dataflow.FactStore {
+	transfer := func(f *dataflow.Func, store *dataflow.FactStore) interface{} {
+		violations, sortsParam := mergeAnalyze(f, store)
+		fact := &mergeFact{
+			seqOnly:    bodySeqOnly(f.Pkg.Info, store, f.Decl.Body),
+			sortsBySeq: sortsParam,
+		}
+		for _, v := range violations {
+			if v.isReturn && !prog.Sup.Suppresses(mergedetName, prog.Fset.Position(v.pos)) {
+				fact.returnsArrival = true
+				break
+			}
+		}
+		return fact
+	}
+	return prog.Facts(mergedetName, transfer, mergeEq)
+}
+
+func runMergedet(pass *analysis.Pass) (interface{}, error) {
+	prog, _ := pass.Facts.(*dataflow.Program)
+	if prog == nil {
+		return nil, nil // summaries need whole-program context
+	}
+	store := mergedetFacts(prog)
+	for _, f := range prog.FuncsOf(pass.Pkg.Path()) {
+		violations, _ := mergeAnalyze(f, store)
+		for _, v := range violations {
+			pass.Reportf(v.pos, "merged result %s in arrival order: it derives from channel-receive order (scheduling-dependent), not ingress seq IDs; sort by the sequence numbers (mergeKey/sortPairs style) before emitting — this is the static twin of TestMergeOrder", v.what)
+		}
+	}
+	return nil, nil
+}

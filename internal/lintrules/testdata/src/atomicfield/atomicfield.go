@@ -1,0 +1,45 @@
+// Package atomicfield is the seeded-violation corpus for the atomic-field
+// analyzer: fields accessed via function-style sync/atomic calls anywhere
+// must never be read or written plainly outside a constructor — plain
+// access in the same package, in a different package from the atomic use,
+// and the constructor exemption.
+package atomicfield
+
+import (
+	"sync/atomic"
+
+	"atomicfield/ctr"
+)
+
+// Counter mixes atomic increments with a plain read — the seeded tear.
+type Counter struct {
+	hits   int64
+	misses int64
+}
+
+// NewCounter may touch the field plainly: the value has not escaped yet.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.hits = 0
+	return c
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *Counter) Peek() int64 {
+	return c.hits // want "plain access to field hits, which is accessed atomically elsewhere"
+}
+
+// misses is never accessed atomically: plain access is fine.
+func (c *Counter) Misses() int64 {
+	return c.misses
+}
+
+// INTERPROCEDURAL-ONLY: the atomic access to Gauge.N lives in package ctr;
+// nothing in this file mentions sync/atomic near the read, but the
+// program-wide field set still catches the plain load.
+func readGauge(g *ctr.Gauge) int64 {
+	return g.N // want "plain access to field N, which is accessed atomically elsewhere"
+}

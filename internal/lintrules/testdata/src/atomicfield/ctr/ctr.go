@@ -1,0 +1,15 @@
+// Package ctr owns a gauge whose field is accessed atomically here; the
+// atomicfield corpus reads it plainly from the outside.
+package ctr
+
+import "sync/atomic"
+
+// Gauge carries a counter updated via sync/atomic.
+type Gauge struct {
+	N int64
+}
+
+// Bump increments the gauge atomically.
+func Bump(g *Gauge) {
+	atomic.AddInt64(&g.N, 1)
+}

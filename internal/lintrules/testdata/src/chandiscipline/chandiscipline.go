@@ -1,0 +1,76 @@
+// Package chandiscipline is the seeded-violation corpus for the channel
+// discipline analyzer: sends with no drain anywhere in the program, sends
+// reachable after a close (directly and through a helper), and closes of
+// channel fields another package owns — against the clean shapes (drained
+// fields, deferred closes, channel parameters the caller owns).
+package chandiscipline
+
+import (
+	"chandiscipline/extq"
+	"chandiscipline/helper"
+)
+
+// Q's queue is sent on but nothing in the program ever receives from it:
+// the first Push past the buffer blocks the coordinator forever.
+type Q struct {
+	ch chan int
+}
+
+func (q *Q) Push(v int) {
+	q.ch <- v // want "send on channel ch with no receive or range anywhere in the program"
+}
+
+// R's queue is drained by its worker — the pairing the analyzer wants.
+type R struct {
+	rch chan int
+}
+
+func (r *R) Push(v int) {
+	r.rch <- v
+}
+
+func (r *R) worker() {
+	for v := range r.rch {
+		_ = v
+	}
+}
+
+// A send textually and control-flow after a close panics.
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	<-ch
+	close(ch)
+	ch <- 1 // want "send on ch is reachable after close"
+}
+
+// INTERPROCEDURAL-ONLY: the close happens inside helper.Shutdown (which
+// closes its channel parameter), so no close is visible in this function's
+// source text — the channel-parameter summary projects it onto the call
+// site, and the send after it still panics.
+func sendAfterHelperClose() {
+	ch := make(chan int, 1)
+	<-ch
+	helper.Shutdown(ch)
+	ch <- 1 // want "send on ch is reachable after close\(ch\) \(closed via helper.Shutdown\)"
+}
+
+// A deferred close runs at function exit, whatever its textual position:
+// the send below it is fine.
+func deferredCloseClean() {
+	ch := make(chan int, 1)
+	defer close(ch)
+	ch <- 1
+	<-ch
+}
+
+// Sends on channel parameters are the caller's business: it owns both ends
+// (the engine.Run out-channel shape).
+func emit(out chan<- int) {
+	out <- 1
+}
+
+// Closing another package's channel field races its senders; only the
+// owning package's shutdown path may do it.
+func stealClose(q *extq.Q) {
+	close(q.Ch) // want "close of channel field Ch owned by package chandiscipline/extq"
+}

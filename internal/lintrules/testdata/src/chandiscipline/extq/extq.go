@@ -1,0 +1,25 @@
+// Package extq owns a channel-bearing queue type; the chandiscipline
+// corpus closes its field from outside to seed the ownership violation.
+package extq
+
+// Q is a queue whose channel field only this package may close.
+type Q struct {
+	Ch chan int
+}
+
+// New returns a queue with a buffered channel.
+func New() *Q {
+	return &Q{Ch: make(chan int, 4)}
+}
+
+// Drain consumes the queue.
+func (q *Q) Drain() {
+	for v := range q.Ch {
+		_ = v
+	}
+}
+
+// Close shuts the queue down from its owning package.
+func (q *Q) Close() {
+	close(q.Ch)
+}

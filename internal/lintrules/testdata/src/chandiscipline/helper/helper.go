@@ -1,0 +1,8 @@
+// Package helper supplies the channel-forwarding helpers of the
+// chandiscipline corpus.
+package helper
+
+// Shutdown closes its channel parameter.
+func Shutdown(ch chan int) {
+	close(ch)
+}

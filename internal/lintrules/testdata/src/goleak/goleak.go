@@ -1,0 +1,119 @@
+// Package goleak is the seeded-violation corpus for the goroutine-leak
+// analyzer: spawned goroutines whose termination cannot be proven — ranges
+// over channels nothing closes, unconditional loops with no exit, receives
+// nothing pairs with, and blocking http Serve loops — against the clean
+// shapes (closed channels, context cancellation, WaitGroup coverage).
+package goleak
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+
+	"goleak/worker"
+)
+
+// A worker ranging over a channel the program never closes leaks.
+func rangeLeak() {
+	jobs := make(chan int)
+	go func() { // want "goroutine ranges over channel jobs that nothing in the program closes"
+		for v := range jobs {
+			_ = v
+		}
+	}()
+	jobs <- 1
+}
+
+// Closing the channel is the termination proof.
+func rangeClean() {
+	q := make(chan int, 4)
+	go func() {
+		for v := range q {
+			_ = v
+		}
+	}()
+	q <- 1
+	close(q)
+}
+
+// INTERPROCEDURAL-ONLY: the spawn target lives one package away and ranges
+// over its parameter; nothing here or there closes feed, so the worker
+// never exits. A syntactic check of this file sees only a clean call.
+func spawnHelperLeak() {
+	feed := make(chan int)
+	go worker.Drain(feed) // want "goroutine ranges over channel feed that nothing in the program closes"
+	feed <- 1
+}
+
+// The close happens inside a helper (worker.Shutdown closes its channel
+// parameter): the channel-parameter summary proves termination.
+func spawnHelperClean() {
+	feed := make(chan int, 1)
+	go worker.Drain(feed)
+	feed <- 1
+	worker.Shutdown(feed)
+}
+
+// An unconditional loop with no return, break or cancellation leaks.
+func spinLeak() {
+	go func() { // want "goroutine loops forever with no termination path"
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// Context cancellation is an exit path.
+func spinCtxClean(ctx context.Context, ticks chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case t := <-ticks:
+				_ = t
+			}
+		}
+	}()
+}
+
+// A WaitGroup the program waits on is the author's termination claim.
+func spinWaitGroupClean(step func() int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			_ = step()
+		}
+	}()
+	wg.Wait()
+}
+
+// Blocking on a receive nothing ever sends on or closes leaks.
+func recvLeak() {
+	done := make(chan struct{})
+	go func() { // want "goroutine blocks receiving from channel done, but nothing in the program sends on or closes it"
+		<-done
+	}()
+}
+
+// A close elsewhere in the function pairs the receive.
+func recvClean() {
+	done := make(chan struct{})
+	go func() {
+		<-done
+	}()
+	close(done)
+}
+
+// (*http.Server).Serve blocks until shutdown; with no visible shutdown
+// path the spawn reports — the reviewed-suppression seam for servers whose
+// lifetime the caller owns.
+func serveLeak(srv *http.Server, ln net.Listener) {
+	go func() { // want "goroutine runs \(\*http.Server\).Serve, which blocks until the server shuts down"
+		_ = srv.Serve(ln)
+	}()
+}

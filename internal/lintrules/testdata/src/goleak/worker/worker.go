@@ -1,0 +1,16 @@
+// Package worker holds the spawn targets and channel helpers of the goleak
+// corpus: the interprocedural cases resolve through these.
+package worker
+
+// Drain ranges over its channel parameter until it is closed.
+func Drain(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+// Shutdown closes its channel parameter — a close the channel-parameter
+// summaries project onto the caller's argument.
+func Shutdown(ch chan int) {
+	close(ch)
+}

@@ -1,0 +1,45 @@
+// Copied sync.WaitGroup and sync.Once values, pinned for the concurrency
+// suite: a forked WaitGroup's counter never reaches the original's Wait,
+// and a forked Once re-runs its function — the shard coordinator shapes.
+package locksafe
+
+import "sync"
+
+// coordinator is the shard-runtime shape: a WaitGroup tracking workers and
+// a Once guarding shutdown, embedded by value.
+type coordinator struct {
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+}
+
+func copyWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg2 := wg // want "assignment copies sync.WaitGroup by value"
+	wg2.Done()
+	wg.Wait()
+}
+
+func copyOnce(once sync.Once) { // want "signature passes sync.Once by value"
+	once.Do(func() {})
+}
+
+func copyCoordinator(c *coordinator) {
+	snapshot := *c // want "assignment copies locksafe.coordinator by value"
+	_ = &snapshot
+}
+
+func passCoordinator() {
+	var c coordinator
+	inspectCoordinator(c) // want "call copies locksafe.coordinator by value"
+}
+
+func inspectCoordinator(c coordinator) { // want "signature passes locksafe.coordinator by value"
+	_ = &c
+}
+
+func rangeCoordinators(cs []coordinator) {
+	for _, c := range cs { // want "range value copies locksafe.coordinator"
+		_ = &c
+	}
+}

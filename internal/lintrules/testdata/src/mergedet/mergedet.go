@@ -1,0 +1,113 @@
+// Package mergedet is the seeded-violation corpus for the merge-order
+// determinism analyzer: merged results that escape in channel-receive
+// (arrival) order — returned directly, via a helper one package away, or
+// stored into a field — against the clean shapes (seq-sorted before the
+// sink, directly or through a sortPairs-style helper).
+package mergedet
+
+import (
+	"sort"
+
+	"mergedet/src"
+)
+
+// Pair mirrors the runtime's merged emission record: sequence numbers plus
+// a payload.
+type Pair struct {
+	RSeq int
+	SSeq int
+	Val  string
+}
+
+// Returning the receive loop's accumulation unsorted emits in scheduling
+// order: whichever shard finished first.
+func MergeBad(ch chan Pair) []Pair {
+	var out []Pair
+	for p := range ch {
+		out = append(out, p)
+	}
+	return out // want "merged result returned in arrival order"
+}
+
+// Sorting by the sequence numbers before returning pins the order to the
+// ingress, not the scheduler.
+func MergeGood(ch chan Pair) []Pair {
+	var out []Pair
+	for p := range ch {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RSeq != out[j].RSeq {
+			return out[i].RSeq < out[j].RSeq
+		}
+		return out[i].SSeq < out[j].SSeq
+	})
+	return out
+}
+
+// Sorting by a non-seq field does not fix the order: equal payloads keep
+// their arrival order, which is still scheduling-dependent.
+func MergeWrongKey(ch chan Pair) []Pair {
+	var out []Pair
+	for p := range ch {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Val < out[j].Val })
+	return out // want "merged result returned in arrival order"
+}
+
+// mergeKey and sortPairs are the runtime's idiom: a seq-only comparator in
+// a helper, applied to the slice parameter.
+func mergeKey(a, b Pair) bool {
+	if a.RSeq != b.RSeq {
+		return a.RSeq < b.RSeq
+	}
+	return a.SSeq < b.SSeq
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool { return mergeKey(ps[i], ps[j]) })
+}
+
+// The sort arriving through the helper still sanitizes: the summary says
+// sortPairs seq-sorts its parameter.
+func MergeViaHelper(ch chan Pair) []Pair {
+	var out []Pair
+	for p := range ch {
+		out = append(out, p)
+	}
+	sortPairs(out)
+	return out
+}
+
+// INTERPROCEDURAL-ONLY: src.Collect returns its receive loop's
+// accumulation unsorted, so relaying its result emits arrival order even
+// though no receive appears in this function's source text.
+func Relay(ch chan src.Pair) []src.Pair {
+	return src.Collect(ch) // want "merged result returned in arrival order"
+}
+
+// Agg persists merged pairs across calls.
+type Agg struct {
+	pairs []Pair
+}
+
+// Storing the arrival-ordered slice into a field is the same escape as
+// returning it: the next reader sees scheduling order.
+func (a *Agg) Fill(ch chan Pair) {
+	var out []Pair
+	for p := range ch {
+		out = append(out, p)
+	}
+	a.pairs = out // want "merged result stored in arrival order"
+}
+
+// Sorting before the store is clean.
+func (a *Agg) FillSorted(ch chan Pair) {
+	var out []Pair
+	for p := range ch {
+		out = append(out, p)
+	}
+	sortPairs(out)
+	a.pairs = out
+}

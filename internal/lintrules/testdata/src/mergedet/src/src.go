@@ -1,0 +1,18 @@
+// Package src supplies the arrival-ordered helper of the mergedet corpus.
+package src
+
+// Pair carries sequence numbers like the runtime's merged records.
+type Pair struct {
+	RSeq int
+	SSeq int
+}
+
+// Collect drains the channel in arrival order and returns the accumulation
+// unsorted — callers relaying this result emit scheduling order.
+func Collect(ch chan Pair) []Pair {
+	var out []Pair
+	for p := range ch {
+		out = append(out, p)
+	}
+	return out
+}

@@ -143,6 +143,7 @@ func (rt *Runtime) Serve(addr string) (*http.Server, string, error) {
 		return nil, "", err
 	}
 	srv := &http.Server{Handler: rt.Handler()}
+	//lint:ignore goleak the returned *http.Server is owned by the caller, whose Close/Shutdown stops Serve and ends this goroutine
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr().String(), nil
 }

@@ -1,0 +1,108 @@
+package shardrt
+
+import (
+	"errors"
+	"testing"
+
+	"stochstream/internal/engine"
+)
+
+// TestFlushEmptyRuntime: Flush on a runtime that never ingested anything is a
+// no-op — no pairs, no error, no shard steps — and stays repeatable.
+func TestFlushEmptyRuntime(t *testing.T) {
+	rt, err := New(Config{Shards: 3, TotalCache: 9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	for i := 0; i < 2; i++ {
+		out, err := rt.Flush()
+		if err != nil {
+			t.Fatalf("flush %d on empty runtime: %v", i, err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("flush %d emitted %d pairs from an empty runtime", i, len(out))
+		}
+	}
+	m := rt.Metrics()
+	if m.Ingested != 0 {
+		t.Fatalf("empty flush counted ingress: %+v", m)
+	}
+	for i, sm := range m.Shards {
+		if sm.Engine.Steps != 0 {
+			t.Fatalf("shard %d stepped %d times on empty flushes", i, sm.Engine.Steps)
+		}
+	}
+}
+
+// TestIngestEmptyBatch: a zero-length batch is accepted, emits nothing, and
+// does not advance the ingress counter or step any shard.
+func TestIngestEmptyBatch(t *testing.T) {
+	rt, err := New(Config{Shards: 2, TotalCache: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	out, err := rt.IngestBatch(nil)
+	if err != nil {
+		t.Fatalf("IngestBatch(nil): %v", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("empty batch emitted %d pairs", len(out))
+	}
+	if m := rt.Metrics(); m.Ingested != 0 {
+		t.Fatalf("empty batch counted ingress: %+v", m)
+	}
+}
+
+// TestFlushRepeatable: a Flush that drains a carried lane tail leaves nothing
+// behind, so an immediate second Flush is an empty no-op.
+func TestFlushRepeatable(t *testing.T) {
+	rt, err := New(Config{Shards: 2, TotalCache: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	// One unpaired R on key 3 sits in the lane tail until Flush pads its S
+	// side with NoValue.
+	steps := []Step{{R: engine.Tuple{Key: 3}, S: engine.Tuple{Key: 4}}}
+	if _, err := rt.IngestBatch(steps); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Flush(); err != nil {
+		t.Fatalf("first flush: %v", err)
+	}
+	out, err := rt.Flush()
+	if err != nil {
+		t.Fatalf("second flush: %v", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("second flush re-emitted %d pairs", len(out))
+	}
+}
+
+// TestCloseEmptyRuntime: closing a runtime that never ingested drains nothing,
+// and the closed runtime answers ErrClosed to every mutator — including a
+// second Close, which must not panic on the already-stopped workers.
+func TestCloseEmptyRuntime(t *testing.T) {
+	rt, err := New(Config{Shards: 3, TotalCache: 9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rt.Close()
+	if err != nil {
+		t.Fatalf("close on empty runtime: %v", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("close drained %d pairs from an empty runtime", len(out))
+	}
+	if _, err := rt.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush after Close: %v, want ErrClosed", err)
+	}
+	if _, err := rt.IngestBatch(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("IngestBatch after Close: %v, want ErrClosed", err)
+	}
+	if _, err := rt.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Close: %v, want ErrClosed", err)
+	}
+}

@@ -118,6 +118,7 @@ func (r *Registry) Serve(addr string) (*http.Server, string, error) {
 		return nil, "", err
 	}
 	srv := &http.Server{Handler: r.Handler()}
+	//lint:ignore goleak the returned *http.Server is owned by the caller, whose Close/Shutdown stops Serve and ends this goroutine
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr().String(), nil
 }

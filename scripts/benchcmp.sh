@@ -24,6 +24,10 @@
 # budget contract is simply that a full stochlint run stays an order of
 # magnitude under the test suite's wall time (budget_gate_ms in that file).
 # Regenerate its numbers with: go run ./cmd/stochlint -timing ./...
+# Note the per-analyzer aggregates in the -timing output sum each worker's
+# wall time: with -parallel > 1 concurrent workers overlap, so the analyzer
+# column can add up to more than analyze_ms — compare budgets against the
+# analyze_ms wall time, not the per-analyzer sum.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

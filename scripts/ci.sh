@@ -10,20 +10,25 @@
 #                         (internal/lintrules, docs/static-analysis.md)
 #   4. stochlint self-test — the driver must exit 1 on the seeded corpus;
 #                         a silently broken analyzer suite cannot pass CI
-#   5. govulncheck      — known-vuln scan, soft-skipped offline
-#   6. build
-#   7. go test -race    — the full suite under the race detector
-#   8. chaos smoke      — seeded fault-injection campaign against the full
+#   5. concurrency lint — the goleak/chandiscipline/atomicfield/mergedet
+#                         corpora plus locksafe, the golden-JSON sync check
+#                         (scripts/regen-golden.sh --check), and an exit-1
+#                         self-test proving all four concurrency analyzers
+#                         still fire on the seeded shardrt corpus
+#   6. govulncheck      — known-vuln scan, soft-skipped offline
+#   7. build
+#   8. go test -race    — the full suite under the race detector
+#   9. chaos smoke      — seeded fault-injection campaign against the full
 #                         degradation ladder (docs/fault-tolerance.md)
-#   9. flight recorder  — race-detected flightrec suite plus the seeded
+#  10. flight recorder  — race-detected flightrec suite plus the seeded
 #                         bundle-on-fault chaos run as a named, grep-able gate
 #                         (docs/observability.md)
-#  10. shard runtime    — race-detected shardrt suite plus the recorded
+#  11. shard runtime    — race-detected shardrt suite plus the recorded
 #                         sharded-speedup gate (BENCH_shard.json, ≥3x at 8
 #                         shards; docs/performance.md)
-#  11. fuzz smoke       — 10s of FuzzStepEquivalence over the committed corpus
-#  12. gate self-test   — scripts/benchcmp_test.sh proves the perf gate fails
-#  13. bench smoke      — a build that breaks the benchmarks cannot land
+#  12. fuzz smoke       — 10s of FuzzStepEquivalence over the committed corpus
+#  13. gate self-test   — scripts/benchcmp_test.sh proves the perf gate fails
+#  14. bench smoke      — a build that breaks the benchmarks cannot land
 #
 # Run from the repo root:
 #
@@ -73,6 +78,28 @@ if [ "$rc" -ne 1 ]; then
     echo "stochlint self-test failed: expected exit 1 on the seeded corpus, got $rc"
     exit 1
 fi
+
+echo "==> concurrency lint suite (corpora + golden sync + exit-1 self-test)"
+# The four concurrency analyzers' corpora (each with an interprocedural-only
+# case) and the locksafe copies, as a named gate.
+go test -run 'TestGoleak|TestChandiscipline|TestAtomicfield|TestMergedet|TestLocksafe' -count=1 ./internal/lintrules
+# The committed golden must match a fresh run of the suite.
+./scripts/regen-golden.sh --check
+# Exit-1 self-test scoped to the concurrency seeds: the seeded shardrt
+# corpus must fail the driver AND trip every analyzer of the concurrency
+# suite — one of them going silently blind is exactly what this catches.
+rc=0
+conc_json=$(go run ./cmd/stochlint -C cmd/stochlint/testdata/mod -json ./internal/shardrt/... 2>/dev/null) || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "concurrency self-test: expected exit 1 on the seeded shardrt corpus, got $rc"
+    exit 1
+fi
+for a in goleak chandiscipline atomicfield mergedet; do
+    if ! grep -q "\"analyzer\": \"$a\"" <<<"$conc_json"; then
+        echo "concurrency self-test: no $a finding in the seeded shardrt corpus"
+        exit 1
+    fi
+done
 
 echo "==> govulncheck (soft-skip when offline)"
 GOVULNCHECK=golang.org/x/vuln/cmd/govulncheck@v1.1.4

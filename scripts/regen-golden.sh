@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# regen-golden.sh — regenerate or verify cmd/stochlint's golden JSON
+# (cmd/stochlint/testdata/golden.json), the byte-for-byte pin of the -json
+# schema, ordering and suppression flags over the seeded corpus.
+#
+#   ./scripts/regen-golden.sh          # rewrite the golden from a fresh run
+#   ./scripts/regen-golden.sh --check  # exit 1 if the golden is out of sync
+#                                      # (leaves the committed file untouched)
+#
+# The --check mode is a ci.sh gate: an analyzer change that alters findings
+# without a matching golden regeneration fails CI with the diff, instead of
+# failing later as an opaque byte mismatch in TestGoldenJSON.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+golden=cmd/stochlint/testdata/golden.json
+
+if [ "${1:-}" = "--check" ]; then
+    saved=$(mktemp)
+    cp "$golden" "$saved"
+    restore() { cp "$saved" "$golden"; rm -f "$saved"; }
+    trap restore EXIT
+    STOCHLINT_UPDATE_GOLDEN=1 go test ./cmd/stochlint -run TestGoldenJSON -count=1 >/dev/null
+    if ! diff -u "$saved" "$golden"; then
+        echo "golden.json out of sync with the analyzer suite; run ./scripts/regen-golden.sh and commit the result" >&2
+        exit 1
+    fi
+    exit 0
+fi
+
+STOCHLINT_UPDATE_GOLDEN=1 go test ./cmd/stochlint -run TestGoldenJSON -count=1
+echo "regenerated $golden"
