@@ -1,0 +1,174 @@
+package stochstream
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"stochstream/internal/engine"
+	"stochstream/internal/join"
+	"stochstream/internal/policy"
+	"stochstream/internal/shardrt"
+	"stochstream/internal/streamd"
+	"stochstream/internal/streamd/client"
+	"stochstream/internal/streamd/wire"
+)
+
+// Daemon benchmarks (BENCH_streamd.json): the cost of putting the network
+// front-end between a client and the 8-shard runtime, measured per 64-step
+// batch at steady state under the hot-path HEEB configuration — the same
+// workload shape as the sharded-runtime benchmarks.
+//
+// BenchmarkStreamdDirect is the in-process floor: shardrt.IngestBatch
+// called directly. BenchmarkStreamdDaemon pushes the identical batches
+// through a loopback TCP session — framing, sequence accounting, credit
+// flow, telemetry — and the -overhead gate in scripts/benchcmp.sh requires
+// its median no more than BENCH_streamd.json's overhead_budget_percent
+// (15%) above the direct call. BenchmarkStreamdDaemon64 records the same
+// daemon under 64 concurrent sessions: the engine loop serializes the
+// runtime, so per-batch wall time holding near the single-session figure is
+// the fairness/pipelining result the baseline file documents.
+
+const streamdBenchBatch = 64
+
+func streamdBenchRuntime() shardrt.Config {
+	return shardrt.Config{
+		Shards:     8,
+		TotalCache: shardBenchCache,
+		Procs:      shardBenchProcs(),
+		NewPolicy:  func(int) join.Policy { return policy.NewHEEB(hotOpts()) },
+		Seed:       1,
+	}
+}
+
+// streamdBenchSteps pre-builds n batches in both representations from the
+// same generated stream, so direct and daemon runs ingest identical keys.
+func streamdBenchSteps(nBatches int) ([][]shardrt.Step, [][]wire.Step) {
+	n := nBatches * streamdBenchBatch
+	r, s := shardBenchStream(n)
+	direct := make([][]shardrt.Step, nBatches)
+	wired := make([][]wire.Step, nBatches)
+	for b := 0; b < nBatches; b++ {
+		ds := make([]shardrt.Step, streamdBenchBatch)
+		ws := make([]wire.Step, streamdBenchBatch)
+		for i := 0; i < streamdBenchBatch; i++ {
+			t := b*streamdBenchBatch + i
+			ds[i] = shardrt.Step{R: engine.Tuple{Key: r[t]}, S: engine.Tuple{Key: s[t]}}
+			ws[i] = wire.Step{RKey: int64(r[t]), SKey: int64(s[t])}
+		}
+		direct[b] = ds
+		wired[b] = ws
+	}
+	return direct, wired
+}
+
+// streamdWarmBatches fills every shard cache before timing starts.
+const streamdWarmBatches = 2 * shardBenchCache / streamdBenchBatch
+
+func BenchmarkStreamdDirect(b *testing.B) {
+	rt, err := shardrt.New(streamdBenchRuntime())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	direct, _ := streamdBenchSteps(streamdWarmBatches + b.N)
+	for i := 0; i < streamdWarmBatches; i++ {
+		if _, err := rt.IngestBatch(direct[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.IngestBatch(direct[streamdWarmBatches+i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func streamdBenchServer(b *testing.B) *streamd.Server {
+	b.Helper()
+	srv, err := streamd.Start(streamd.Config{
+		Runtime: streamdBenchRuntime(),
+		Listen:  "127.0.0.1:0",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+func BenchmarkStreamdDaemon(b *testing.B) {
+	srv := streamdBenchServer(b)
+	cl, err := client.Dial(client.Options{Addr: srv.Addr(), Session: "bench", Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+	_, wired := streamdBenchSteps(streamdWarmBatches + b.N)
+	for i := 0; i < streamdWarmBatches; i++ {
+		if _, err := cl.Ingest(wired[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Ingest(wired[streamdWarmBatches+i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamdDaemon64 shares one daemon between 64 concurrent
+// sessions, each synchronous with its own batch sequence. The runtime is
+// still one engine loop, so this measures admission fairness and pipelining
+// under contention, not parallel speedup.
+func BenchmarkStreamdDaemon64(b *testing.B) {
+	srv := streamdBenchServer(b)
+	_, wired := streamdBenchSteps(streamdWarmBatches + 1)
+	// Warm the shard caches once before the contended phase.
+	cl, err := client.Dial(client.Options{Addr: srv.Addr(), Session: "bench-warm", Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < streamdWarmBatches; i++ {
+		if _, err := cl.Ingest(wired[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = cl.Close()
+
+	// RunParallel spawns parallelism × GOMAXPROCS goroutines; aim for 64
+	// sessions total.
+	par := 64 / runtime.GOMAXPROCS(0)
+	if par < 1 {
+		par = 1
+	}
+	var sessionID atomic.Int64
+	b.SetParallelism(par)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := sessionID.Add(1)
+		cl, err := client.Dial(client.Options{
+			Addr:    srv.Addr(),
+			Session: fmt.Sprintf("bench-%d", id),
+			Seed:    uint64(id),
+		})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer func() { _ = cl.Close() }()
+		batch := wired[streamdWarmBatches]
+		for pb.Next() {
+			if _, err := cl.Ingest(batch); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,267 @@
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"stochstream/internal/shardrt"
+	"stochstream/internal/stats"
+	"stochstream/internal/streamd"
+	"stochstream/internal/streamd/client"
+	"stochstream/internal/streamd/wire"
+)
+
+// Network chaos campaign: a real client drives a live daemon through a
+// fault-injecting net.Conn whose per-operation decisions come from a seeded
+// NetInjector — connection resets, truncated frames, stalled reads, and the
+// duplicated-ingest-after-reconnect case a reset between a consumed batch
+// and its acknowledgment manufactures. The contract under chaos: no panics,
+// no untyped failures (every shed is wire.ErrOverloaded/ErrDraining and the
+// client retries through it), replayed sequences dedup, and the accepted
+// result stream is byte-identical to a fault-free direct runtime fed the
+// same batch boundaries.
+
+// faultConn wraps a TCP connection, consulting the injector before every
+// socket operation. Resets close the underlying connection so both sides
+// observe the failure, like a real RST.
+type faultConn struct {
+	net.Conn
+	inj *NetInjector
+}
+
+func (f *faultConn) Write(p []byte) (int, error) {
+	switch f.inj.NextWrite() {
+	case NetReset:
+		_ = f.Conn.Close()
+		return 0, errors.New("faultinject: connection reset before write")
+	case NetPartialFrame:
+		if n := f.inj.Cut(len(p)); n > 0 {
+			_, _ = f.Conn.Write(p[:n])
+		}
+		_ = f.Conn.Close()
+		return 0, errors.New("faultinject: frame truncated mid-write")
+	}
+	return f.Conn.Write(p)
+}
+
+func (f *faultConn) Read(p []byte) (int, error) {
+	switch f.inj.NextRead() {
+	case NetReset:
+		_ = f.Conn.Close()
+		return 0, errors.New("faultinject: connection reset before read")
+	case NetStall:
+		time.Sleep(2 * time.Millisecond)
+	}
+	return f.Conn.Read(p)
+}
+
+// faultDialer dials the daemon and wraps the connection in the injector.
+func faultDialer(inj *NetInjector) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return &faultConn{Conn: nc, inj: inj}, nil
+	}
+}
+
+func netChaosRuntime() shardrt.Config {
+	return shardrt.Config{Shards: 4, TotalCache: 64, Seed: 42}
+}
+
+// netChaosSteps builds one deterministic batch with key collisions and
+// payloads, so the differential covers pair content, not just counts.
+func netChaosSteps(rng *stats.RNG, n int) []wire.Step {
+	steps := make([]wire.Step, n)
+	for i := range steps {
+		steps[i] = wire.Step{
+			RKey:     int64(rng.IntN(16)),
+			SKey:     int64(rng.IntN(16)),
+			RPayload: []byte{byte(i), 'r'},
+			SPayload: []byte{byte(i), 's'},
+		}
+	}
+	return steps
+}
+
+func netChaosOracleSteps(in []wire.Step) []shardrt.Step {
+	out := make([]shardrt.Step, len(in))
+	for i, ws := range in {
+		out[i].R.Key = int(ws.RKey)
+		out[i].S.Key = int(ws.SKey)
+		out[i].R.Payload = ws.RPayload
+		out[i].S.Payload = ws.SPayload
+	}
+	return out
+}
+
+func netChaosComparePairs(t *testing.T, batch int, got []wire.Pair, want []shardrt.Pair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("batch %d: %d pairs, oracle %d", batch, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		wr, _ := w.R.Payload.([]byte)
+		ws, _ := w.S.Payload.([]byte)
+		if g.RSeq != w.RSeq || g.SSeq != w.SSeq || int(g.RKey) != w.R.Key || int(g.SKey) != w.S.Key ||
+			int(g.Shard) != w.Shard || g.SameStep != w.SameStep ||
+			string(g.RPayload) != string(wr) || string(g.SPayload) != string(ws) {
+			t.Fatalf("batch %d pair %d diverged from oracle: %+v vs %+v", batch, i, g, w)
+		}
+	}
+}
+
+// TestNetworkChaosDifferential runs one session through the fault campaign
+// until every fault class has fired and at least one duplicated sequence
+// has been deduped, comparing every batch's pairs against the fault-free
+// oracle.
+func TestNetworkChaosDifferential(t *testing.T) {
+	srv, err := streamd.Start(streamd.Config{
+		Runtime:    netChaosRuntime(),
+		Listen:     "127.0.0.1:0",
+		RetryAfter: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	oracle, err := shardrt.New(netChaosRuntime())
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	defer func() { _, _ = oracle.Close() }()
+
+	inj := NewNet(DefaultNetPlan(1234))
+	cl, err := client.Dial(client.Options{
+		Addr:        srv.Addr(),
+		Session:     "netchaos",
+		Seed:        5,
+		MaxAttempts: 100,
+		BaseBackoff: 200 * time.Microsecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Dialer:      faultDialer(inj),
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	rng := stats.NewRNG(99)
+	const maxBatches, batchLen = 400, 40
+	done := func() bool {
+		c := inj.NetCounts()
+		dups := srv.Registry().Snapshot().Counters["streamd_dup_batches_total"]
+		return c.WriteResets > 0 && c.PartialFrames > 0 && c.ReadResets > 0 && c.ReadStalls > 0 && dups > 0
+	}
+	batches := 0
+	for ; batches < maxBatches; batches++ {
+		steps := netChaosSteps(rng, batchLen)
+		got, err := cl.Ingest(steps)
+		if err != nil {
+			t.Fatalf("batch %d: Ingest under chaos: %v", batches, err)
+		}
+		want, err := oracle.IngestBatch(netChaosOracleSteps(steps))
+		if err != nil {
+			t.Fatalf("batch %d: oracle IngestBatch: %v", batches, err)
+		}
+		netChaosComparePairs(t, batches, got, want)
+		// A modest floor keeps the campaign meaningful even when faults
+		// cluster early; past it, stop as soon as every class has fired.
+		if batches >= 60 && done() {
+			batches++
+			break
+		}
+	}
+	if !done() {
+		t.Fatalf("campaign too tame after %d batches: %+v, dups=%d",
+			batches, inj.NetCounts(), srv.Registry().Snapshot().Counters["streamd_dup_batches_total"])
+	}
+	if cl.Acked() != uint64(batches) {
+		t.Fatalf("Acked = %d, want %d", cl.Acked(), batches)
+	}
+
+	snap := srv.Registry().Snapshot()
+	// Every accepted batch was ingested exactly once: replayed sequences
+	// were deduped, nothing was double-counted and nothing acked was lost.
+	if got, want := snap.Counters["streamd_steps_total"], int64(batches*batchLen); got != want {
+		t.Fatalf("steps_total = %d, want %d (dedup or loss failure)", got, want)
+	}
+	if snap.Counters["streamd_internal_errors_total"] != 0 {
+		t.Fatalf("internal errors under chaos: %d", snap.Counters["streamd_internal_errors_total"])
+	}
+	t.Logf("campaign: %d batches, faults %+v, dup batches %d, slow sheds %d",
+		batches, inj.NetCounts(), snap.Counters["streamd_dup_batches_total"], snap.Counters["streamd_shed_slow_total"])
+}
+
+// TestNetworkChaosConcurrent turns the same campaign loose with several
+// sessions sharing one daemon whose ingest queue is a single slot, so
+// admission pressure is constant. Every client must complete every batch —
+// sheds surface only as typed overloads the retry loop absorbs — and the
+// daemon's step counter must balance exactly: no duplicated ingest, no
+// dropped-but-acked batch, across sessions and reconnects.
+func TestNetworkChaosConcurrent(t *testing.T) {
+	srv, err := streamd.Start(streamd.Config{
+		Runtime:    netChaosRuntime(),
+		Listen:     "127.0.0.1:0",
+		QueueDepth: 1,
+		RetryAfter: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	const clients, batchesPer, batchLen = 6, 30, 256
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := client.Dial(client.Options{
+				Addr:        srv.Addr(),
+				Session:     "chaos-" + string(rune('a'+id)),
+				Seed:        uint64(id),
+				MaxAttempts: 200,
+				BaseBackoff: 200 * time.Microsecond,
+				MaxBackoff:  5 * time.Millisecond,
+				Dialer:      faultDialer(NewNet(DefaultNetPlan(uint64(7000 + id)))),
+			})
+			if err != nil {
+				t.Errorf("client %d: Dial: %v", id, err)
+				return
+			}
+			defer func() { _ = cl.Close() }()
+			rng := stats.NewRNG(uint64(500 + id))
+			for b := 0; b < batchesPer; b++ {
+				if _, err := cl.Ingest(netChaosSteps(rng, batchLen)); err != nil {
+					t.Errorf("client %d batch %d: %v", id, b, err)
+					return
+				}
+			}
+			if cl.Acked() != batchesPer {
+				t.Errorf("client %d: Acked = %d, want %d", id, cl.Acked(), batchesPer)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	snap := srv.Registry().Snapshot()
+	if got, want := snap.Counters["streamd_steps_total"], int64(clients*batchesPer*batchLen); got != want {
+		t.Fatalf("steps_total = %d, want %d (dedup or loss under concurrency)", got, want)
+	}
+	if snap.Counters["streamd_internal_errors_total"] != 0 {
+		t.Fatalf("internal errors: %d", snap.Counters["streamd_internal_errors_total"])
+	}
+	t.Logf("concurrent campaign: queue sheds %d, dup batches %d, slow sheds %d",
+		snap.Counters["streamd_shed_queue_total"], snap.Counters["streamd_dup_batches_total"],
+		snap.Counters["streamd_shed_slow_total"])
+}

@@ -1,0 +1,119 @@
+package faultinject
+
+import "stochstream/internal/stats"
+
+// NetFault is one network-level fault decision, applied to a single socket
+// read or write by a fault-injecting net.Conn wrapper (the chaos tests keep
+// the wrapper; this package keeps the seeded decisions, so a failing
+// campaign replays identically).
+type NetFault int
+
+const (
+	// NetNone lets the operation through untouched.
+	NetNone NetFault = iota
+	// NetReset closes the connection before the operation — a connection
+	// reset. A reset after the daemon has consumed a batch but before the
+	// client read its acknowledgment is exactly the "duplicated ingest
+	// after reconnect" case: the client resends the batch and the daemon
+	// must dedup it by sequence.
+	NetReset
+	// NetPartialFrame delivers only a seeded prefix of the frame bytes and
+	// then resets — the daemon sees a truncated frame and must tear the
+	// connection down without consuming a sequence number.
+	NetPartialFrame
+	// NetStall holds the reader for a beat before the read proceeds — a
+	// stalled consumer, exercising the daemon's write path and deadlines
+	// without violating the protocol.
+	NetStall
+)
+
+// NetPlan is a seeded network fault campaign over the streamd framed
+// protocol: per-write probabilities of resets and truncated frames, and
+// per-read probabilities of resets and stalls. Probabilities are in [0, 1];
+// the zero NetPlan injects nothing.
+type NetPlan struct {
+	Seed uint64
+	// ResetWriteProb resets the connection instead of sending a frame.
+	ResetWriteProb float64
+	// PartialWriteProb sends a seeded prefix of the frame and then resets.
+	PartialWriteProb float64
+	// ResetReadProb resets the connection instead of reading. When the
+	// preceding write carried an ingest batch this manufactures a
+	// duplicated ingest: the acknowledgment is lost, the client reconnects
+	// and resends an already-consumed sequence.
+	ResetReadProb float64
+	// StallReadProb stalls the reader before the read proceeds.
+	StallReadProb float64
+}
+
+// DefaultNetPlan is the CI network chaos campaign: every fault class occurs
+// often enough to be exercised in a few hundred operations, rarely enough
+// that bounded client retries always recover.
+func DefaultNetPlan(seed uint64) NetPlan {
+	return NetPlan{
+		Seed:             seed,
+		ResetWriteProb:   0.04,
+		PartialWriteProb: 0.03,
+		ResetReadProb:    0.03,
+		StallReadProb:    0.05,
+	}
+}
+
+// NetCounts reports how many faults of each class a NetInjector has decided.
+type NetCounts struct {
+	WriteResets, PartialFrames, ReadResets, ReadStalls int
+}
+
+// NetInjector turns a NetPlan into a deterministic stream of per-operation
+// fault decisions. Not safe for concurrent use: give each client connection
+// (or each single-threaded client) its own injector.
+type NetInjector struct {
+	plan   NetPlan
+	rng    *stats.RNG
+	counts NetCounts
+}
+
+// NewNet returns an injector for the plan.
+func NewNet(plan NetPlan) *NetInjector {
+	return &NetInjector{plan: plan, rng: stats.NewRNG(plan.Seed)}
+}
+
+// NextWrite decides the fault for one socket write:
+// NetNone, NetReset or NetPartialFrame.
+func (in *NetInjector) NextWrite() NetFault {
+	switch u := in.rng.Float64(); {
+	case u < in.plan.ResetWriteProb:
+		in.counts.WriteResets++
+		return NetReset
+	case u < in.plan.ResetWriteProb+in.plan.PartialWriteProb:
+		in.counts.PartialFrames++
+		return NetPartialFrame
+	}
+	return NetNone
+}
+
+// NextRead decides the fault for one socket read:
+// NetNone, NetReset or NetStall.
+func (in *NetInjector) NextRead() NetFault {
+	switch u := in.rng.Float64(); {
+	case u < in.plan.ResetReadProb:
+		in.counts.ReadResets++
+		return NetReset
+	case u < in.plan.ResetReadProb+in.plan.StallReadProb:
+		in.counts.ReadStalls++
+		return NetStall
+	}
+	return NetNone
+}
+
+// Cut picks how many of n frame bytes a NetPartialFrame lets through:
+// a seeded value in [0, n).
+func (in *NetInjector) Cut(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return in.rng.IntN(n)
+}
+
+// NetCounts returns the per-class decision counters so far.
+func (in *NetInjector) NetCounts() NetCounts { return in.counts }

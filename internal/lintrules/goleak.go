@@ -33,9 +33,14 @@ import (
 //
 // A goroutine that blocks on a channel nothing ever sends on or closes, or
 // that runs a (*net/http.Server).Serve loop whose shutdown the analysis
-// cannot see, is reported at the spawn site. The Serve case is the
-// reviewed-suppression seam: when the server handle escapes to a caller
-// that owns the shutdown, say so in a //lint:ignore goleak reason.
+// cannot see, is reported at the spawn site. The Serve case has its own
+// termination evidence — "managed serve": when the server value the
+// goroutine serves on is also the receiver of a Shutdown or Close call
+// somewhere in the program (the internal/httpd lifecycle), the analyzer
+// accepts the spawn, exactly as a channel close proves a range worker.
+// A bare spawn whose server nothing visibly stops still reports; when the
+// shutdown genuinely lives outside the module, say so in a
+// //lint:ignore goleak reason.
 const goleakName = "goleak"
 
 var Goleak = &analysis.Analyzer{
@@ -57,6 +62,60 @@ func isServeMethod(fn *types.Func) bool {
 	return recv != nil && isNamedType(recv.Type(), "net/http", "Server")
 }
 
+// shutdownMethods are the net/http.Server methods that stop a Serve loop.
+var shutdownMethods = map[string]bool{"Shutdown": true, "Close": true}
+
+// httpServerCall matches a method call on a net/http.Server value and
+// returns the receiver's root and the method name.
+func httpServerCall(info *types.Info, call *ast.CallExpr) (dataflow.Root, string, bool) {
+	sel, ok := unparenExpr(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return dataflow.Root{}, "", false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return dataflow.Root{}, "", false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return dataflow.Root{}, "", false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil || !isNamedType(recv.Type(), "net/http", "Server") {
+		return dataflow.Root{}, "", false
+	}
+	return dataflow.RootOf(info, sel.X), sel.Sel.Name, true
+}
+
+// serverShutdownRoots returns every http.Server root the program calls
+// Shutdown or Close on — the managed-serve termination evidence. Field
+// roots are shared across instances, matching the lifecycle-struct idiom
+// (internal/httpd.Server.srv); local and parameter roots only pair with
+// shutdowns in their own function, the same visibility a local channel has.
+func serverShutdownRoots(prog *dataflow.Program) map[dataflow.Root]bool {
+	out := map[dataflow.Root]bool{}
+	for _, f := range prog.Funcs() {
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if root, m, ok := httpServerCall(f.Pkg.Info, call); ok && shutdownMethods[m] && root.Valid() {
+					out[root] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// serveRecvRoot resolves the receiver root of a Serve-method call for the
+// managed-serve check.
+func serveRecvRoot(info *types.Info, call *ast.CallExpr) dataflow.Root {
+	if sel, ok := unparenExpr(call.Fun).(*ast.SelectorExpr); ok {
+		return dataflow.RootOf(info, sel.X)
+	}
+	return dataflow.Root{}
+}
+
 func runGoleak(pass *analysis.Pass) (interface{}, error) {
 	prog, _ := pass.Facts.(*dataflow.Program)
 	if prog == nil {
@@ -66,16 +125,17 @@ func runGoleak(pass *analysis.Pass) (interface{}, error) {
 	closed := chanRootsWith(prog, store, dataflow.ChanClose)
 	sent := chanRootsWith(prog, store, dataflow.ChanSend)
 	waited := waitGroupRoots(prog, "Wait")
+	stopped := serverShutdownRoots(prog)
 	for _, f := range prog.FuncsOf(pass.Pkg.Path()) {
 		for _, sp := range f.Conc().Spawns {
-			checkSpawn(pass, prog, f, sp, closed, sent, waited)
+			checkSpawn(pass, prog, f, sp, closed, sent, waited, stopped)
 		}
 	}
 	return nil, nil
 }
 
 func checkSpawn(pass *analysis.Pass, prog *dataflow.Program, f *dataflow.Func, sp dataflow.SpawnSite,
-	closed, sent, waited map[dataflow.Root]bool) {
+	closed, sent, waited, stopped map[dataflow.Root]bool) {
 	siteInfo := f.Pkg.Info
 	bodyInfo := siteInfo
 	var body *ast.BlockStmt
@@ -90,8 +150,9 @@ func checkSpawn(pass *analysis.Pass, prog *dataflow.Program, f *dataflow.Func, s
 		callee := prog.FuncOf(sp.Callee)
 		if callee == nil {
 			// External spawn target: the one named contract is the blocking
-			// http server loop.
-			if isServeMethod(sp.Callee) {
+			// http server loop — accepted when the spawned server's root has
+			// a visible Shutdown/Close (managed serve), reported otherwise.
+			if isServeMethod(sp.Callee) && !stopped[serveRecvRoot(siteInfo, sp.Stmt.Call)] {
 				reportServe(pass, sp.Stmt.Pos(), sp.Callee.Name())
 			}
 			return
@@ -176,9 +237,11 @@ func checkSpawn(pass *analysis.Pass, prog *dataflow.Program, f *dataflow.Func, s
 		}
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if isServeMethod(dataflow.CalleeObj(bodyInfo, n)) {
-				reportServe(pass, sp.Stmt.Pos(), dataflow.CalleeObj(bodyInfo, n).Name())
-				reported = true
+			if fn := dataflow.CalleeObj(bodyInfo, n); isServeMethod(fn) {
+				if !stopped[resolve(serveRecvRoot(bodyInfo, n))] {
+					reportServe(pass, sp.Stmt.Pos(), fn.Name())
+					reported = true
+				}
 			}
 		case *ast.RangeStmt:
 			tv, ok := bodyInfo.Types[n.X]
@@ -219,7 +282,7 @@ func checkSpawn(pass *analysis.Pass, prog *dataflow.Program, f *dataflow.Func, s
 }
 
 func reportServe(pass *analysis.Pass, pos token.Pos, method string) {
-	pass.Reportf(pos, "goroutine runs (*http.Server).%s, which blocks until the server shuts down, and no shutdown path is visible to the analysis: tie the server to its owner's Close path, or //lint:ignore goleak with the reason the caller owns the returned server", method)
+	pass.Reportf(pos, "goroutine runs (*http.Server).%s, which blocks until the server shuts down, and no shutdown path is visible to the analysis: call Shutdown/Close on the same server value from the owner's stop path (the internal/httpd managed lifecycle), or //lint:ignore goleak with the reason the shutdown lives outside the module", method)
 }
 
 // loopHasExit reports whether an unconditional `for { ... }` loop has a

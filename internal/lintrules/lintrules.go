@@ -61,6 +61,13 @@ var decisionPkgs = []string{
 	// clock or ambient-rand read there breaks checkpoint replay of the
 	// whole runtime, not just one shard.
 	"stochstream/internal/shardrt",
+	// The network daemon (and its wire/client subpackages, caught by the
+	// prefix match) admits, orders and replays batches: any ambient clock
+	// or randomness in sequencing, dedup or replay decisions would break
+	// the drain/restart byte-identity guarantee. Wall-clock needs —
+	// connection deadlines, reaping, backoff jitter — go through the
+	// Config.Clock seam or seeded stats.RNG.
+	"stochstream/internal/streamd",
 }
 
 // emissionPkgs additionally carry result emission and metric export, whose
@@ -68,6 +75,9 @@ var decisionPkgs = []string{
 var emissionPkgs = append([]string{
 	"stochstream/internal/join",
 	"stochstream/internal/telemetry",
+	// The managed HTTP server lifecycle: its serve goroutine is the
+	// pattern goleak's managed-serve evidence exists for.
+	"stochstream/internal/httpd",
 }, decisionPkgs...)
 
 func inAny(pkgPath string, roots []string) bool {
@@ -86,6 +96,9 @@ func everywhere(string) bool { return true }
 // emission order.
 var mergedetPkgs = []string{
 	"stochstream/internal/shardrt",
+	// The daemon forwards the runtime's merged order to clients; anything
+	// it persists or returns must preserve that order.
+	"stochstream/internal/streamd",
 }
 
 // Rules returns the stochlint suite with its package scoping.

@@ -3,13 +3,13 @@ package shardrt
 import (
 	"encoding/json"
 	"fmt"
-	"net"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 
 	"stochstream/internal/flightrec"
+	"stochstream/internal/httpd"
 	"stochstream/internal/telemetry"
 )
 
@@ -135,15 +135,14 @@ func httpError(w http.ResponseWriter, status int, msg string) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
-// Serve starts the aggregated HTTP surface on addr in a background goroutine
-// and returns the server and bound address (use ":0" for an ephemeral port).
-func (rt *Runtime) Serve(addr string) (*http.Server, string, error) {
-	ln, err := net.Listen("tcp", addr)
+// Serve starts the aggregated HTTP surface on addr as a managed httpd
+// server (header/idle timeouts, context-driven Shutdown, joined serve
+// goroutine) and returns it with the bound address (use ":0" for an
+// ephemeral port). Stop it with Shutdown (graceful) or Close.
+func (rt *Runtime) Serve(addr string) (*httpd.Server, string, error) {
+	srv, err := httpd.Start(addr, rt.Handler())
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: rt.Handler()}
-	//lint:ignore goleak the returned *http.Server is owned by the caller, whose Close/Shutdown stops Serve and ends this goroutine
-	go func() { _ = srv.Serve(ln) }()
-	return srv, ln.Addr().String(), nil
+	return srv, srv.Addr(), nil
 }

@@ -444,6 +444,19 @@ func (rt *Runtime) Close() ([]Pair, error) {
 	return out, err
 }
 
+// Shutdown stops the shard workers and marks the runtime closed WITHOUT the
+// drain dispatch Close performs: the lanes and shard engines keep their
+// exact state. It is the checkpoint-then-exit path — a Checkpoint taken
+// just before Shutdown restores byte-identically, carried lane tails
+// included, whereas Close's drain would pad and step them first. Idempotent.
+func (rt *Runtime) Shutdown() {
+	if rt.closed {
+		return
+	}
+	rt.closed = true
+	rt.stopWorkers()
+}
+
 func (rt *Runtime) stopWorkers() {
 	for _, sh := range rt.shards {
 		if sh.eng != nil {

@@ -1,0 +1,22 @@
+package streamd
+
+import "stochstream/internal/streamd/wire"
+
+// The daemon's error taxonomy and wire-visible batch types live in the
+// wire subpackage so the client package shares them without importing the
+// server; they are re-exported here because streamd is the daemon's API
+// surface and callers match rejections with errors.Is against these names.
+var (
+	ErrOverloaded  = wire.ErrOverloaded
+	ErrDraining    = wire.ErrDraining
+	ErrClosed      = wire.ErrClosed
+	ErrSessionBusy = wire.ErrSessionBusy
+	ErrSeqGap      = wire.ErrSeqGap
+	ErrBadFrame    = wire.ErrBadFrame
+	ErrBadStep     = wire.ErrBadStep
+	ErrFlowControl = wire.ErrFlowControl
+)
+
+// OverloadError carries the shed reason and retry-after hint; it unwraps
+// to ErrOverloaded.
+type OverloadError = wire.OverloadError

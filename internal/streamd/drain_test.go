@@ -1,0 +1,151 @@
+package streamd_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stochstream/internal/shardrt"
+	"stochstream/internal/stats"
+	"stochstream/internal/streamd"
+	"stochstream/internal/streamd/client"
+	"stochstream/internal/streamd/wire"
+)
+
+// TestDrainRestartByteIdentical is the drain-under-load differential: a
+// client streams batches while the daemon is drained mid-stream, the drain
+// writes a checkpoint, a fresh daemon restores it on the same address, and
+// the client rides its retry loop across the outage. The concatenated
+// result stream — acknowledged batches before the drain, after the restart,
+// and the final flush — must be byte-identical to an uninterrupted direct
+// runtime fed the same batch boundaries.
+func TestDrainRestartByteIdentical(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "drain.ckpt")
+	cfg := func(listen string) streamd.Config {
+		return streamd.Config{
+			Runtime:        testRuntimeConfig(4),
+			Listen:         listen,
+			CheckpointPath: ckpt,
+			RetryAfter:     time.Millisecond,
+		}
+	}
+	srv1, err := streamd.Start(cfg("127.0.0.1:0"))
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	addr := srv1.Addr()
+
+	// Pre-generate every batch: the boundaries are the determinism domain.
+	rng := stats.NewRNG(2024)
+	const batches, batchLen = 40, 64
+	work := make([][]wire.Step, batches)
+	for b := range work {
+		work[b] = genSteps(rng, batchLen, 16)
+	}
+
+	cl, err := client.Dial(client.Options{
+		Addr:        addr,
+		Session:     "drain",
+		Seed:        11,
+		MaxAttempts: 400,
+		BaseBackoff: 500 * time.Microsecond,
+		MaxBackoff:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	// The client streams on its own goroutine, so the drain lands mid-load.
+	// A batch that exhausts its retries inside the outage window is simply
+	// retried again: the base is derived from acked state, so the resume
+	// point cannot drift.
+	gotPairs := make([][]wire.Pair, batches)
+	var acked atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < batches; b++ {
+			for {
+				pairs, err := cl.Ingest(work[b])
+				if err == nil {
+					gotPairs[b] = pairs
+					break
+				}
+				t.Logf("batch %d riding outage: %v", b, err)
+			}
+			acked.Store(int64(b + 1))
+		}
+	}()
+
+	// Drain once a few batches are acknowledged, so the checkpoint carries
+	// real session and runtime state.
+	for acked.Load() < 5 {
+		time.Sleep(200 * time.Microsecond)
+	}
+	if err := srv1.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	ackedAtDrain := acked.Load()
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("drain wrote no checkpoint: %v", err)
+	}
+
+	// Restart on the same address from the checkpoint; the client's backoff
+	// spans the gap and its session resumes by sequence.
+	srv2, err := streamd.Start(cfg(addr))
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer func() { _ = srv2.Close() }()
+	wg.Wait()
+
+	if acked.Load() != batches {
+		t.Fatalf("client finished %d/%d batches", acked.Load(), batches)
+	}
+	if ackedAtDrain >= batches {
+		t.Fatalf("drain landed after the stream ended (acked %d); shrink the trigger threshold", ackedAtDrain)
+	}
+	gotFlush, err := cl.Flush()
+	if err != nil {
+		t.Fatalf("Flush after restart: %v", err)
+	}
+
+	// Uninterrupted oracle: the direct runtime with identical boundaries.
+	oracle, err := shardrt.New(testRuntimeConfig(4))
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	defer func() { _, _ = oracle.Close() }()
+	for b := 0; b < batches; b++ {
+		want, err := oracle.IngestBatch(toRuntimeSteps(work[b]))
+		if err != nil {
+			t.Fatalf("oracle batch %d: %v", b, err)
+		}
+		wirePairsEqualRuntime(t, gotPairs[b], want)
+	}
+	wantFlush, err := oracle.Flush()
+	if err != nil {
+		t.Fatalf("oracle flush: %v", err)
+	}
+	wirePairsEqualRuntime(t, gotFlush, wantFlush)
+
+	// Step conservation across the restart: the two daemons together
+	// ingested every step exactly once — the checkpoint carried the prefix,
+	// the replay buffer absorbed any ack lost to the drain, and nothing was
+	// re-ingested or dropped.
+	pre := srv1.Registry().Snapshot().Counters["streamd_steps_total"]
+	post := srv2.Registry().Snapshot().Counters["streamd_steps_total"]
+	if pre+post != int64(batches)*batchLen {
+		t.Fatalf("steps split %d + %d across restart, want total %d", pre, post, int64(batches)*batchLen)
+	}
+	if pre == 0 || post == 0 {
+		t.Fatalf("drain did not land mid-stream: %d steps before, %d after", pre, post)
+	}
+	t.Logf("drained after ~%d/%d batches; steps %d before restart, %d after", ackedAtDrain, batches, pre, post)
+}

@@ -1,0 +1,1034 @@
+// Package streamd is the network front-end of the sharded runtime: a
+// long-running daemon that mounts one shardrt.Runtime behind concurrent
+// client sessions speaking a length-prefixed framed protocol, plus an
+// HTTP/JSON convenience route and the runtime's observability surfaces.
+//
+// The daemon multiplexes every session into one global ingest order — the
+// runtime assigns global ingress sequence numbers at admission, so results
+// are idempotent to replay and a reconnecting client dedups by sequence.
+// Robustness is layered: credit-based per-session flow control bounds what
+// a client may have outstanding, the admission controller sheds with typed
+// ErrOverloaded (plus a retry-after hint) once the ingest queue or the
+// memory watermark is crossed, per-connection read/write deadlines plus a
+// session reaper bound abandoned state, and SIGTERM triggers a graceful
+// drain: stop admissions, flush in-flight batches through the engine,
+// write a sharded checkpoint, exit. A restarted daemon restores the
+// checkpoint and continues byte-identically with an uninterrupted run —
+// provided clients replay the same batch boundaries, which the synchronous
+// client package guarantees (see docs/service.md).
+package streamd
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stochstream/internal/checkpoint"
+	"stochstream/internal/engine"
+	"stochstream/internal/httpd"
+	"stochstream/internal/process"
+	"stochstream/internal/shardrt"
+	"stochstream/internal/streamd/wire"
+	"stochstream/internal/telemetry"
+)
+
+// Config configures the daemon.
+type Config struct {
+	// Runtime configures the mounted sharded runtime.
+	Runtime shardrt.Config
+	// Listen is the TCP address of the framed protocol (use "127.0.0.1:0"
+	// for an ephemeral port in tests).
+	Listen string
+	// HTTPListen, when non-empty, serves the HTTP surface (/ingest,
+	// /healthz, /readyz, /metrics, /spans, ...) on this address.
+	HTTPListen string
+	// Credits is the per-session flow-control window in steps (default
+	// 4096). Result frames carry the absolute remainder.
+	Credits int
+	// QueueDepth bounds the engine ingest queue in batches (default 64);
+	// a full queue sheds with ErrOverloaded.
+	QueueDepth int
+	// ConnOutDepth bounds each connection's outgoing frame buffer (default
+	// 64); a full buffer marks the consumer slow and kills the connection.
+	ConnOutDepth int
+	// MemSoftLimit, in bytes, sheds new batches while heap usage is above
+	// it (0 disables memory shedding).
+	MemSoftLimit uint64
+	// RetryAfter is the backoff hint attached to overload rejections
+	// (default 50ms).
+	RetryAfter time.Duration
+	// ReadTimeout is the per-frame read deadline and therefore also the
+	// idle-connection bound (default 2m). WriteTimeout is the per-frame
+	// write deadline (default 30s).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// SessionTTL is how long a detached session's resume state is retained
+	// (default 15m); ReapEvery is the reaper cadence (default 15s).
+	SessionTTL time.Duration
+	ReapEvery  time.Duration
+	// CheckpointPath, when non-empty, is restored at startup if present
+	// and written atomically during graceful drain.
+	CheckpointPath string
+	// Clock overrides the wall clock (nanos) for deadlines, reaping and
+	// latency metrics; nil uses the real clock. Deterministic tests pin it.
+	Clock func() int64
+}
+
+func (cfg *Config) applyDefaults() {
+	if cfg.Credits == 0 {
+		cfg.Credits = 4096
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.ConnOutDepth == 0 {
+		cfg.ConnOutDepth = 64
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = 50 * time.Millisecond
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 2 * time.Minute
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	if cfg.SessionTTL == 0 {
+		cfg.SessionTTL = 15 * time.Minute
+	}
+	if cfg.ReapEvery == 0 {
+		cfg.ReapEvery = 15 * time.Second
+	}
+}
+
+// request kinds for the engine loop.
+const (
+	kindIngest = iota + 1
+	kindFlush
+	kindHTTP
+)
+
+// engineReply answers a kindHTTP request.
+type engineReply struct {
+	pairs []shardrt.Pair
+	err   error
+}
+
+// ingestReq is one unit of engine-loop work. The engine loop is the only
+// goroutine that touches the runtime; everything else funnels through the
+// bounded ingest queue, which is also the admission controller's gauge.
+type ingestReq struct {
+	kind  int
+	sess  *session // kindIngest/kindFlush delivery target
+	base  uint64   // kindIngest batch base
+	steps []shardrt.Step
+	reply chan engineReply // kindHTTP only, buffered cap 1
+}
+
+// Server is the daemon. Start builds and runs it; Drain (or Close) stops
+// it. All exported methods are safe for concurrent use.
+type Server struct {
+	cfg Config
+	rt  *shardrt.Runtime
+	ln  net.Listener
+	hs  *httpd.Server
+	reg *telemetry.Registry
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	conns    map[*conn]struct{}
+
+	// submitMu is the drain barrier: submitters hold it shared around the
+	// draining check plus queue send, Drain takes it exclusively between
+	// setting draining and closing the queue, so no send can race the
+	// close.
+	submitMu sync.RWMutex
+	draining atomic.Bool
+	ingest   chan *ingestReq
+
+	engineDone chan struct{}
+	acceptDone chan struct{}
+	reaperStop chan struct{}
+	reaperDone chan struct{}
+	connWG     sync.WaitGroup
+	drainOnce  sync.Once
+	drainErr   error
+
+	heapBytes atomic.Uint64
+
+	stepsTotal   *telemetry.Counter
+	pairsTotal   *telemetry.Counter
+	batchesTotal *telemetry.Counter
+	flushesTotal *telemetry.Counter
+	httpTotal    *telemetry.Counter
+	dupBatches   *telemetry.Counter
+	shedQueue    *telemetry.Counter
+	shedMem      *telemetry.Counter
+	shedSlow     *telemetry.Counter
+	drainRejects *telemetry.Counter
+	acceptErrs   *telemetry.Counter
+	internalErrs *telemetry.Counter
+	batchLatency *telemetry.Histogram
+}
+
+// nowNanos is the daemon's only wall-clock access; Config.Clock overrides
+// it for deterministic tests. The value feeds connection deadlines, the
+// session reaper and latency metrics — never a replacement decision.
+func (s *Server) nowNanos() int64 {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock()
+	}
+	//lint:ignore dettaint connection deadlines, idle reaping and latency metrics only; the value never feeds a replacement decision
+	return time.Now().UnixNano()
+}
+
+// Start builds the runtime (restoring a checkpoint when configured and
+// present), binds the listeners and launches the daemon's goroutines.
+func Start(cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	rt, err := shardrt.New(cfg.Runtime)
+	if err != nil {
+		return nil, fmt.Errorf("streamd: runtime: %w", err)
+	}
+	s := &Server{
+		cfg:        cfg,
+		rt:         rt,
+		reg:        telemetry.NewRegistry(),
+		sessions:   map[string]*session{},
+		conns:      map[*conn]struct{}{},
+		ingest:     make(chan *ingestReq, cfg.QueueDepth),
+		engineDone: make(chan struct{}),
+		acceptDone: make(chan struct{}),
+		reaperStop: make(chan struct{}),
+		reaperDone: make(chan struct{}),
+	}
+	if err := s.restore(); err != nil {
+		rt.Shutdown()
+		return nil, err
+	}
+	s.initMetrics()
+	s.refreshMem()
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		rt.Shutdown()
+		return nil, fmt.Errorf("streamd: listen %s: %w", cfg.Listen, err)
+	}
+	s.ln = ln
+	if cfg.HTTPListen != "" {
+		hs, err := httpd.Start(cfg.HTTPListen, s.httpHandler())
+		if err != nil {
+			_ = ln.Close()
+			rt.Shutdown()
+			return nil, fmt.Errorf("streamd: http listen %s: %w", cfg.HTTPListen, err)
+		}
+		s.hs = hs
+	}
+	go s.engineLoop()
+	go s.acceptLoop()
+	go s.reapLoop()
+	return s, nil
+}
+
+func (s *Server) initMetrics() {
+	s.reg.SetClock(s.nowNanos)
+	s.stepsTotal = s.reg.Counter("streamd_steps_total")
+	s.pairsTotal = s.reg.Counter("streamd_pairs_total")
+	s.batchesTotal = s.reg.Counter("streamd_batches_total")
+	s.flushesTotal = s.reg.Counter("streamd_flushes_total")
+	s.httpTotal = s.reg.Counter("streamd_http_ingest_total")
+	s.dupBatches = s.reg.Counter("streamd_dup_batches_total")
+	s.shedQueue = s.reg.Counter("streamd_shed_queue_total")
+	s.shedMem = s.reg.Counter("streamd_shed_mem_total")
+	s.shedSlow = s.reg.Counter("streamd_shed_slow_total")
+	s.drainRejects = s.reg.Counter("streamd_drain_rejects_total")
+	s.acceptErrs = s.reg.Counter("streamd_accept_errors_total")
+	s.internalErrs = s.reg.Counter("streamd_internal_errors_total")
+	s.batchLatency = s.reg.Histogram("streamd_batch_latency_ns")
+	s.reg.GaugeFunc("streamd_queue_depth", func() float64 { return float64(len(s.ingest)) })
+	s.reg.GaugeFunc("streamd_heap_bytes", func() float64 { return float64(s.heapBytes.Load()) })
+	s.reg.GaugeFunc("streamd_sessions", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.sessions))
+	})
+	s.reg.GaugeFunc("streamd_conns", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.conns))
+	})
+}
+
+// Addr is the bound address of the framed-protocol listener.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// HTTPAddr is the bound address of the HTTP surface ("" when disabled).
+func (s *Server) HTTPAddr() string {
+	if s.hs == nil {
+		return ""
+	}
+	return s.hs.Addr()
+}
+
+// Registry exposes the daemon's own telemetry registry (the runtime's
+// shard registries aggregate separately under the HTTP surface).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Draining reports whether a drain has begun (readiness).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// --- admission ------------------------------------------------------------
+
+// submit is the admission controller: it rejects while draining, sheds on
+// the memory watermark, and sheds when the bounded ingest queue is full.
+// A shed batch consumed nothing — no sequence number, no credits — so the
+// client's retry is exact.
+func (s *Server) submit(req *ingestReq) error {
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.draining.Load() {
+		s.drainRejects.Inc()
+		return ErrDraining
+	}
+	if lim := s.cfg.MemSoftLimit; lim > 0 && s.heapBytes.Load() > lim {
+		s.shedMem.Inc()
+		return &OverloadError{Reason: "memory", RetryAfter: s.cfg.RetryAfter}
+	}
+	select {
+	case s.ingest <- req:
+		return nil
+	default:
+		s.shedQueue.Inc()
+		return &OverloadError{Reason: "queue", RetryAfter: s.cfg.RetryAfter}
+	}
+}
+
+// --- engine loop ----------------------------------------------------------
+
+// engineLoop is the single consumer of the ingest queue and the only
+// goroutine that drives the runtime. It exits when Drain closes the queue,
+// leaving the runtime quiescent for the checkpoint.
+func (s *Server) engineLoop() {
+	defer close(s.engineDone)
+	for req := range s.ingest {
+		switch req.kind {
+		case kindIngest:
+			s.engineIngest(req)
+		case kindFlush:
+			s.engineFlush(req)
+		case kindHTTP:
+			pairs, err := s.rt.IngestBatch(req.steps)
+			if err == nil {
+				// The conservation counters cover every ingest route: the
+				// stress and chaos gates assert steps_total equals exactly
+				// what clients sent, HTTP included.
+				s.stepsTotal.Add(int64(len(req.steps)))
+				s.pairsTotal.Add(int64(len(pairs)))
+			}
+			req.reply <- engineReply{pairs: pairs, err: err}
+		}
+	}
+}
+
+func (s *Server) engineIngest(req *ingestReq) {
+	t0 := s.nowNanos()
+	pairs, err := s.rt.IngestBatch(req.steps)
+	if err != nil {
+		// Steps were validated at the reader, so this is an internal
+		// failure; the runtime rejected before touching state, so roll the
+		// reservation back and let the client retry the same base.
+		s.internalErrs.Inc()
+		req.sess.failSubmitted(req.base)
+		s.deliver(req.sess, wire.Frame(wire.TypeError, wire.EncodeError(wire.ErrorFrame{
+			Code: wire.CodeInternal, Msg: err.Error(),
+		})), false)
+		return
+	}
+	s.stepsTotal.Add(int64(len(req.steps)))
+	s.pairsTotal.Add(int64(len(pairs)))
+	s.batchesTotal.Inc()
+	credits := req.sess.ack(req.base, len(req.steps), s.cfg.Credits, s.nowNanos())
+	frame := wire.EncodeResultsFrame(wire.Results{
+		AckSeq:  req.base,
+		Credits: uint32(credits),
+		Pairs:   pairsToWire(pairs),
+	})
+	req.sess.setReplay(req.base, frame)
+	s.deliver(req.sess, frame, true)
+	s.batchLatency.Observe(float64(s.nowNanos() - t0))
+}
+
+func (s *Server) engineFlush(req *ingestReq) {
+	pairs, err := s.rt.Flush()
+	if err != nil {
+		s.internalErrs.Inc()
+		s.deliver(req.sess, wire.Frame(wire.TypeError, wire.EncodeError(wire.ErrorFrame{
+			Code: wire.CodeInternal, Msg: err.Error(),
+		})), false)
+		return
+	}
+	s.flushesTotal.Inc()
+	s.pairsTotal.Add(int64(len(pairs)))
+	ack, credits := req.sess.state()
+	// Flush results are not buffered for replay: a flush drains carried
+	// lane tails, so re-running one after reconnect yields nothing — the
+	// client treats a lost flush response as an empty flush.
+	s.deliver(req.sess, wire.EncodeResultsFrame(wire.Results{
+		AckSeq:  ack,
+		Credits: uint32(credits),
+		Flush:   true,
+		Pairs:   pairsToWire(pairs),
+	}), true)
+}
+
+// deliver sends a frame to the session's current attachment (which may be
+// a different connection than the one that submitted the batch). A full
+// writer buffer marks the consumer slow and kills the connection; the
+// replay buffer already holds the frame, so a synchronous client recovers
+// it on reattach.
+func (s *Server) deliver(ss *session, frame []byte, killSlow bool) {
+	target := ss.attachedConn()
+	if target == nil {
+		return
+	}
+	if !target.trySend(frame) && killSlow {
+		s.shedSlow.Inc()
+		target.kill()
+	}
+}
+
+// --- session helpers (locking lives here, one method per transition) ------
+
+func (ss *session) attachedConn() *conn {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.attached
+}
+
+// ack records batch base as processed and regrants its credits, capped at
+// the full window. Returns the absolute remaining credits for the frame.
+func (ss *session) ack(base uint64, nsteps, window int, now int64) int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.acked = base
+	ss.lastSeen = now
+	ss.credits += nsteps
+	if ss.credits > window {
+		ss.credits = window
+	}
+	return ss.credits
+}
+
+func (ss *session) setReplay(base uint64, frame []byte) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.lastBase, ss.lastFrame = base, frame
+}
+
+// failSubmitted rolls a reservation back after the runtime rejected the
+// batch without ingesting it.
+func (ss *session) failSubmitted(base uint64) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.submitted == base {
+		ss.submitted = base - 1
+	}
+}
+
+func (ss *session) state() (acked uint64, credits int) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.acked, ss.credits
+}
+
+// ingestOutcome is the reader-side result of offering a batch.
+type ingestOutcome int
+
+const (
+	outcomeAdmitted ingestOutcome = iota + 1
+	outcomeReplay                 // duplicate of the acked batch: resend frame
+	outcomeDropDup                // duplicate already in flight: no response
+	outcomeRejected               // err holds ErrSeqGap/ErrFlowControl/shed
+)
+
+// offer classifies the batch and, when admissible, reserves the sequence
+// number and credits atomically with the queue submit (the callback runs
+// under the session lock; it must not block — the admission send is
+// non-blocking by construction).
+func (ss *session) offer(base uint64, nsteps int, now int64, submit func() error) (ingestOutcome, []byte, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.lastSeen = now
+	switch ss.classify(base) {
+	case batchReplay:
+		return outcomeReplay, ss.lastFrame, nil
+	case batchInFlight:
+		return outcomeDropDup, nil, nil
+	case batchGap:
+		return outcomeRejected, nil, fmt.Errorf("%w: batch base %d against submitted %d, acked %d",
+			ErrSeqGap, base, ss.submitted, ss.acked)
+	}
+	if nsteps > ss.credits {
+		return outcomeRejected, nil, fmt.Errorf("%w: batch of %d steps exceeds remaining window %d",
+			ErrFlowControl, nsteps, ss.credits)
+	}
+	if err := submit(); err != nil {
+		return outcomeRejected, nil, err
+	}
+	ss.submitted = base
+	ss.credits -= nsteps
+	return outcomeAdmitted, nil, nil
+}
+
+// --- accept / serve -------------------------------------------------------
+
+// acceptLoop admits connections until the listener closes (drain) or
+// accept fails persistently.
+func (s *Server) acceptLoop() {
+	defer close(s.acceptDone)
+	failures := 0
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return
+			}
+			s.acceptErrs.Inc()
+			failures++
+			if failures >= 100 {
+				return // persistent accept failure: stop ingress, surface via metrics
+			}
+			continue
+		}
+		failures = 0
+		s.connWG.Add(2)
+		go s.serveConn(nc)
+	}
+}
+
+func (s *Server) addConn(c *conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns[c] = struct{}{}
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, c)
+}
+
+// serveConn is the per-connection reader: handshake, then a frame loop.
+// The paired writer goroutine owns the socket close; kill (reader defers
+// it) signals the writer to flush queued frames and tear down.
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.connWG.Done()
+	c := newConn(nc, s.cfg.ConnOutDepth)
+	s.addConn(c)
+	defer s.removeConn(c)
+	go s.writeLoop(c)
+	defer c.kill()
+
+	rd := &deadlineReader{s: s, nc: nc}
+	typ, payload, err := wire.ReadFrame(rd)
+	if err != nil || typ != wire.TypeHello {
+		s.refuse(c, fmt.Errorf("%w: expected hello", ErrBadFrame))
+		return
+	}
+	hello, err := wire.DecodeHello(payload)
+	if err != nil {
+		s.refuse(c, err)
+		return
+	}
+	if hello.Version != wire.Version {
+		s.refuse(c, fmt.Errorf("%w: protocol version %d, want %d", ErrBadFrame, hello.Version, wire.Version))
+		return
+	}
+	sess, welcome, replay, err := s.attach(hello, c)
+	if err != nil {
+		s.refuse(c, err)
+		return
+	}
+	defer s.detach(sess, c)
+	c.trySend(wire.Frame(wire.TypeWelcome, wire.EncodeWelcome(welcome)))
+	if replay != nil {
+		c.trySend(replay)
+	}
+
+	for {
+		typ, payload, err := wire.ReadFrame(rd)
+		if err != nil {
+			return // disconnect, idle timeout, or an unframeable stream
+		}
+		switch typ {
+		case wire.TypeIngest:
+			f, err := wire.DecodeIngest(payload)
+			if err != nil {
+				s.refuse(c, err)
+				return
+			}
+			if fatal := s.handleIngestFrame(sess, c, f); fatal {
+				return
+			}
+		case wire.TypeFlush:
+			if err := s.submit(&ingestReq{kind: kindFlush, sess: sess}); err != nil {
+				s.sendErr(c, err) // shed or draining: recoverable, keep the connection
+			}
+		case wire.TypeGoodbye:
+			return
+		default:
+			s.refuse(c, fmt.Errorf("%w: unexpected frame type 0x%02x", ErrBadFrame, typ))
+			return
+		}
+	}
+}
+
+// handleIngestFrame validates, dedups and admits one ingest batch.
+// Returns true when the connection must close (protocol violation).
+func (s *Server) handleIngestFrame(sess *session, c *conn, f wire.Ingest) bool {
+	steps, err := stepsFromWire(f.Steps)
+	if err != nil {
+		// Out-of-domain keys consume nothing; the client may fix and
+		// continue on the same connection.
+		s.sendErr(c, err)
+		return false
+	}
+	req := &ingestReq{kind: kindIngest, sess: sess, base: f.Base, steps: steps}
+	outcome, replay, err := sess.offer(f.Base, len(steps), s.nowNanos(), func() error {
+		return s.submit(req)
+	})
+	switch outcome {
+	case outcomeReplay:
+		s.dupBatches.Inc()
+		if !c.trySend(replay) {
+			s.shedSlow.Inc()
+			c.kill()
+			return true
+		}
+		return false
+	case outcomeDropDup:
+		s.dupBatches.Inc()
+		return false
+	case outcomeRejected:
+		s.sendErr(c, err)
+		// Shed and drain rejections are retryable on the same connection;
+		// sequence and flow-control violations are fatal.
+		return errors.Is(err, ErrSeqGap) || errors.Is(err, ErrFlowControl)
+	default:
+		return false
+	}
+}
+
+// refuse sends a typed error frame and lets the caller close the
+// connection (fatal path).
+func (s *Server) refuse(c *conn, err error) { s.sendErr(c, err) }
+
+// sendErr encodes err as an error frame with its wire code and, for
+// overloads, the retry-after hint.
+func (s *Server) sendErr(c *conn, err error) {
+	f := wire.ErrorFrame{Code: wire.ErrToCode(err), Msg: err.Error()}
+	var ov *OverloadError
+	if errors.As(err, &ov) {
+		f.RetryAfterMillis = uint32(ov.RetryAfter / time.Millisecond)
+	}
+	c.trySend(wire.Frame(wire.TypeError, wire.EncodeError(f)))
+}
+
+// writeLoop drains the connection's frame buffer; on kill it flushes what
+// is already queued, then closes the socket — which is what finally
+// unblocks the reader. The writer always closes the socket, exactly once.
+func (s *Server) writeLoop(c *conn) {
+	defer s.connWG.Done()
+	defer func() { _ = c.nc.Close() }()
+	for {
+		select {
+		case f := <-c.out:
+			if !s.writeOne(c, f) {
+				return
+			}
+		case <-c.stop:
+			for {
+				select {
+				case f := <-c.out:
+					if !s.writeOne(c, f) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) writeOne(c *conn, f []byte) bool {
+	_ = c.nc.SetWriteDeadline(time.Unix(0, s.nowNanos()).Add(s.cfg.WriteTimeout))
+	if _, err := c.nc.Write(f); err != nil {
+		c.kill()
+		return false
+	}
+	return true
+}
+
+// deadlineReader arms the per-frame read deadline before every read, so a
+// connection idle past ReadTimeout fails out of wire.ReadFrame and is reaped.
+type deadlineReader struct {
+	s  *Server
+	nc net.Conn
+}
+
+func (r *deadlineReader) Read(p []byte) (int, error) {
+	_ = r.nc.SetReadDeadline(time.Unix(0, r.s.nowNanos()).Add(r.s.cfg.ReadTimeout))
+	return r.nc.Read(p)
+}
+
+// --- attach / detach ------------------------------------------------------
+
+// attach claims the named session for connection c and reconciles the
+// client's resume point against the server's acknowledged sequence. A
+// client exactly one results frame behind gets that frame replayed; a
+// larger divergence is unrecoverable and refused with ErrSeqGap.
+func (s *Server) attach(h wire.Hello, c *conn) (*session, wire.Welcome, []byte, error) {
+	if s.draining.Load() {
+		return nil, wire.Welcome{}, nil, ErrDraining
+	}
+	s.mu.Lock()
+	ss := s.sessions[h.Session]
+	if ss == nil {
+		ss = &session{name: h.Session}
+		s.sessions[h.Session] = ss
+	}
+	s.mu.Unlock()
+
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.attached != nil {
+		return nil, wire.Welcome{}, nil, fmt.Errorf("%w: %q", ErrSessionBusy, h.Session)
+	}
+	var replay []byte
+	switch {
+	case h.LastSeq == ss.acked:
+		// In sync (or resuming with an in-flight batch the engine will
+		// deliver to this new attachment).
+	case h.LastSeq+1 == ss.acked && ss.lastFrame != nil:
+		replay = ss.lastFrame
+	default:
+		return nil, wire.Welcome{}, nil, fmt.Errorf("%w: client resumes at %d, server acked %d (replay buffer holds only the last batch)",
+			ErrSeqGap, h.LastSeq, ss.acked)
+	}
+	ss.attached = c
+	ss.credits = s.cfg.Credits
+	ss.lastSeen = s.nowNanos()
+	return ss, wire.Welcome{Credits: uint32(ss.credits), AckSeq: ss.acked}, replay, nil
+}
+
+func (s *Server) detach(ss *session, c *conn) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.attached == c {
+		ss.attached = nil
+		ss.lastSeen = s.nowNanos()
+	}
+}
+
+// --- reaper ---------------------------------------------------------------
+
+// reapLoop periodically refreshes the heap watermark the admission
+// controller reads and drops detached sessions idle past SessionTTL.
+func (s *Server) reapLoop() {
+	defer close(s.reaperDone)
+	t := time.NewTicker(s.cfg.ReapEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.refreshMem()
+			s.reapSessions()
+		case <-s.reaperStop:
+			return
+		}
+	}
+}
+
+func (s *Server) refreshMem() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.heapBytes.Store(ms.HeapAlloc)
+}
+
+// reapSessions deletes detached sessions whose lastSeen is older than
+// SessionTTL. A client reattaching afterwards with a non-zero resume point
+// is refused with ErrSeqGap — size SessionTTL beyond the client's retry
+// horizon.
+func (s *Server) reapSessions() {
+	cutoff := s.nowNanos() - s.cfg.SessionTTL.Nanoseconds()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.sessions))
+	for name := range s.sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := s.sessions[name]
+		ss.mu.Lock()
+		expired := ss.attached == nil && ss.lastSeen < cutoff
+		ss.mu.Unlock()
+		if expired {
+			delete(s.sessions, name)
+		}
+	}
+}
+
+// --- drain ----------------------------------------------------------------
+
+// Drain gracefully stops the daemon: admissions stop, the engine flushes
+// every in-flight batch, a sharded checkpoint is written (when configured),
+// clients get a Draining notice, and all goroutines are joined. A daemon
+// restarted from the checkpoint continues byte-identically. ctx bounds the
+// wait for the engine to flush.
+func (s *Server) Drain(ctx context.Context) error {
+	return s.drain(ctx, true)
+}
+
+// Close stops the daemon without writing a checkpoint (tests, benchmarks,
+// and operators abandoning state deliberately).
+func (s *Server) Close() error {
+	return s.drain(context.Background(), false)
+}
+
+func (s *Server) drain(ctx context.Context, writeCkpt bool) error {
+	s.drainOnce.Do(func() { s.drainErr = s.drainLocked(ctx, writeCkpt) })
+	return s.drainErr
+}
+
+func (s *Server) drainLocked(ctx context.Context, writeCkpt bool) error {
+	s.draining.Store(true)
+	_ = s.ln.Close()
+	<-s.acceptDone
+
+	// Barrier: every in-flight submit finishes (shared lock released)
+	// before the queue closes, so no send can hit a closed channel.
+	s.submitMu.Lock()
+	close(s.ingest)
+	s.submitMu.Unlock()
+
+	var firstErr error
+	select {
+	case <-s.engineDone:
+	case <-ctx.Done():
+		firstErr = fmt.Errorf("streamd: drain: engine flush: %w", ctx.Err())
+	}
+
+	if writeCkpt && firstErr == nil && s.cfg.CheckpointPath != "" {
+		if err := s.writeCheckpoint(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	s.killConns(wire.Frame(wire.TypeError, wire.EncodeError(wire.ErrorFrame{
+		Code: wire.CodeDraining, Msg: ErrDraining.Error(),
+	})))
+	s.connWG.Wait()
+	close(s.reaperStop)
+	<-s.reaperDone
+	s.rt.Shutdown()
+	if s.hs != nil {
+		if err := s.hs.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("streamd: drain: http shutdown: %w", err)
+		}
+	}
+	return firstErr
+}
+
+// killConns notifies and tears down every live connection; the writers
+// flush the notice before closing the sockets.
+func (s *Server) killConns(notice []byte) {
+	s.mu.Lock()
+	list := make([]*conn, 0, len(s.conns))
+	//lint:ignore maprange connection teardown is order-insensitive: every connection gets the same notice and kill
+	for c := range s.conns {
+		list = append(list, c)
+	}
+	s.mu.Unlock()
+	for _, c := range list {
+		c.trySend(notice)
+		c.kill()
+	}
+}
+
+// --- wire <-> engine conversion -------------------------------------------
+
+// checkWireKey enforces the engine's key domain at admission, before any
+// sequence number or credit is consumed.
+func checkWireKey(k int64) error {
+	if k == int64(process.NoValue) {
+		return nil
+	}
+	if k < int64(engine.MinKey) || k > int64(engine.MaxKey) {
+		return fmt.Errorf("key %d outside [%d, %d]", k, engine.MinKey, engine.MaxKey)
+	}
+	return nil
+}
+
+func stepsFromWire(in []wire.Step) ([]shardrt.Step, error) {
+	steps := make([]shardrt.Step, len(in))
+	for i, ws := range in {
+		if err := checkWireKey(ws.RKey); err != nil {
+			return nil, fmt.Errorf("%w: step %d stream R: %v", ErrBadStep, i, err)
+		}
+		if err := checkWireKey(ws.SKey); err != nil {
+			return nil, fmt.Errorf("%w: step %d stream S: %v", ErrBadStep, i, err)
+		}
+		steps[i] = shardrt.Step{
+			R: engine.Tuple{Key: int(ws.RKey), Payload: payloadFromWire(ws.RPayload)},
+			S: engine.Tuple{Key: int(ws.SKey), Payload: payloadFromWire(ws.SPayload)},
+		}
+	}
+	return steps, nil
+}
+
+func payloadFromWire(b []byte) interface{} {
+	if b == nil {
+		return nil
+	}
+	return b
+}
+
+func payloadToWire(v interface{}) []byte {
+	if b, ok := v.([]byte); ok {
+		return b
+	}
+	return nil
+}
+
+func pairsToWire(pairs []shardrt.Pair) []wire.Pair {
+	out := make([]wire.Pair, len(pairs))
+	for i, p := range pairs {
+		out[i] = wire.Pair{
+			RSeq: p.RSeq, SSeq: p.SSeq,
+			RKey: int64(p.R.Key), SKey: int64(p.S.Key),
+			Shard: uint16(p.Shard), SameStep: p.SameStep,
+			RPayload: payloadToWire(p.R.Payload),
+			SPayload: payloadToWire(p.S.Payload),
+		}
+	}
+	return out
+}
+
+// --- checkpoint -----------------------------------------------------------
+
+// checkpointWire is the daemon's checkpoint envelope: the runtime's own
+// sharded checkpoint plus per-session resume state, so a restarted daemon
+// both continues the stream byte-identically and honors client resumes.
+type checkpointWire struct {
+	Version  int
+	Sessions []sessionWire
+	Runtime  []byte
+}
+
+type sessionWire struct {
+	Name      string
+	Acked     uint64
+	LastBase  uint64
+	LastFrame []byte
+}
+
+const checkpointVersion = 1
+
+// writeCheckpoint persists atomically (temp file + rename). The engine
+// loop has exited and admissions are closed, so session state is stable.
+func (s *Server) writeCheckpoint() error {
+	var rtBuf bytes.Buffer
+	if err := s.rt.Checkpoint(&rtBuf); err != nil {
+		return fmt.Errorf("streamd: checkpoint: runtime: %w", err)
+	}
+	wire := checkpointWire{Version: checkpointVersion, Runtime: rtBuf.Bytes()}
+	s.mu.Lock()
+	names := make([]string, 0, len(s.sessions))
+	for name := range s.sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := s.sessions[name]
+		ss.mu.Lock()
+		wire.Sessions = append(wire.Sessions, sessionWire{
+			Name: ss.name, Acked: ss.acked, LastBase: ss.lastBase, LastFrame: ss.lastFrame,
+		})
+		ss.mu.Unlock()
+	}
+	s.mu.Unlock()
+
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&wire); err != nil {
+		return fmt.Errorf("streamd: checkpoint: encode: %w", err)
+	}
+	tmp := s.cfg.CheckpointPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("streamd: checkpoint: %w", err)
+	}
+	if err := checkpoint.Write(f, payload.Bytes()); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("streamd: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("streamd: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, s.cfg.CheckpointPath); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("streamd: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// restore loads CheckpointPath when present: runtime state first (config
+// fingerprint checked by shardrt), then session resume state.
+func (s *Server) restore() error {
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	f, err := os.Open(s.cfg.CheckpointPath)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("streamd: restore: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	payload, err := checkpoint.Read(f)
+	if err != nil {
+		return fmt.Errorf("streamd: restore: %w", err)
+	}
+	var wire checkpointWire
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wire); err != nil {
+		return fmt.Errorf("streamd: restore: decode: %w", err)
+	}
+	if wire.Version != checkpointVersion {
+		return fmt.Errorf("streamd: restore: checkpoint version %d, want %d", wire.Version, checkpointVersion)
+	}
+	if err := s.rt.Restore(bytes.NewReader(wire.Runtime)); err != nil {
+		return fmt.Errorf("streamd: restore: runtime: %w", err)
+	}
+	for _, sw := range wire.Sessions {
+		s.sessions[sw.Name] = &session{
+			name:      sw.Name,
+			submitted: sw.Acked,
+			acked:     sw.Acked,
+			lastBase:  sw.LastBase,
+			lastFrame: sw.LastFrame,
+		}
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package streamd_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"stochstream/internal/shardrt"
+	"stochstream/internal/stats"
+	"stochstream/internal/streamd"
+	"stochstream/internal/streamd/client"
+	"stochstream/internal/streamd/wire"
+)
+
+// testRuntimeConfig is the shared runtime shape of the daemon tests: small
+// cache, several shards, deterministic seed.
+func testRuntimeConfig(shards int) shardrt.Config {
+	return shardrt.Config{
+		Shards:     shards,
+		TotalCache: 64,
+		Seed:       42,
+	}
+}
+
+// genSteps builds a deterministic workload with enough key collisions to
+// produce join pairs: keys cycle through a small domain.
+func genSteps(rng *stats.RNG, n, domain int) []wire.Step {
+	steps := make([]wire.Step, n)
+	for i := range steps {
+		steps[i] = wire.Step{
+			RKey:     int64(rng.IntN(domain)),
+			SKey:     int64(rng.IntN(domain)),
+			RPayload: []byte{byte(i), byte(i >> 8), 'r'},
+			SPayload: []byte{byte(i), byte(i >> 8), 's'},
+		}
+	}
+	return steps
+}
+
+// toRuntimeSteps mirrors the daemon's wire-to-engine conversion for the
+// direct-runtime differential oracle.
+func toRuntimeSteps(in []wire.Step) []shardrt.Step {
+	out := make([]shardrt.Step, len(in))
+	for i, ws := range in {
+		out[i] = shardrt.Step{}
+		out[i].R.Key = int(ws.RKey)
+		out[i].S.Key = int(ws.SKey)
+		if ws.RPayload != nil {
+			out[i].R.Payload = ws.RPayload
+		}
+		if ws.SPayload != nil {
+			out[i].S.Payload = ws.SPayload
+		}
+	}
+	return out
+}
+
+func pairKey(rseq, sseq uint64) string { return fmt.Sprintf("%d/%d", rseq, sseq) }
+
+// wirePairsEqualRuntime checks the daemon's result stream against the
+// direct runtime's, order included.
+func wirePairsEqualRuntime(t *testing.T, got []wire.Pair, want []shardrt.Pair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("pair count = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.RSeq != w.RSeq || g.SSeq != w.SSeq || int(g.RKey) != w.R.Key || int(g.SKey) != w.S.Key ||
+			int(g.Shard) != w.Shard || g.SameStep != w.SameStep {
+			t.Fatalf("pair %d = %+v, want seqs (%d,%d) keys (%d,%d) shard %d same %v",
+				i, g, w.RSeq, w.SSeq, w.R.Key, w.S.Key, w.Shard, w.SameStep)
+		}
+	}
+}
+
+// TestEndToEnd drives one session through the framed protocol and checks
+// the result stream is byte-for-byte what the runtime produces directly
+// with the same batch boundaries.
+func TestEndToEnd(t *testing.T) {
+	srv, err := streamd.Start(streamd.Config{
+		Runtime: testRuntimeConfig(4),
+		Listen:  "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	rt, err := shardrt.New(testRuntimeConfig(4))
+	if err != nil {
+		t.Fatalf("shardrt.New: %v", err)
+	}
+	defer func() { _, _ = rt.Close() }()
+
+	cl, err := client.Dial(client.Options{Addr: srv.Addr(), Session: "e2e", Seed: 7})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	rng := stats.NewRNG(99)
+	const batches, batchLen = 20, 50
+	for b := 0; b < batches; b++ {
+		steps := genSteps(rng, batchLen, 16)
+		got, err := cl.Ingest(steps)
+		if err != nil {
+			t.Fatalf("Ingest batch %d: %v", b, err)
+		}
+		want, err := rt.IngestBatch(toRuntimeSteps(steps))
+		if err != nil {
+			t.Fatalf("direct IngestBatch %d: %v", b, err)
+		}
+		wirePairsEqualRuntime(t, got, want)
+	}
+	if cl.Acked() != batches {
+		t.Fatalf("Acked = %d, want %d", cl.Acked(), batches)
+	}
+
+	gotFlush, err := cl.Flush()
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	wantFlush, err := rt.Flush()
+	if err != nil {
+		t.Fatalf("direct Flush: %v", err)
+	}
+	wirePairsEqualRuntime(t, gotFlush, wantFlush)
+}
+
+// TestPayloadRoundTrip pins the payload encoding: nil stays nil, empty
+// stays empty, bytes echo back on both sides of every pair.
+func TestPayloadRoundTrip(t *testing.T) {
+	srv, err := streamd.Start(streamd.Config{
+		Runtime: testRuntimeConfig(2),
+		Listen:  "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	cl, err := client.Dial(client.Options{Addr: srv.Addr(), Session: "payload", Seed: 1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	// Same key on both sides in one step joins immediately.
+	pairs, err := cl.Ingest([]wire.Step{
+		{RKey: 5, SKey: 5, RPayload: []byte("left"), SPayload: nil},
+	})
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %d, want 1", len(pairs))
+	}
+	if string(pairs[0].RPayload) != "left" {
+		t.Errorf("RPayload = %q, want left", pairs[0].RPayload)
+	}
+	if pairs[0].SPayload != nil {
+		t.Errorf("SPayload = %v, want nil", pairs[0].SPayload)
+	}
+}
+
+// TestHTTPIngest drives the HTTP/JSON route end to end: pairs match the
+// direct runtime, bad requests answer typed 4xx JSON, and the conservation
+// counters cover HTTP-ingested steps exactly like framed ones.
+func TestHTTPIngest(t *testing.T) {
+	srv, err := streamd.Start(streamd.Config{
+		Runtime:    testRuntimeConfig(4),
+		Listen:     "127.0.0.1:0",
+		HTTPListen: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	rt, err := shardrt.New(testRuntimeConfig(4))
+	if err != nil {
+		t.Fatalf("shardrt.New: %v", err)
+	}
+	defer func() { _, _ = rt.Close() }()
+
+	base := "http://" + srv.HTTPAddr()
+	body := `{"steps":[{"rkey":5,"skey":5},{"rkey":5,"skey":7},{"rkey":7,"skey":5}]}`
+	resp, err := http.Post(base+"/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /ingest: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var out struct {
+		Pairs []struct {
+			RSeq, SSeq uint64
+			RKey, SKey int64
+			Shard      int
+			SameStep   bool `json:"same_step"`
+		} `json:"pairs"`
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	want, err := rt.IngestBatch(toRuntimeSteps([]wire.Step{
+		{RKey: 5, SKey: 5},
+		{RKey: 5, SKey: 7},
+		{RKey: 7, SKey: 5},
+	}))
+	if err != nil {
+		t.Fatalf("direct IngestBatch: %v", err)
+	}
+	if out.Count != len(want) || len(out.Pairs) != len(want) {
+		t.Fatalf("count = %d (pairs %d), want %d", out.Count, len(out.Pairs), len(want))
+	}
+	for i, p := range out.Pairs {
+		w := want[i]
+		if p.RSeq != w.RSeq || p.SSeq != w.SSeq || int(p.RKey) != w.R.Key || int(p.SKey) != w.S.Key ||
+			p.Shard != w.Shard || p.SameStep != w.SameStep {
+			t.Fatalf("pair %d = %+v, want %+v", i, p, w)
+		}
+	}
+
+	// The conservation counters cover the HTTP route.
+	counters := srv.Registry().Snapshot().Counters
+	if got := counters["streamd_steps_total"]; got != 3 {
+		t.Errorf("streamd_steps_total = %d, want 3", got)
+	}
+	if got := counters["streamd_pairs_total"]; got != int64(len(want)) {
+		t.Errorf("streamd_pairs_total = %d, want %d", got, len(want))
+	}
+	if got := counters["streamd_http_ingest_total"]; got != 1 {
+		t.Errorf("streamd_http_ingest_total = %d, want 1", got)
+	}
+
+	// Malformed and empty batches answer typed 4xx JSON, consume nothing.
+	for _, bad := range []string{`{"steps":[]}`, `not json`} {
+		r2, err := http.Post(base+"/ingest", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatalf("POST bad body: %v", err)
+		}
+		_ = r2.Body.Close()
+		if r2.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad body %q: status = %d, want 400", bad, r2.StatusCode)
+		}
+	}
+	if got := srv.Registry().Snapshot().Counters["streamd_steps_total"]; got != 3 {
+		t.Errorf("steps_total after rejected bodies = %d, want 3", got)
+	}
+}
+
+// TestBadStepRejected pins admission-time key validation: an out-of-domain
+// key is rejected with ErrBadStep, consumes no sequence number, and the
+// session continues on the same connection.
+func TestBadStepRejected(t *testing.T) {
+	srv, err := streamd.Start(streamd.Config{
+		Runtime: testRuntimeConfig(2),
+		Listen:  "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	cl, err := client.Dial(client.Options{Addr: srv.Addr(), Session: "badstep", Seed: 1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	_, err = cl.Ingest([]wire.Step{{RKey: -1 << 40, SKey: 1}})
+	if !errors.Is(err, wire.ErrBadStep) {
+		t.Fatalf("Ingest out-of-domain = %v, want ErrBadStep", err)
+	}
+	if cl.Acked() != 0 {
+		t.Fatalf("Acked after rejection = %d, want 0", cl.Acked())
+	}
+	// The same session and connection keep working.
+	pairs, err := cl.Ingest([]wire.Step{{RKey: 3, SKey: 3}})
+	if err != nil {
+		t.Fatalf("Ingest after rejection: %v", err)
+	}
+	if len(pairs) != 1 || cl.Acked() != 1 {
+		t.Fatalf("pairs = %d acked = %d, want 1 and 1", len(pairs), cl.Acked())
+	}
+}

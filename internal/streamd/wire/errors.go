@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Typed error taxonomy of the daemon, mirrored one-to-one by the wire
+// protocol's error codes so a client can rebuild the same errors on its
+// side of the connection. Compare with errors.Is — the daemon wraps these
+// with context, never replaces them.
+var (
+	// ErrOverloaded is the admission controller's shed signal: the ingest
+	// queue or the memory watermark is over its high-water mark and the
+	// batch was rejected WITHOUT being acknowledged or consuming sequence
+	// numbers. The client owns the retry (see OverloadError.RetryAfter).
+	ErrOverloaded = errors.New("streamd: overloaded, retry later")
+	// ErrDraining rejects work arriving after a graceful drain began; the
+	// daemon is checkpointing and will not admit new batches.
+	ErrDraining = errors.New("streamd: draining, not admitting work")
+	// ErrClosed is returned by operations on a server or client after
+	// Close/Drain completed.
+	ErrClosed = errors.New("streamd: closed")
+	// ErrSessionBusy rejects a second concurrent connection claiming a
+	// session name that already has a live connection.
+	ErrSessionBusy = errors.New("streamd: session already attached")
+	// ErrSeqGap rejects an ingest whose base sequence skips past the
+	// session's highest submitted sequence: the client lost state the
+	// daemon cannot reconstruct.
+	ErrSeqGap = errors.New("streamd: ingest sequence gap")
+	// ErrBadFrame covers malformed, truncated or oversized protocol frames.
+	ErrBadFrame = errors.New("streamd: bad frame")
+	// ErrBadStep rejects out-of-domain join keys at admission, before any
+	// sequence number is consumed (the shardrt/engine domain contract).
+	ErrBadStep = errors.New("streamd: bad step")
+	// ErrFlowControl rejects an ingest that exceeds the session's granted
+	// credit window — a protocol violation, not an overload.
+	ErrFlowControl = errors.New("streamd: credit window exceeded")
+)
+
+// OverloadError carries the daemon's retry-after hint alongside
+// ErrOverloaded; errors.Is(err, ErrOverloaded) matches it.
+type OverloadError struct {
+	// Reason names the watermark that tripped: "queue", "memory", or
+	// "slow-consumer".
+	Reason string
+	// RetryAfter is the daemon's backoff hint.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("streamd: overloaded (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) hold.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }

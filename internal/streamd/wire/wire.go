@@ -1,0 +1,499 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Wire protocol of the daemon: length-prefixed binary frames over a byte
+// stream. Every frame is
+//
+//	type   uint8
+//	length uint32 big-endian   (payload bytes, not counting this header)
+//	payload
+//
+// Integers inside payloads are big-endian; strings and byte slices are
+// length-prefixed (uint16 for strings, uint32 for payload blobs). The
+// payload cap bounds a malicious or corrupted length field before any
+// allocation happens.
+//
+// The conversation is strictly client-initiated: the client sends Hello and
+// receives Welcome, then alternates Ingest/Flush with Results/Error frames.
+// Result frames carry the credit regrant — there is no standalone credit
+// frame — and tag every pair with its global ingress sequence numbers so a
+// client that reconnects can discard replayed results it has already seen.
+
+// Frame types.
+const (
+	TypeHello   = 0x01 // client → server: session attach / resume
+	TypeWelcome = 0x02 // server → client: attach accepted, credit grant
+	TypeIngest  = 0x03 // client → server: batch of steps
+	TypeResults = 0x04 // server → client: pairs + ack + credit regrant
+	TypeFlush   = 0x05 // client → server: drain carried lanes
+	TypeGoodbye = 0x06 // client → server: clean detach
+	TypeError   = 0x07 // server → client: typed rejection
+)
+
+// Version is bumped on incompatible frame layout changes; Hello carries
+// the client's version and the server rejects mismatches with ErrBadFrame.
+const Version = 1
+
+// MaxFramePayload bounds a single frame's payload. 4 MiB comfortably holds
+// the largest legal ingest (MaxBatchSteps full-payload steps) while keeping
+// a corrupted length field from provoking a giant allocation.
+const MaxFramePayload = 4 << 20
+
+// MaxBatchSteps bounds the steps in one ingest frame; larger batches must be
+// split by the client (the client package does this transparently).
+const MaxBatchSteps = 8192
+
+// MaxSessionName bounds the session identifier length.
+const MaxSessionName = 256
+
+// Wire error codes, mirrored by the typed errors in errors.go.
+const (
+	CodeOverloaded  = 1
+	CodeDraining    = 2
+	CodeBadFrame    = 3
+	CodeBadStep     = 4
+	CodeSessionBusy = 5
+	CodeSeqGap      = 6
+	CodeFlowControl = 7
+	CodeInternal    = 8
+)
+
+// CodeToErr rebuilds the sentinel for a wire code on the client side.
+func CodeToErr(code uint16) error {
+	switch code {
+	case CodeOverloaded:
+		return ErrOverloaded
+	case CodeDraining:
+		return ErrDraining
+	case CodeBadFrame:
+		return ErrBadFrame
+	case CodeBadStep:
+		return ErrBadStep
+	case CodeSessionBusy:
+		return ErrSessionBusy
+	case CodeSeqGap:
+		return ErrSeqGap
+	case CodeFlowControl:
+		return ErrFlowControl
+	default:
+		return fmt.Errorf("streamd: server error (code %d)", code)
+	}
+}
+
+// ErrToCode maps a daemon-side error to its wire code.
+func ErrToCode(err error) uint16 {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrDraining):
+		return CodeDraining
+	case errors.Is(err, ErrBadFrame):
+		return CodeBadFrame
+	case errors.Is(err, ErrBadStep):
+		return CodeBadStep
+	case errors.Is(err, ErrSessionBusy):
+		return CodeSessionBusy
+	case errors.Is(err, ErrSeqGap):
+		return CodeSeqGap
+	case errors.Is(err, ErrFlowControl):
+		return CodeFlowControl
+	default:
+		return CodeInternal
+	}
+}
+
+// Step is one (R, S) arrival pair in an ingest frame. Payloads travel as
+// raw bytes; the daemon stores them opaquely and echoes them back in result
+// frames. A nil payload travels as an explicit absent marker and
+// round-trips as nil.
+type Step struct {
+	RKey, SKey         int64
+	RPayload, SPayload []byte
+}
+
+// Pair is one join result in a results frame, tagged with the global
+// ingress sequence numbers of both participating tuples.
+type Pair struct {
+	RSeq, SSeq         uint64
+	RKey, SKey         int64
+	Shard              uint16
+	SameStep           bool
+	RPayload, SPayload []byte
+}
+
+// Hello attaches (or resumes) a session.
+type Hello struct {
+	Version uint8
+	Session string
+	LastSeq uint64 // highest batch base the client saw acked; 0 = fresh
+}
+
+// Welcome accepts an attach.
+type Welcome struct {
+	Credits uint32 // initial credit window, in steps
+	AckSeq  uint64 // highest batch base the server has processed
+}
+
+// Ingest carries a batch. Base is the 1-based batch sequence number of
+// this batch within the session; batches must arrive with contiguous bases.
+type Ingest struct {
+	Base  uint64
+	Steps []Step
+}
+
+// Results acknowledges batch Base and regrants credits.
+type Results struct {
+	AckSeq  uint64
+	Credits uint32
+	Flush   bool // true when these pairs came from a Flush, not an Ingest
+	Pairs   []Pair
+}
+
+// ErrorFrame is a typed rejection; RetryAfterMillis is meaningful only for
+// CodeOverloaded.
+type ErrorFrame struct {
+	Code             uint16
+	RetryAfterMillis uint32
+	Msg              string
+}
+
+func (e ErrorFrame) RetryAfter() time.Duration {
+	return time.Duration(e.RetryAfterMillis) * time.Millisecond
+}
+
+// --- encoding -------------------------------------------------------------
+
+// wireBuf is an append-only encoder for frame payloads.
+type wireBuf struct{ b []byte }
+
+func (w *wireBuf) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *wireBuf) u16(v uint16) { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *wireBuf) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *wireBuf) u64(v uint64) { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *wireBuf) i64(v int64)  { w.u64(uint64(v)) }
+
+func (w *wireBuf) str(s string) {
+	w.u16(uint16(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// blob writes a length-prefixed byte slice; nil and empty are distinguished
+// (nil = 0xFFFFFFFF marker) so absent payloads round-trip as nil.
+func (w *wireBuf) blob(b []byte) {
+	if b == nil {
+		w.u32(0xFFFFFFFF)
+		return
+	}
+	w.u32(uint32(len(b)))
+	w.b = append(w.b, b...)
+}
+
+// Frame assembles a complete wire frame (header + payload) as one byte
+// slice — the unit of the daemon's writer queues and replay buffers.
+func Frame(typ uint8, payload []byte) []byte {
+	var w wireBuf
+	w.b = make([]byte, 0, 5+len(payload))
+	w.u8(typ)
+	w.u32(uint32(len(payload)))
+	w.b = append(w.b, payload...)
+	return w.b
+}
+
+// WriteFrame emits one complete frame to wr.
+func WriteFrame(wr io.Writer, typ uint8, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("%w: frame payload %d exceeds cap %d", ErrBadFrame, len(payload), MaxFramePayload)
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := wr.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := wr.Write(payload)
+	return err
+}
+
+func EncodeHello(f Hello) []byte {
+	var w wireBuf
+	w.u8(f.Version)
+	w.str(f.Session)
+	w.u64(f.LastSeq)
+	return w.b
+}
+
+func EncodeWelcome(f Welcome) []byte {
+	var w wireBuf
+	w.u32(f.Credits)
+	w.u64(f.AckSeq)
+	return w.b
+}
+
+func EncodeIngest(f Ingest) []byte {
+	var w wireBuf
+	w.u64(f.Base)
+	w.u32(uint32(len(f.Steps)))
+	for _, st := range f.Steps {
+		w.i64(st.RKey)
+		w.i64(st.SKey)
+		w.blob(st.RPayload)
+		w.blob(st.SPayload)
+	}
+	return w.b
+}
+
+func appendResults(w *wireBuf, f Results) {
+	w.u64(f.AckSeq)
+	w.u32(f.Credits)
+	if f.Flush {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u32(uint32(len(f.Pairs)))
+	for i := range f.Pairs {
+		p := &f.Pairs[i]
+		w.u64(p.RSeq)
+		w.u64(p.SSeq)
+		w.i64(p.RKey)
+		w.i64(p.SKey)
+		w.u16(p.Shard)
+		if p.SameStep {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.blob(p.RPayload)
+		w.blob(p.SPayload)
+	}
+}
+
+func EncodeResults(f Results) []byte {
+	var w wireBuf
+	appendResults(&w, f)
+	return w.b
+}
+
+// resultsSize is the exact encoded payload length of f, so the hot reply
+// path can allocate once.
+func resultsSize(f Results) int {
+	n := 8 + 4 + 1 + 4
+	for i := range f.Pairs {
+		p := &f.Pairs[i]
+		n += 8 + 8 + 8 + 8 + 2 + 1 + 4 + 4 + len(p.RPayload) + len(p.SPayload)
+	}
+	return n
+}
+
+// EncodeResultsFrame builds the complete Results frame (header included) in
+// one exact-size allocation. A large batch's reply runs to megabytes of
+// pairs; encoding it through append-doubling plus Frame's payload copy costs
+// several redundant passes over the buffer, which is the dominant daemon
+// overhead versus calling the runtime directly.
+func EncodeResultsFrame(f Results) []byte {
+	size := resultsSize(f)
+	var w wireBuf
+	w.b = make([]byte, 0, 5+size)
+	w.u8(TypeResults)
+	w.u32(uint32(size))
+	appendResults(&w, f)
+	return w.b
+}
+
+func EncodeError(f ErrorFrame) []byte {
+	var w wireBuf
+	w.u16(f.Code)
+	w.u32(f.RetryAfterMillis)
+	w.str(f.Msg)
+	return w.b
+}
+
+// --- decoding -------------------------------------------------------------
+
+// wireCursor is a truncation-safe decoder over a frame payload: every read
+// checks remaining length and poisons the cursor on underflow, so decode
+// functions can read unconditionally and check err once at the end.
+type wireCursor struct {
+	b   []byte
+	err error
+}
+
+func (c *wireCursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(c.b) {
+		c.err = fmt.Errorf("%w: truncated payload (want %d bytes, have %d)", ErrBadFrame, n, len(c.b))
+		return nil
+	}
+	out := c.b[:n]
+	c.b = c.b[n:]
+	return out
+}
+
+func (c *wireCursor) u8() uint8 {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *wireCursor) u16() uint16 {
+	b := c.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (c *wireCursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (c *wireCursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (c *wireCursor) i64() int64 { return int64(c.u64()) }
+
+func (c *wireCursor) str() string {
+	n := int(c.u16())
+	return string(c.take(n))
+}
+
+// blob reads a length-prefixed byte slice, copying out of the frame buffer
+// so the caller may retain it after the buffer is reused.
+func (c *wireCursor) blob() []byte {
+	n := c.u32()
+	if n == 0xFFFFFFFF {
+		return nil
+	}
+	b := c.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// done rejects trailing garbage after a complete decode.
+func (c *wireCursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after frame payload", ErrBadFrame, len(c.b))
+	}
+	return nil
+}
+
+// ReadFrame reads one complete frame from rd, enforcing the payload cap
+// before allocating.
+func ReadFrame(rd io.Reader) (typ uint8, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFramePayload {
+		return 0, nil, fmt.Errorf("%w: frame payload %d exceeds cap %d", ErrBadFrame, n, MaxFramePayload)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(rd, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated frame body: %v", ErrBadFrame, err)
+	}
+	return hdr[0], payload, nil
+}
+
+func DecodeHello(b []byte) (Hello, error) {
+	c := wireCursor{b: b}
+	f := Hello{Version: c.u8(), Session: c.str(), LastSeq: c.u64()}
+	if err := c.done(); err != nil {
+		return Hello{}, err
+	}
+	if len(f.Session) == 0 || len(f.Session) > MaxSessionName {
+		return Hello{}, fmt.Errorf("%w: session name length %d (want 1..%d)", ErrBadFrame, len(f.Session), MaxSessionName)
+	}
+	return f, nil
+}
+
+func DecodeWelcome(b []byte) (Welcome, error) {
+	c := wireCursor{b: b}
+	f := Welcome{Credits: c.u32(), AckSeq: c.u64()}
+	if err := c.done(); err != nil {
+		return Welcome{}, err
+	}
+	return f, nil
+}
+
+func DecodeIngest(b []byte) (Ingest, error) {
+	c := wireCursor{b: b}
+	f := Ingest{Base: c.u64()}
+	n := c.u32()
+	if c.err == nil && n > MaxBatchSteps {
+		return Ingest{}, fmt.Errorf("%w: batch of %d steps exceeds cap %d", ErrBadFrame, n, MaxBatchSteps)
+	}
+	if c.err == nil {
+		f.Steps = make([]Step, 0, n)
+	}
+	for i := uint32(0); i < n && c.err == nil; i++ {
+		f.Steps = append(f.Steps, Step{
+			RKey: c.i64(), SKey: c.i64(),
+			RPayload: c.blob(), SPayload: c.blob(),
+		})
+	}
+	if err := c.done(); err != nil {
+		return Ingest{}, err
+	}
+	return f, nil
+}
+
+func DecodeResults(b []byte) (Results, error) {
+	c := wireCursor{b: b}
+	f := Results{AckSeq: c.u64(), Credits: c.u32(), Flush: c.u8() == 1}
+	n := c.u32()
+	if c.err == nil && n > MaxFramePayload/16 {
+		return Results{}, fmt.Errorf("%w: pair count %d implausible for payload size", ErrBadFrame, n)
+	}
+	if c.err == nil {
+		f.Pairs = make([]Pair, 0, n)
+	}
+	for i := uint32(0); i < n && c.err == nil; i++ {
+		f.Pairs = append(f.Pairs, Pair{
+			RSeq: c.u64(), SSeq: c.u64(),
+			RKey: c.i64(), SKey: c.i64(),
+			Shard: c.u16(), SameStep: c.u8() == 1,
+			RPayload: c.blob(), SPayload: c.blob(),
+		})
+	}
+	if err := c.done(); err != nil {
+		return Results{}, err
+	}
+	return f, nil
+}
+
+func DecodeError(b []byte) (ErrorFrame, error) {
+	c := wireCursor{b: b}
+	f := ErrorFrame{Code: c.u16(), RetryAfterMillis: c.u32(), Msg: c.str()}
+	if err := c.done(); err != nil {
+		return ErrorFrame{}, err
+	}
+	return f, nil
+}

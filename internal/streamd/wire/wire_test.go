@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := Hello{Version: Version, Session: "sess-a", LastSeq: 42}
+	out, err := DecodeHello(EncodeHello(in))
+	if err != nil {
+		t.Fatalf("DecodeHello: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+}
+
+func TestWelcomeRoundTrip(t *testing.T) {
+	in := Welcome{Credits: 4096, AckSeq: 17}
+	out, err := DecodeWelcome(EncodeWelcome(in))
+	if err != nil {
+		t.Fatalf("DecodeWelcome: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+}
+
+func TestIngestRoundTrip(t *testing.T) {
+	in := Ingest{Base: 7, Steps: []Step{
+		{RKey: -5, SKey: 9, RPayload: []byte("left"), SPayload: nil},
+		{RKey: 0, SKey: 0, RPayload: []byte{}, SPayload: []byte{0, 1, 2}},
+	}}
+	out, err := DecodeIngest(EncodeIngest(in))
+	if err != nil {
+		t.Fatalf("DecodeIngest: %v", err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+	// The nil-vs-empty distinction is load-bearing: nil is the absent
+	// marker, empty is a present zero-length payload.
+	if out.Steps[0].SPayload != nil {
+		t.Error("nil payload became non-nil")
+	}
+	if out.Steps[1].RPayload == nil {
+		t.Error("empty payload became nil")
+	}
+}
+
+func TestResultsRoundTrip(t *testing.T) {
+	in := Results{AckSeq: 3, Credits: 100, Flush: true, Pairs: []Pair{
+		{RSeq: 8, SSeq: 9, RKey: 4, SKey: 4, Shard: 2, SameStep: true, RPayload: []byte("r"), SPayload: nil},
+		{RSeq: 2, SSeq: 11, RKey: -1, SKey: -1},
+	}}
+	out, err := DecodeResults(EncodeResults(in))
+	if err != nil {
+		t.Fatalf("DecodeResults: %v", err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	in := ErrorFrame{Code: CodeOverloaded, RetryAfterMillis: 50, Msg: "queue full"}
+	out, err := DecodeError(EncodeError(in))
+	if err != nil {
+		t.Fatalf("DecodeError: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+	if out.RetryAfter().Milliseconds() != 50 {
+		t.Fatalf("RetryAfter = %v, want 50ms", out.RetryAfter())
+	}
+}
+
+// TestTruncationSweep feeds every strict prefix of every payload kind to its
+// decoder: each must fail with ErrBadFrame, never panic, never succeed.
+func TestTruncationSweep(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+		decode  func([]byte) error
+	}{
+		{"hello", EncodeHello(Hello{Version: 1, Session: "s", LastSeq: 9}),
+			func(b []byte) error { _, err := DecodeHello(b); return err }},
+		{"welcome", EncodeWelcome(Welcome{Credits: 1, AckSeq: 2}),
+			func(b []byte) error { _, err := DecodeWelcome(b); return err }},
+		{"ingest", EncodeIngest(Ingest{Base: 1, Steps: []Step{{RKey: 1, SKey: 2, RPayload: []byte("p")}}}),
+			func(b []byte) error { _, err := DecodeIngest(b); return err }},
+		{"results", EncodeResults(Results{AckSeq: 1, Pairs: []Pair{{RSeq: 0, SSeq: 1, SPayload: []byte("q")}}}),
+			func(b []byte) error { _, err := DecodeResults(b); return err }},
+		{"error", EncodeError(ErrorFrame{Code: 3, Msg: "m"}),
+			func(b []byte) error { _, err := DecodeError(b); return err }},
+	}
+	for _, tc := range cases {
+		for i := 0; i < len(tc.payload); i++ {
+			if err := tc.decode(tc.payload[:i]); !errors.Is(err, ErrBadFrame) {
+				t.Errorf("%s[:%d]: err = %v, want ErrBadFrame", tc.name, i, err)
+			}
+		}
+		// Trailing garbage after a complete payload is equally a violation.
+		if err := tc.decode(append(append([]byte{}, tc.payload...), 0xAA)); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s+garbage: err = %v, want ErrBadFrame", tc.name, err)
+		}
+	}
+}
+
+func TestDecodeHelloRejectsBadSession(t *testing.T) {
+	if _, err := DecodeHello(EncodeHello(Hello{Version: 1, Session: ""})); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("empty session: err = %v, want ErrBadFrame", err)
+	}
+	long := make([]byte, MaxSessionName+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if _, err := DecodeHello(EncodeHello(Hello{Version: 1, Session: string(long)})); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("oversize session: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestDecodeIngestRejectsOversizeBatch(t *testing.T) {
+	steps := make([]Step, MaxBatchSteps+1)
+	if _, err := DecodeIngest(EncodeIngest(Ingest{Base: 1, Steps: steps})); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("oversize batch: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestEncodeResultsFrameEquivalence pins the fast path to the reference
+// encoder: the single-allocation frame must be byte-identical to
+// Frame(TypeResults, EncodeResults(f)).
+func TestEncodeResultsFrameEquivalence(t *testing.T) {
+	cases := []Results{
+		{},
+		{AckSeq: 9, Credits: 512, Flush: true},
+		{AckSeq: 3, Credits: 100, Pairs: []Pair{
+			{RSeq: 8, SSeq: 9, RKey: 4, SKey: 4, Shard: 2, SameStep: true, RPayload: []byte("rp"), SPayload: nil},
+			{RSeq: 2, SSeq: 11, RKey: -1, SKey: -1, RPayload: []byte{}, SPayload: []byte{1, 2, 3}},
+		}},
+	}
+	for i, f := range cases {
+		want := Frame(TypeResults, EncodeResults(f))
+		got := EncodeResultsFrame(f)
+		if !bytes.Equal(got, want) {
+			t.Errorf("case %d: fast frame diverges from reference (%d vs %d bytes)", i, len(got), len(want))
+		}
+	}
+}
+
+func TestFrameReadFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello payload")
+	frame := Frame(TypeIngest, payload)
+	typ, got, err := ReadFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if typ != TypeIngest || !bytes.Equal(got, payload) {
+		t.Fatalf("ReadFrame = (0x%02x, %q)", typ, got)
+	}
+	// WriteFrame produces identical bytes.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeIngest, payload); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), frame) {
+		t.Fatal("WriteFrame and Frame disagree")
+	}
+}
+
+func TestReadFrameRejectsOversizePayload(t *testing.T) {
+	// A corrupted length field beyond the cap must fail before allocation.
+	frame := Frame(TypeIngest, nil)
+	frame[1], frame[2], frame[3], frame[4] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := ReadFrame(bytes.NewReader(frame)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("oversize frame: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	frame := Frame(TypeResults, []byte("full payload"))
+	// Body cut short: the declared length never arrives.
+	if _, _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-3])); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("truncated body: err = %v, want ErrBadFrame", err)
+	}
+	// Header cut short: plain io error so idle disconnects stay untyped.
+	if _, _, err := ReadFrame(bytes.NewReader(frame[:3])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated header: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestCodeErrMapping(t *testing.T) {
+	sentinels := []error{
+		ErrOverloaded, ErrDraining, ErrBadFrame, ErrBadStep,
+		ErrSessionBusy, ErrSeqGap, ErrFlowControl,
+	}
+	for _, s := range sentinels {
+		code := ErrToCode(s)
+		if back := CodeToErr(code); !errors.Is(back, s) {
+			t.Errorf("sentinel %v -> code %d -> %v: not a round trip", s, code, back)
+		}
+	}
+	// Wrapped overloads keep their code and hint semantics.
+	if got := ErrToCode(&OverloadError{Reason: "queue"}); got != CodeOverloaded {
+		t.Errorf("OverloadError code = %d, want %d", got, CodeOverloaded)
+	}
+	// Unknown errors and codes collapse to internal.
+	if got := ErrToCode(errors.New("surprise")); got != CodeInternal {
+		t.Errorf("unknown error code = %d, want %d", got, CodeInternal)
+	}
+	if err := CodeToErr(200); err == nil {
+		t.Error("unknown code decoded to nil error")
+	}
+}

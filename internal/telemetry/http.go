@@ -4,10 +4,11 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
-	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+
+	"stochstream/internal/httpd"
 )
 
 // parseN resolves the n=K query parameter shared by /trace and /spans: an
@@ -109,16 +110,14 @@ func (r *Registry) Handler() http.Handler {
 	return mux
 }
 
-// Serve starts the registry's HTTP surface on addr in a background goroutine
-// and returns the server (close it to stop) and the bound address — useful
-// with addr ":0" for an ephemeral port.
-func (r *Registry) Serve(addr string) (*http.Server, string, error) {
-	ln, err := net.Listen("tcp", addr)
+// Serve starts the registry's HTTP surface on addr as a managed httpd
+// server (header/idle timeouts, context-driven Shutdown, joined serve
+// goroutine) and returns it with the bound address — useful with addr ":0"
+// for an ephemeral port. Stop it with Shutdown (graceful) or Close.
+func (r *Registry) Serve(addr string) (*httpd.Server, string, error) {
+	srv, err := httpd.Start(addr, r.Handler())
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: r.Handler()}
-	//lint:ignore goleak the returned *http.Server is owned by the caller, whose Close/Shutdown stops Serve and ends this goroutine
-	go func() { _ = srv.Serve(ln) }()
-	return srv, ln.Addr().String(), nil
+	return srv, srv.Addr(), nil
 }

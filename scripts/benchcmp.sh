@@ -13,7 +13,11 @@
 #      exceeds BENCH_shard.json's overhead_budget_percent (10%);
 #   4. sharded runtime: runs BenchmarkShardedBaseline vs BenchmarkShardedStep8
 #      and fails if the fresh-median speedup falls below BENCH_shard.json's
-#      min_speedup_x (3x).
+#      min_speedup_x (3x);
+#   5. network daemon: runs BenchmarkStreamdDirect vs BenchmarkStreamdDaemon
+#      and fails if the daemon's fresh-median per-batch overhead over the
+#      direct shardrt.IngestBatch call exceeds BENCH_streamd.json's
+#      overhead_budget_percent (15%).
 #
 #   ./scripts/benchcmp.sh            # full gate (3 x 50 iterations)
 #   ./scripts/benchcmp.sh -benchtime 20x -count 1   # quicker, noisier
@@ -56,3 +60,9 @@ go test -run '^$' -bench 'BenchmarkStep(Loop|Batch)256$' "${SHARD_ARGS[@]}" . |
 go test -run '^$' -bench 'BenchmarkSharded(Baseline|Step8)$' "${SHARD_ARGS[@]}" . |
     tee /dev/stderr |
     go run ./scripts/benchcmp -scale BenchmarkShardedBaseline BenchmarkShardedStep8 BENCH_shard.json
+
+# The daemon benchmarks measure ~18ms round trips, so the default iteration
+# count is already minutes of wall time; they keep the base ARGS.
+go test -run '^$' -bench 'BenchmarkStreamd(Direct|Daemon)$' "${ARGS[@]}" . |
+    tee /dev/stderr |
+    go run ./scripts/benchcmp -overhead BenchmarkStreamdDirect BenchmarkStreamdDaemon BENCH_streamd.json

@@ -26,9 +26,14 @@
 #  11. shard runtime    — race-detected shardrt suite plus the recorded
 #                         sharded-speedup gate (BENCH_shard.json, ≥3x at 8
 #                         shards; docs/performance.md)
-#  12. fuzz smoke       — 10s of FuzzStepEquivalence over the committed corpus
-#  13. gate self-test   — scripts/benchcmp_test.sh proves the perf gate fails
-#  14. bench smoke      — a build that breaks the benchmarks cannot land
+#  12. streamd service  — race-detected daemon/wire/client suites, the seeded
+#                         network-chaos campaign as a named gate, and the
+#                         race-enabled stress smoke (scripts/stress.sh --smoke:
+#                         concurrent sessions through a live daemon with
+#                         conservation, heap and p99 bounds; docs/service.md)
+#  13. fuzz smoke       — 10s of FuzzStepEquivalence over the committed corpus
+#  14. gate self-test   — scripts/benchcmp_test.sh proves the perf gate fails
+#  15. bench smoke      — a build that breaks the benchmarks cannot land
 #
 # Run from the repo root:
 #
@@ -142,6 +147,18 @@ echo "==> shard runtime (race suite + sharded-speedup gate)"
 go test -race -count=1 ./internal/shardrt
 go test -run '^$' -bench 'BenchmarkSharded(Baseline|Step8)$' -benchtime 200x -count 3 . |
     go run ./scripts/benchcmp -scale BenchmarkShardedBaseline BenchmarkShardedStep8 BENCH_shard.json
+
+echo "==> streamd service (race suites + network chaos + stress smoke)"
+# Freestanding rerun of the network front-end contract under the race
+# detector: protocol edges, overload shedding, drain/restart byte-identity,
+# the wire format and the resuming client. Then the seeded network-fault
+# campaign as a named, grep-able gate, and the race-enabled stress smoke —
+# concurrent sessions against a live daemon with exact tuple conservation,
+# bounded heap and bounded p99 (docs/service.md). The daemon-overhead budget
+# itself (BENCH_streamd.json) is gated by scripts/benchcmp.sh, not here.
+go test -race -count=1 ./internal/streamd/... ./cmd/stochstreamd
+go test -run '^TestNetworkChaos' -count=1 -v ./internal/faultinject | grep -E '^(=== RUN|--- (PASS|FAIL)|PASS|FAIL|ok)'
+./scripts/stress.sh --smoke
 
 echo "==> fuzz smoke (committed corpus + 10s)"
 go test -run '^$' -fuzz '^FuzzStepEquivalence$' -fuzztime 10s ./internal/engine

@@ -1,0 +1,253 @@
+// Command loadgen drives a streamd daemon with many concurrent client
+// sessions and verifies the service-level contract under load:
+//
+//   - zero dropped-but-acked tuples: every batch a client saw acknowledged
+//     was ingested exactly once (in-process runs prove it exactly against
+//     the daemon's streamd_steps_total conservation counter);
+//   - bounded memory: peak heap stays under -max-rss-mb;
+//   - bounded tail latency: the daemon's per-batch p99 (from the
+//     streamd_batch_latency_ns histogram) stays under -max-p99-ms.
+//
+// With -addr empty (the default) it starts an in-process daemon on a
+// loopback ephemeral port, which enables the registry-based checks; with
+// -addr set it targets an external daemon and verifies acknowledgment
+// completeness only. Exit status is nonzero on any violation, which is what
+// lets scripts/stress.sh act as a gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stochstream/internal/shardrt"
+	"stochstream/internal/stats"
+	"stochstream/internal/streamd"
+	"stochstream/internal/streamd/client"
+	"stochstream/internal/streamd/wire"
+)
+
+type report struct {
+	Sessions     int      `json:"sessions"`
+	Batches      int      `json:"batches_per_session"`
+	Batch        int      `json:"steps_per_batch"`
+	Tuples       int64    `json:"tuples_sent"`
+	Pairs        int64    `json:"pairs_received"`
+	Sheds        int64    `json:"sheds_observed"`
+	ElapsedMS    float64  `json:"elapsed_ms"`
+	TuplesPerSec float64  `json:"tuples_per_sec"`
+	PeakHeapMB   float64  `json:"peak_heap_mb"`
+	P99BatchMS   float64  `json:"p99_batch_ms"`
+	StepsCounter int64    `json:"steps_total_counter"`
+	Violations   []string `json:"violations"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(argv []string, out *os.File) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "", "daemon address; empty starts an in-process daemon")
+	sessions := fs.Int("sessions", 64, "concurrent client sessions")
+	batches := fs.Int("batches", 16, "batches per session")
+	batch := fs.Int("batch", 256, "steps per batch")
+	payload := fs.Int("payload", 16, "payload bytes per side per step")
+	shards := fs.Int("shards", 8, "in-process daemon: runtime shards")
+	cache := fs.Int("cache", 1024, "in-process daemon: total cache slots")
+	queue := fs.Int("queue", 0, "in-process daemon: ingest queue depth (0 = default)")
+	seed := fs.Uint64("seed", 1, "workload and backoff seed")
+	maxRSS := fs.Float64("max-rss-mb", 0, "fail if peak heap exceeds this (0 disables)")
+	maxP99 := fs.Float64("max-p99-ms", 0, "fail if daemon batch p99 exceeds this (0 disables, in-process only)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *batch > wire.MaxBatchSteps {
+		fmt.Fprintf(os.Stderr, "loadgen: -batch %d exceeds wire.MaxBatchSteps %d\n", *batch, wire.MaxBatchSteps)
+		return 2
+	}
+
+	var srv *streamd.Server
+	target := *addr
+	if target == "" {
+		var err error
+		srv, err = streamd.Start(streamd.Config{
+			Runtime:    shardrt.Config{Shards: *shards, TotalCache: *cache, Seed: *seed},
+			Listen:     "127.0.0.1:0",
+			QueueDepth: *queue,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: start daemon: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		target = srv.Addr()
+	}
+
+	// Peak-heap sampler: ReadMemStats on a short cadence while the load
+	// runs. HeapAlloc is the live-set proxy the bound is defined over.
+	var peakHeap atomic.Uint64
+	stopSampler := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stopSampler:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				for {
+					cur := peakHeap.Load()
+					if ms.HeapAlloc <= cur || peakHeap.CompareAndSwap(cur, ms.HeapAlloc) {
+						break
+					}
+				}
+			}
+		}
+	}()
+
+	var (
+		wg       sync.WaitGroup
+		pairs    atomic.Int64
+		failures atomic.Int64
+
+		errMu    sync.Mutex
+		firstErr error
+	)
+	recordErr := func(err error) {
+		failures.Add(1)
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	start := time.Now()
+	for id := 0; id < *sessions; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := client.Dial(client.Options{
+				Addr:        target,
+				Session:     fmt.Sprintf("loadgen-%d", id),
+				Seed:        *seed + uint64(id)*7919,
+				MaxAttempts: 1000,
+				BaseBackoff: time.Millisecond,
+				MaxBackoff:  100 * time.Millisecond,
+			})
+			if err != nil {
+				recordErr(fmt.Errorf("session %d: dial: %w", id, err))
+				return
+			}
+			defer cl.Close()
+			rng := stats.NewRNG(*seed ^ uint64(id)<<17)
+			steps := make([]wire.Step, *batch)
+			for b := 0; b < *batches; b++ {
+				for i := range steps {
+					steps[i] = wire.Step{
+						RKey:     int64(rng.IntN(64)),
+						SKey:     int64(rng.IntN(64)),
+						RPayload: payloadBytes(rng, *payload),
+						SPayload: payloadBytes(rng, *payload),
+					}
+				}
+				p, err := cl.Ingest(steps)
+				if err != nil {
+					recordErr(fmt.Errorf("session %d batch %d: %w", id, b, err))
+					return
+				}
+				pairs.Add(int64(len(p)))
+			}
+			if got := cl.Acked(); got != uint64(*batches) {
+				recordErr(fmt.Errorf("session %d: acked %d of %d batches", id, got, *batches))
+			}
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopSampler)
+	<-samplerDone
+
+	rep := report{
+		Sessions:     *sessions,
+		Batches:      *batches,
+		Batch:        *batch,
+		Tuples:       int64(*sessions) * int64(*batches) * int64(*batch),
+		Pairs:        pairs.Load(),
+		ElapsedMS:    float64(elapsed.Nanoseconds()) / 1e6,
+		TuplesPerSec: float64(int64(*sessions)*int64(*batches)*int64(*batch)) / elapsed.Seconds(),
+		PeakHeapMB:   float64(peakHeap.Load()) / (1 << 20),
+	}
+	if firstErr != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("%d session failures, first: %v", failures.Load(), firstErr))
+	}
+
+	if srv != nil {
+		snap := srv.Registry().Snapshot()
+		rep.StepsCounter = snap.Counters["streamd_steps_total"]
+		rep.Sheds = snap.Counters["streamd_shed_queue_total"] +
+			snap.Counters["streamd_shed_mem_total"] +
+			snap.Counters["streamd_shed_slow_total"]
+		if h, ok := snap.Histograms["streamd_batch_latency_ns"]; ok {
+			rep.P99BatchMS = h.P99 / 1e6
+		}
+		// The conservation oracle: the daemon ingested exactly what the
+		// clients sent — nothing dropped after an acknowledgment, nothing
+		// double-ingested through shed/retry cycles.
+		if failures.Load() == 0 && rep.StepsCounter != rep.Tuples {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"conservation: daemon ingested %d steps, clients sent %d", rep.StepsCounter, rep.Tuples))
+		}
+		if n := snap.Counters["streamd_internal_errors_total"]; n != 0 {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("%d internal errors", n))
+		}
+		if *maxP99 > 0 && rep.P99BatchMS > *maxP99 {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"p99 batch latency %.2fms exceeds bound %.2fms", rep.P99BatchMS, *maxP99))
+		}
+	}
+	if *maxRSS > 0 && rep.PeakHeapMB > *maxRSS {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"peak heap %.1fMB exceeds bound %.1fMB", rep.PeakHeapMB, *maxRSS))
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	} else {
+		fmt.Fprintf(out, "loadgen: %d sessions x %d batches x %d steps = %d tuples in %.0fms (%.0f tuples/s)\n",
+			rep.Sessions, rep.Batches, rep.Batch, rep.Tuples, rep.ElapsedMS, rep.TuplesPerSec)
+		fmt.Fprintf(out, "loadgen: %d pairs, %d sheds ridden out, peak heap %.1fMB, batch p99 %.2fms\n",
+			rep.Pairs, rep.Sheds, rep.PeakHeapMB, rep.P99BatchMS)
+	}
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "loadgen: VIOLATION: %s\n", v)
+		}
+		return 1
+	}
+	fmt.Fprintln(out, "loadgen: OK")
+	return 0
+}
+
+func payloadBytes(rng *stats.RNG, n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.IntN(256))
+	}
+	return b
+}

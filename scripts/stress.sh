@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# stress.sh — sustained-load gate for the streamd network front-end.
+#
+# Drives scripts/loadgen against an in-process daemon: thousands of
+# concurrent sessions pushing millions of tuples through the sharded
+# runtime, with the loadgen verifying the service contract as it goes —
+# zero dropped-but-acked tuples (exact conservation against the daemon's
+# streamd_steps_total counter), bounded peak heap, and bounded per-batch
+# p99 engine latency (streamd_batch_latency_ns). Any violation exits
+# nonzero.
+#
+#   ./scripts/stress.sh            # full campaign (~4M tuples)
+#   ./scripts/stress.sh --smoke    # CI preset: small load under -race
+#
+# Every knob has a STRESS_* environment override, e.g.:
+#
+#   STRESS_SESSIONS=2000 STRESS_BATCHES=32 ./scripts/stress.sh
+#
+# Extra arguments after the optional --smoke pass through to loadgen
+# (e.g. ./scripts/stress.sh --smoke -json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SESSIONS="${STRESS_SESSIONS:-1000}"
+BATCHES="${STRESS_BATCHES:-16}"
+BATCH="${STRESS_BATCH:-256}"
+PAYLOAD="${STRESS_PAYLOAD:-16}"
+SHARDS="${STRESS_SHARDS:-8}"
+CACHE="${STRESS_CACHE:-1024}"
+SEED="${STRESS_SEED:-1}"
+MAX_RSS_MB="${STRESS_MAX_RSS_MB:-2048}"
+MAX_P99_MS="${STRESS_MAX_P99_MS:-1000}"
+RACE=()
+
+if [ "${1:-}" = "--smoke" ]; then
+    shift
+    # The CI preset: small enough to finish in seconds, race-enabled so a
+    # data race anywhere on the session/engine/drain paths fails the gate.
+    # The race detector slows the engine ~10x, so the latency bound is
+    # correspondingly looser than the full campaign's.
+    SESSIONS="${STRESS_SESSIONS:-64}"
+    BATCHES="${STRESS_BATCHES:-8}"
+    BATCH="${STRESS_BATCH:-128}"
+    CACHE="${STRESS_CACHE:-512}"
+    MAX_RSS_MB="${STRESS_MAX_RSS_MB:-1024}"
+    MAX_P99_MS="${STRESS_MAX_P99_MS:-5000}"
+    RACE=(-race)
+fi
+
+race_mode=off
+[ "${#RACE[@]}" -gt 0 ] && race_mode=on
+total=$((SESSIONS * BATCHES * BATCH))
+echo "stress: ${SESSIONS} sessions x ${BATCHES} batches x ${BATCH} steps = ${total} tuples" \
+    "(race ${race_mode}, heap<=${MAX_RSS_MB}MB, p99<=${MAX_P99_MS}ms)"
+
+go run "${RACE[@]+"${RACE[@]}"}" ./scripts/loadgen \
+    -sessions "$SESSIONS" \
+    -batches "$BATCHES" \
+    -batch "$BATCH" \
+    -payload "$PAYLOAD" \
+    -shards "$SHARDS" \
+    -cache "$CACHE" \
+    -seed "$SEED" \
+    -max-rss-mb "$MAX_RSS_MB" \
+    -max-p99-ms "$MAX_P99_MS" \
+    "$@"
