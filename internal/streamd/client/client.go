@@ -41,10 +41,14 @@ type Options struct {
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
 	// MaxBatch splits larger Ingest calls into batches of at most this
-	// many steps (default and cap: wire.MaxBatchSteps). The split is a
-	// pure function of the input, so replaying the same calls replays the
-	// same batch boundaries — which is what the daemon's byte-identical
-	// drain/restart guarantee is defined over.
+	// many steps (default and cap: wire.MaxBatchSteps). Batches are
+	// additionally bounded by the server's credit window (from the
+	// handshake) and by the frame payload cap, so a default client never
+	// trips flow control or frame-size limits against any server. The
+	// split is a pure function of the input and the server's (constant)
+	// window, so replaying the same calls replays the same batch
+	// boundaries — which is what the daemon's byte-identical drain/restart
+	// guarantee is defined over.
 	MaxBatch int
 	// Dialer overrides the TCP dial — the fault-injection seam.
 	Dialer func(addr string) (net.Conn, error)
@@ -204,20 +208,26 @@ func (c *Client) withRetries(what string, op func() error) error {
 	return fmt.Errorf("client: %s: attempts exhausted: %w", what, last)
 }
 
-// Ingest runs steps through the daemon, splitting into MaxBatch-bounded
-// batches, and returns the join pairs in the daemon's deterministic merge
-// order. Each batch survives disconnects, sheds and daemon restarts: the
-// client reconnects, resumes, and resends until acknowledged.
+// Ingest runs steps through the daemon, splitting into batches bounded by
+// MaxBatch, the server's credit window and the frame payload cap, and
+// returns the join pairs in the daemon's deterministic merge order. Each
+// batch survives disconnects, sheds and daemon restarts: the client
+// reconnects, resumes, and resends until acknowledged.
 func (c *Client) Ingest(steps []wire.Step) ([]wire.Pair, error) {
 	if c.closed {
 		return nil, wire.ErrClosed
 	}
+	for i := range steps {
+		if n := len(steps[i].RPayload); n > wire.MaxPayloadBytes {
+			return nil, fmt.Errorf("%w: step %d stream R payload %d bytes exceeds cap %d", wire.ErrBadStep, i, n, wire.MaxPayloadBytes)
+		}
+		if n := len(steps[i].SPayload); n > wire.MaxPayloadBytes {
+			return nil, fmt.Errorf("%w: step %d stream S payload %d bytes exceeds cap %d", wire.ErrBadStep, i, n, wire.MaxPayloadBytes)
+		}
+	}
 	var out []wire.Pair
 	for len(steps) > 0 {
-		n := c.opt.MaxBatch
-		if n > len(steps) {
-			n = len(steps)
-		}
+		n := c.nextBatchLen(steps)
 		pairs, err := c.ingestBatch(steps[:n])
 		if err != nil {
 			return out, err
@@ -226,6 +236,33 @@ func (c *Client) Ingest(steps []wire.Step) ([]wire.Pair, error) {
 		steps = steps[n:]
 	}
 	return out, nil
+}
+
+// nextBatchLen is how many leading steps the next batch takes: at most
+// MaxBatch, at most the server's credit window (the daemon treats an
+// overrun as a fatal flow-control violation, so the split must respect the
+// handshake's grant), and no more than fits one ingest frame. With the
+// one-batch-in-flight discipline the window is fully regranted by every
+// acknowledgment, so the split is deterministic across replays against the
+// same server configuration.
+func (c *Client) nextBatchLen(steps []wire.Step) int {
+	limit := c.opt.MaxBatch
+	if c.credits > 0 && c.credits < limit {
+		limit = c.credits
+	}
+	if limit > len(steps) {
+		limit = len(steps)
+	}
+	n, size := 0, wire.IngestHeaderSize
+	for n < limit {
+		sz := wire.StepSize(&steps[n])
+		if n > 0 && size+sz > wire.MaxFramePayload {
+			break
+		}
+		size += sz
+		n++
+	}
+	return n
 }
 
 // ingestBatch drives one batch (base = acked+1) to acknowledgment.
@@ -259,10 +296,12 @@ func (c *Client) ingestBatch(steps []wire.Step) ([]wire.Pair, error) {
 	return pairs, err
 }
 
-// awaitResults reads frames until the acknowledgment for base arrives.
-// Replayed results for already-acknowledged batches are recognized by
-// their sequence and skipped — the dedup half of retry safety.
+// awaitResults reads frames until the acknowledgment for base arrives,
+// accumulating chunked replies (More flag) into one pair listing. Replayed
+// results for already-acknowledged batches are recognized by their
+// sequence and skipped — the dedup half of retry safety.
 func (c *Client) awaitResults(base uint64) ([]wire.Pair, error) {
+	var acc []wire.Pair
 	for {
 		typ, payload, err := wire.ReadFrame(c.rd)
 		if err != nil {
@@ -277,15 +316,19 @@ func (c *Client) awaitResults(base uint64) ([]wire.Pair, error) {
 				return nil, fmt.Errorf("client: results: %w", err)
 			}
 			if f.Flush || f.AckSeq < base {
-				continue // stale flush response or replayed duplicate
+				continue // stale flush response or replayed duplicate (chunks included)
 			}
 			if f.AckSeq > base {
 				c.dropConn()
 				return nil, fmt.Errorf("%w: server acked %d, expected %d", wire.ErrSeqGap, f.AckSeq, base)
 			}
+			acc = append(acc, f.Pairs...)
+			if f.More {
+				continue // the acknowledgment completes when More clears
+			}
 			c.acked = base
 			c.credits = int(f.Credits)
-			return f.Pairs, nil
+			return acc, nil
 		case wire.TypeError:
 			f, err := wire.DecodeError(payload)
 			if err != nil {
@@ -340,6 +383,7 @@ func (c *Client) Flush() ([]wire.Pair, error) {
 }
 
 func (c *Client) awaitFlush() ([]wire.Pair, error) {
+	var acc []wire.Pair
 	for {
 		typ, payload, err := wire.ReadFrame(c.rd)
 		if err != nil {
@@ -354,10 +398,14 @@ func (c *Client) awaitFlush() ([]wire.Pair, error) {
 				return nil, fmt.Errorf("client: flush results: %w", err)
 			}
 			if !f.Flush {
-				continue // replayed ingest acknowledgment
+				continue // replayed ingest acknowledgment (chunks included)
+			}
+			acc = append(acc, f.Pairs...)
+			if f.More {
+				continue
 			}
 			c.credits = int(f.Credits)
-			return f.Pairs, nil
+			return acc, nil
 		case wire.TypeError:
 			f, err := wire.DecodeError(payload)
 			if err != nil {

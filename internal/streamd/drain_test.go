@@ -2,6 +2,7 @@ package streamd_test
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
@@ -15,6 +16,66 @@ import (
 	"stochstream/internal/streamd/client"
 	"stochstream/internal/streamd/wire"
 )
+
+// TestDrainExpiredContextUnderLoad pins the drain timeout path: even when
+// the context is already dead, drain must wait for the engine loop to
+// finish its admitted batches before shutting the runtime down (the
+// race-detected CI run would flag a Shutdown racing IngestBatch), and the
+// daemon must still stop completely.
+func TestDrainExpiredContextUnderLoad(t *testing.T) {
+	srv, err := streamd.Start(streamd.Config{
+		Runtime:    testRuntimeConfig(4),
+		Listen:     "127.0.0.1:0",
+		RetryAfter: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	cl, err := client.Dial(client.Options{
+		Addr:        srv.Addr(),
+		Session:     "expired",
+		Seed:        13,
+		MaxAttempts: 3,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	// Keep the engine busy while the drain lands.
+	rng := stats.NewRNG(77)
+	var sent atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if _, err := cl.Ingest(genSteps(rng, 64, 16)); err != nil {
+				return // draining: retries exhausted, the stream ends here
+			}
+			sent.Add(1)
+		}
+	}()
+	for sent.Load() < 3 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := srv.Drain(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("Drain with dead context: %v", err)
+	}
+	wg.Wait()
+
+	// Conservation still holds: every acknowledged batch was ingested
+	// exactly once even though the drain context never granted any time.
+	steps := srv.Registry().Snapshot().Counters["streamd_steps_total"]
+	if steps < sent.Load()*64 {
+		t.Fatalf("steps_total = %d, below the %d acknowledged", steps, sent.Load()*64)
+	}
+}
 
 // TestDrainRestartByteIdentical is the drain-under-load differential: a
 // client streams batches while the daemon is drained mid-stream, the drain

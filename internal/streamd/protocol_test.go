@@ -180,6 +180,30 @@ func TestProtocolCreditViolation(t *testing.T) {
 	}
 }
 
+// TestProtocolOversizedPayloadRejected pins the server-side payload cap:
+// a step blob over wire.MaxPayloadBytes is a recoverable bad-step
+// rejection that consumes no sequence number.
+func TestProtocolOversizedPayloadRejected(t *testing.T) {
+	srv := protoServer(t, nil)
+	rc := rawDial(t, srv.Addr())
+	rc.handshake(t, "overpay", 0)
+	rc.send(t, wire.TypeIngest, wire.EncodeIngest(wire.Ingest{Base: 1, Steps: []wire.Step{
+		{RKey: 1, SKey: 1, RPayload: make([]byte, wire.MaxPayloadBytes+1)},
+	}}))
+	rc.expectError(t, wire.CodeBadStep)
+
+	// The connection survives and the next conforming batch is sequence 1.
+	rc.send(t, wire.TypeIngest, wire.EncodeIngest(wire.Ingest{Base: 1, Steps: []wire.Step{{RKey: 2, SKey: 2}}}))
+	typ, payload := rc.read(t)
+	if typ != wire.TypeResults {
+		t.Fatalf("frame type 0x%02x, want results", typ)
+	}
+	f, err := wire.DecodeResults(payload)
+	if err != nil || f.AckSeq != 1 {
+		t.Fatalf("results = %+v, %v; want ack 1", f, err)
+	}
+}
+
 func TestProtocolSessionBusy(t *testing.T) {
 	srv := protoServer(t, nil)
 	rc := rawDial(t, srv.Addr())

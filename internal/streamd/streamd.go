@@ -356,7 +356,9 @@ func (s *Server) engineIngest(req *ingestReq) {
 	s.pairsTotal.Add(int64(len(pairs)))
 	s.batchesTotal.Inc()
 	credits := req.sess.ack(req.base, len(req.steps), s.cfg.Credits, s.nowNanos())
-	frame := wire.EncodeResultsFrame(wire.Results{
+	// A join-heavy batch's reply can exceed the frame payload cap; the
+	// chunked encoding keeps every frame legal and replays as a unit.
+	frame := wire.EncodeResultsFrames(wire.Results{
 		AckSeq:  req.base,
 		Credits: uint32(credits),
 		Pairs:   pairsToWire(pairs),
@@ -381,7 +383,7 @@ func (s *Server) engineFlush(req *ingestReq) {
 	// Flush results are not buffered for replay: a flush drains carried
 	// lane tails, so re-running one after reconnect yields nothing — the
 	// client treats a lost flush response as an empty flush.
-	s.deliver(req.sess, wire.EncodeResultsFrame(wire.Results{
+	s.deliver(req.sess, wire.EncodeResultsFrames(wire.Results{
 		AckSeq:  ack,
 		Credits: uint32(credits),
 		Flush:   true,
@@ -491,10 +493,13 @@ func (ss *session) offer(base uint64, nsteps int, now int64, submit func() error
 // --- accept / serve -------------------------------------------------------
 
 // acceptLoop admits connections until the listener closes (drain) or
-// accept fails persistently.
+// fails for good. Temporary failures (EMFILE-class fd exhaustion bursts)
+// are retried forever with exponential backoff, the same treatment
+// net/http's Serve gives them — only a non-temporary listener error stops
+// ingress, surfaced via the accept-error counter and a dead readyz.
 func (s *Server) acceptLoop() {
 	defer close(s.acceptDone)
-	failures := 0
+	var delay time.Duration
 	for {
 		nc, err := s.ln.Accept()
 		if err != nil {
@@ -502,13 +507,22 @@ func (s *Server) acceptLoop() {
 				return
 			}
 			s.acceptErrs.Inc()
-			failures++
-			if failures >= 100 {
-				return // persistent accept failure: stop ingress, surface via metrics
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() { //nolint:staticcheck // net/http's Serve does the same: Temporary is the only signal for retryable accept errors
+				if delay == 0 {
+					delay = 5 * time.Millisecond
+				} else {
+					delay *= 2
+				}
+				if delay > time.Second {
+					delay = time.Second
+				}
+				time.Sleep(delay)
+				continue
 			}
-			continue
+			return
 		}
-		failures = 0
+		delay = 0
 		s.connWG.Add(2)
 		go s.serveConn(nc)
 	}
@@ -552,16 +566,12 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.refuse(c, fmt.Errorf("%w: protocol version %d, want %d", ErrBadFrame, hello.Version, wire.Version))
 		return
 	}
-	sess, welcome, replay, err := s.attach(hello, c)
+	sess, err := s.attach(hello, c)
 	if err != nil {
 		s.refuse(c, err)
 		return
 	}
 	defer s.detach(sess, c)
-	c.trySend(wire.Frame(wire.TypeWelcome, wire.EncodeWelcome(welcome)))
-	if replay != nil {
-		c.trySend(replay)
-	}
 
 	for {
 		typ, payload, err := wire.ReadFrame(rd)
@@ -696,9 +706,14 @@ func (r *deadlineReader) Read(p []byte) (int, error) {
 // client's resume point against the server's acknowledged sequence. A
 // client exactly one results frame behind gets that frame replayed; a
 // larger divergence is unrecoverable and refused with ErrSeqGap.
-func (s *Server) attach(h wire.Hello, c *conn) (*session, wire.Welcome, []byte, error) {
+//
+// The Welcome (and any replay) frame is enqueued here, while ss.mu is still
+// held: deliver() reads ss.attached under the same lock, so a resumed
+// in-flight batch's results frame cannot enter the writer queue before the
+// handshake frame — the client is guaranteed to see Welcome first.
+func (s *Server) attach(h wire.Hello, c *conn) (*session, error) {
 	if s.draining.Load() {
-		return nil, wire.Welcome{}, nil, ErrDraining
+		return nil, ErrDraining
 	}
 	s.mu.Lock()
 	ss := s.sessions[h.Session]
@@ -711,7 +726,7 @@ func (s *Server) attach(h wire.Hello, c *conn) (*session, wire.Welcome, []byte, 
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if ss.attached != nil {
-		return nil, wire.Welcome{}, nil, fmt.Errorf("%w: %q", ErrSessionBusy, h.Session)
+		return nil, fmt.Errorf("%w: %q", ErrSessionBusy, h.Session)
 	}
 	var replay []byte
 	switch {
@@ -721,13 +736,19 @@ func (s *Server) attach(h wire.Hello, c *conn) (*session, wire.Welcome, []byte, 
 	case h.LastSeq+1 == ss.acked && ss.lastFrame != nil:
 		replay = ss.lastFrame
 	default:
-		return nil, wire.Welcome{}, nil, fmt.Errorf("%w: client resumes at %d, server acked %d (replay buffer holds only the last batch)",
+		return nil, fmt.Errorf("%w: client resumes at %d, server acked %d (replay buffer holds only the last batch)",
 			ErrSeqGap, h.LastSeq, ss.acked)
 	}
 	ss.attached = c
 	ss.credits = s.cfg.Credits
 	ss.lastSeen = s.nowNanos()
-	return ss, wire.Welcome{Credits: uint32(ss.credits), AckSeq: ss.acked}, replay, nil
+	c.trySend(wire.Frame(wire.TypeWelcome, wire.EncodeWelcome(wire.Welcome{
+		Credits: uint32(ss.credits), AckSeq: ss.acked,
+	})))
+	if replay != nil {
+		c.trySend(replay)
+	}
+	return ss, nil
 }
 
 func (s *Server) detach(ss *session, c *conn) {
@@ -826,6 +847,12 @@ func (s *Server) drainLocked(ctx context.Context, writeCkpt bool) error {
 	case <-s.engineDone:
 	case <-ctx.Done():
 		firstErr = fmt.Errorf("streamd: drain: engine flush: %w", ctx.Err())
+		// The engine loop still owns the runtime: even on timeout, wait for
+		// it to finish the already-admitted batches before rt.Shutdown below
+		// may touch the runtime concurrently. The queue is closed, so this
+		// wait is bounded by queued work; the expired context still skips
+		// the checkpoint.
+		<-s.engineDone
 	}
 
 	if writeCkpt && firstErr == nil && s.cfg.CheckpointPath != "" {
@@ -887,6 +914,15 @@ func stepsFromWire(in []wire.Step) ([]shardrt.Step, error) {
 		}
 		if err := checkWireKey(ws.SKey); err != nil {
 			return nil, fmt.Errorf("%w: step %d stream S: %v", ErrBadStep, i, err)
+		}
+		// The payload cap holds on every ingest route (the HTTP body limit
+		// alone allows blobs big enough that one echoed pair could overflow
+		// a results frame).
+		if n := len(ws.RPayload); n > wire.MaxPayloadBytes {
+			return nil, fmt.Errorf("%w: step %d stream R payload %d bytes exceeds cap %d", ErrBadStep, i, n, wire.MaxPayloadBytes)
+		}
+		if n := len(ws.SPayload); n > wire.MaxPayloadBytes {
+			return nil, fmt.Errorf("%w: step %d stream S payload %d bytes exceeds cap %d", ErrBadStep, i, n, wire.MaxPayloadBytes)
 		}
 		steps[i] = shardrt.Step{
 			R: engine.Tuple{Key: int(ws.RKey), Payload: payloadFromWire(ws.RPayload)},

@@ -1,6 +1,7 @@
 package streamd_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -253,6 +254,148 @@ func TestHTTPIngest(t *testing.T) {
 	}
 	if got := srv.Registry().Snapshot().Counters["streamd_steps_total"]; got != 3 {
 		t.Errorf("steps_total after rejected bodies = %d, want 3", got)
+	}
+}
+
+// TestClientRespectsCreditWindow is the regression for the default-config
+// flow-control mismatch: a client whose MaxBatch exceeds the server's
+// credit window must split batches down to the handshake's grant instead
+// of tripping the fatal ErrFlowControl rejection.
+func TestClientRespectsCreditWindow(t *testing.T) {
+	const window = 8
+	srv, err := streamd.Start(streamd.Config{
+		Runtime: testRuntimeConfig(2),
+		Listen:  "127.0.0.1:0",
+		Credits: window,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	// Default options: MaxBatch = wire.MaxBatchSteps (8192) >> window.
+	cl, err := client.Dial(client.Options{Addr: srv.Addr(), Session: "window", Seed: 3})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	rng := stats.NewRNG(5)
+	steps := genSteps(rng, 50, 8)
+	got, err := cl.Ingest(steps)
+	if err != nil {
+		t.Fatalf("Ingest across small window: %v", err)
+	}
+	// The split is window-sized and deterministic: ceil(50/8) = 7 batches.
+	if cl.Acked() != 7 {
+		t.Fatalf("Acked = %d, want 7 window-sized batches", cl.Acked())
+	}
+	rt, err := shardrt.New(testRuntimeConfig(2))
+	if err != nil {
+		t.Fatalf("shardrt.New: %v", err)
+	}
+	defer func() { _, _ = rt.Close() }()
+	var want []shardrt.Pair
+	for i := 0; i < len(steps); i += window {
+		end := i + window
+		if end > len(steps) {
+			end = len(steps)
+		}
+		ps, err := rt.IngestBatch(toRuntimeSteps(steps[i:end]))
+		if err != nil {
+			t.Fatalf("oracle batch at %d: %v", i, err)
+		}
+		want = append(want, ps...)
+	}
+	wirePairsEqualRuntime(t, got, want)
+}
+
+// TestChunkedResultsEndToEnd drives a payload-heavy join whose replies
+// outgrow a single results frame: the daemon must chunk them (More flag)
+// and the client must reassemble, staying byte-identical to the direct
+// runtime with the same (size-driven) batch boundaries.
+func TestChunkedResultsEndToEnd(t *testing.T) {
+	srv, err := streamd.Start(streamd.Config{
+		Runtime: testRuntimeConfig(2),
+		Listen:  "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	cl, err := client.Dial(client.Options{Addr: srv.Addr(), Session: "chunked", Seed: 9})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	// Max-size payloads on one hot key: every step joins against all the
+	// cached partners, so late batches reply with many ~2 MiB pairs.
+	big := bytes.Repeat([]byte{0xAB}, wire.MaxPayloadBytes)
+	const n = 6
+	steps := make([]wire.Step, n)
+	for i := range steps {
+		steps[i] = wire.Step{RKey: 7, SKey: 7, RPayload: big, SPayload: big}
+	}
+	got, err := cl.Ingest(steps)
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+
+	// The frame-size split puts one step per batch (two max-payload steps
+	// overflow an ingest frame); the oracle uses the same boundaries.
+	if cl.Acked() != n {
+		t.Fatalf("Acked = %d, want %d single-step batches", cl.Acked(), n)
+	}
+	rt, err := shardrt.New(testRuntimeConfig(2))
+	if err != nil {
+		t.Fatalf("shardrt.New: %v", err)
+	}
+	defer func() { _, _ = rt.Close() }()
+	var want []shardrt.Pair
+	for i := range steps {
+		ps, err := rt.IngestBatch(toRuntimeSteps(steps[i : i+1]))
+		if err != nil {
+			t.Fatalf("oracle step %d: %v", i, err)
+		}
+		want = append(want, ps...)
+	}
+	wirePairsEqualRuntime(t, got, want)
+	total := 0
+	for i := range got {
+		if !bytes.Equal(got[i].RPayload, big) || !bytes.Equal(got[i].SPayload, big) {
+			t.Fatalf("pair %d payload corrupted through chunked delivery", i)
+		}
+		total += len(got[i].RPayload) + len(got[i].SPayload)
+	}
+	if total <= wire.MaxFramePayload {
+		t.Fatalf("workload produced only %d result bytes; raise n to force chunking", total)
+	}
+}
+
+// TestClientRejectsOversizedPayload pins the client-side payload cap: a
+// blob over wire.MaxPayloadBytes is refused before any frame is sent.
+func TestClientRejectsOversizedPayload(t *testing.T) {
+	srv, err := streamd.Start(streamd.Config{
+		Runtime: testRuntimeConfig(2),
+		Listen:  "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() { _ = srv.Close() }()
+	cl, err := client.Dial(client.Options{Addr: srv.Addr(), Session: "overpay", Seed: 1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = cl.Close() }()
+	_, err = cl.Ingest([]wire.Step{{RKey: 1, SKey: 1, SPayload: make([]byte, wire.MaxPayloadBytes+1)}})
+	if !errors.Is(err, wire.ErrBadStep) {
+		t.Fatalf("oversized payload: err = %v, want ErrBadStep", err)
+	}
+	if cl.Acked() != 0 {
+		t.Fatalf("Acked after rejection = %d, want 0", cl.Acked())
 	}
 }
 

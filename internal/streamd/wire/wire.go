@@ -50,6 +50,12 @@ const MaxFramePayload = 4 << 20
 // split by the client (the client package does this transparently).
 const MaxBatchSteps = 8192
 
+// MaxPayloadBytes bounds one tuple payload blob, on every ingest route.
+// It keeps the largest possible join pair (two echoed payloads plus fixed
+// fields) well under MaxFramePayload, which is what lets the results
+// chunker guarantee every emitted frame is legal.
+const MaxPayloadBytes = 1 << 20
+
 // MaxSessionName bounds the session identifier length.
 const MaxSessionName = 256
 
@@ -148,11 +154,16 @@ type Ingest struct {
 	Steps []Step
 }
 
-// Results acknowledges batch Base and regrants credits.
+// Results acknowledges batch Base and regrants credits. A reply whose pair
+// listing would overflow MaxFramePayload travels as several Results frames:
+// every chunk repeats AckSeq/Credits/Flush, all but the last set More, and
+// the receiver accumulates pairs until More clears (EncodeResultsFrames
+// does the splitting).
 type Results struct {
 	AckSeq  uint64
 	Credits uint32
 	Flush   bool // true when these pairs came from a Flush, not an Ingest
+	More    bool // true when further chunks of the same reply follow
 	Pairs   []Pair
 }
 
@@ -236,6 +247,16 @@ func EncodeWelcome(f Welcome) []byte {
 	return w.b
 }
 
+// IngestHeaderSize is the fixed payload prefix of an ingest frame (base +
+// step count); StepSize is the exact encoded length of one step. Together
+// they let the client split batches so every ingest frame stays under
+// MaxFramePayload, mirroring the encoder below exactly.
+const IngestHeaderSize = 8 + 4
+
+func StepSize(st *Step) int {
+	return 8 + 8 + 4 + 4 + len(st.RPayload) + len(st.SPayload)
+}
+
 func EncodeIngest(f Ingest) []byte {
 	var w wireBuf
 	w.u64(f.Base)
@@ -249,14 +270,23 @@ func EncodeIngest(f Ingest) []byte {
 	return w.b
 }
 
+// Results flags byte: bit 0 = Flush, bit 1 = More.
+const (
+	resultsFlagFlush = 1 << 0
+	resultsFlagMore  = 1 << 1
+)
+
 func appendResults(w *wireBuf, f Results) {
 	w.u64(f.AckSeq)
 	w.u32(f.Credits)
+	var flags uint8
 	if f.Flush {
-		w.u8(1)
-	} else {
-		w.u8(0)
+		flags |= resultsFlagFlush
 	}
+	if f.More {
+		flags |= resultsFlagMore
+	}
+	w.u8(flags)
 	w.u32(uint32(len(f.Pairs)))
 	for i := range f.Pairs {
 		p := &f.Pairs[i]
@@ -281,13 +311,21 @@ func EncodeResults(f Results) []byte {
 	return w.b
 }
 
+// resultsHeaderSize is the fixed payload prefix of a Results frame
+// (AckSeq + Credits + flags + pair count).
+const resultsHeaderSize = 8 + 4 + 1 + 4
+
+// pairSize is the exact encoded length of one pair.
+func pairSize(p *Pair) int {
+	return 8 + 8 + 8 + 8 + 2 + 1 + 4 + 4 + len(p.RPayload) + len(p.SPayload)
+}
+
 // resultsSize is the exact encoded payload length of f, so the hot reply
 // path can allocate once.
 func resultsSize(f Results) int {
-	n := 8 + 4 + 1 + 4
+	n := resultsHeaderSize
 	for i := range f.Pairs {
-		p := &f.Pairs[i]
-		n += 8 + 8 + 8 + 8 + 2 + 1 + 4 + 4 + len(p.RPayload) + len(p.SPayload)
+		n += pairSize(&f.Pairs[i])
 	}
 	return n
 }
@@ -296,7 +334,8 @@ func resultsSize(f Results) int {
 // one exact-size allocation. A large batch's reply runs to megabytes of
 // pairs; encoding it through append-doubling plus Frame's payload copy costs
 // several redundant passes over the buffer, which is the dominant daemon
-// overhead versus calling the runtime directly.
+// overhead versus calling the runtime directly. Callers that may exceed
+// MaxFramePayload use EncodeResultsFrames instead.
 func EncodeResultsFrame(f Results) []byte {
 	size := resultsSize(f)
 	var w wireBuf
@@ -304,6 +343,51 @@ func EncodeResultsFrame(f Results) []byte {
 	w.u8(TypeResults)
 	w.u32(uint32(size))
 	appendResults(&w, f)
+	return w.b
+}
+
+// EncodeResultsFrames encodes f as one or more complete Results frames
+// concatenated into a single byte slice, splitting the pair listing so that
+// no frame payload exceeds MaxFramePayload (a join-heavy batch can produce
+// a reply far larger than the ingest that caused it). Every chunk repeats
+// AckSeq, Credits and Flush; all but the last set More. Because ingest
+// payloads are capped at MaxPayloadBytes, a single pair always fits a
+// frame, so the split cannot fail. The concatenation is the daemon's unit
+// of delivery and replay — one writer-queue entry, one replay buffer — and
+// decodes on the client as an ordinary frame sequence.
+func EncodeResultsFrames(f Results) []byte {
+	if resultsSize(f) <= MaxFramePayload {
+		return EncodeResultsFrame(f)
+	}
+	// Greedy size-based cuts: close a chunk when the next pair would
+	// overflow it (a chunk always takes at least one pair).
+	type span struct{ start, end, size int }
+	var spans []span
+	start, size := 0, resultsHeaderSize
+	for i := range f.Pairs {
+		sz := pairSize(&f.Pairs[i])
+		if i > start && size+sz > MaxFramePayload {
+			spans = append(spans, span{start, i, size})
+			start, size = i, resultsHeaderSize
+		}
+		size += sz
+	}
+	spans = append(spans, span{start, len(f.Pairs), size})
+
+	total := 0
+	for _, sp := range spans {
+		total += 5 + sp.size
+	}
+	var w wireBuf
+	w.b = make([]byte, 0, total)
+	for k, sp := range spans {
+		chunk := f
+		chunk.Pairs = f.Pairs[sp.start:sp.end]
+		chunk.More = k < len(spans)-1
+		w.u8(TypeResults)
+		w.u32(uint32(sp.size))
+		appendResults(&w, chunk)
+	}
 	return w.b
 }
 
@@ -467,7 +551,13 @@ func DecodeIngest(b []byte) (Ingest, error) {
 
 func DecodeResults(b []byte) (Results, error) {
 	c := wireCursor{b: b}
-	f := Results{AckSeq: c.u64(), Credits: c.u32(), Flush: c.u8() == 1}
+	f := Results{AckSeq: c.u64(), Credits: c.u32()}
+	flags := c.u8()
+	if c.err == nil && flags&^(resultsFlagFlush|resultsFlagMore) != 0 {
+		return Results{}, fmt.Errorf("%w: unknown results flags 0x%02x", ErrBadFrame, flags)
+	}
+	f.Flush = flags&resultsFlagFlush != 0
+	f.More = flags&resultsFlagMore != 0
 	n := c.u32()
 	if c.err == nil && n > MaxFramePayload/16 {
 		return Results{}, fmt.Errorf("%w: pair count %d implausible for payload size", ErrBadFrame, n)

@@ -66,6 +66,80 @@ func TestResultsRoundTrip(t *testing.T) {
 	}
 }
 
+func TestResultsMoreFlagRoundTrip(t *testing.T) {
+	in := Results{AckSeq: 5, Credits: 64, More: true, Pairs: []Pair{{RSeq: 1, SSeq: 2}}}
+	out, err := DecodeResults(EncodeResults(in))
+	if err != nil {
+		t.Fatalf("DecodeResults: %v", err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+	// Unknown flag bits are a frame violation, not silently ignored.
+	payload := EncodeResults(Results{AckSeq: 1})
+	payload[12] |= 0x80 // flags byte follows AckSeq (8) + Credits (4)
+	if _, err := DecodeResults(payload); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("unknown flags: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestEncodeResultsFramesChunksOversizedReply pins the results chunker: a
+// reply bigger than MaxFramePayload must arrive as several legal frames
+// that reassemble exactly, with More set on every chunk but the last.
+func TestEncodeResultsFramesChunksOversizedReply(t *testing.T) {
+	big := bytes.Repeat([]byte{0xC7}, MaxPayloadBytes)
+	f := Results{AckSeq: 9, Credits: 4096, Pairs: make([]Pair, 6)}
+	for i := range f.Pairs {
+		f.Pairs[i] = Pair{
+			RSeq: uint64(2 * i), SSeq: uint64(2*i + 1), RKey: 7, SKey: 7,
+			Shard: 1, SameStep: i%2 == 0, RPayload: big, SPayload: big,
+		}
+	}
+	buf := EncodeResultsFrames(f) // ~12 MiB of pairs: must split
+	rd := bytes.NewReader(buf)
+	var got []Pair
+	var mores []bool
+	for rd.Len() > 0 {
+		typ, payload, err := ReadFrame(rd) // enforces MaxFramePayload per frame
+		if err != nil {
+			t.Fatalf("ReadFrame chunk %d: %v", len(mores), err)
+		}
+		if typ != TypeResults {
+			t.Fatalf("chunk %d type = 0x%02x, want results", len(mores), typ)
+		}
+		chunk, err := DecodeResults(payload)
+		if err != nil {
+			t.Fatalf("DecodeResults chunk %d: %v", len(mores), err)
+		}
+		if chunk.AckSeq != f.AckSeq || chunk.Credits != f.Credits || chunk.Flush {
+			t.Fatalf("chunk %d header = %+v, want AckSeq %d Credits %d", len(mores), chunk, f.AckSeq, f.Credits)
+		}
+		if len(chunk.Pairs) == 0 {
+			t.Fatalf("chunk %d carries no pairs", len(mores))
+		}
+		mores = append(mores, chunk.More)
+		got = append(got, chunk.Pairs...)
+	}
+	if len(mores) < 2 {
+		t.Fatalf("reply of %d bytes did not chunk (frames = %d)", len(buf), len(mores))
+	}
+	for i, m := range mores {
+		if want := i < len(mores)-1; m != want {
+			t.Errorf("chunk %d More = %v, want %v", i, m, want)
+		}
+	}
+	if !reflect.DeepEqual(got, f.Pairs) {
+		t.Fatal("reassembled pairs diverge from input")
+	}
+
+	// The small path stays a single frame, byte-identical to the direct
+	// encoder.
+	small := Results{AckSeq: 3, Credits: 10, Pairs: []Pair{{RSeq: 1, SSeq: 2, RPayload: []byte("x")}}}
+	if !bytes.Equal(EncodeResultsFrames(small), EncodeResultsFrame(small)) {
+		t.Fatal("single-frame reply diverges from EncodeResultsFrame")
+	}
+}
+
 func TestErrorRoundTrip(t *testing.T) {
 	in := ErrorFrame{Code: CodeOverloaded, RetryAfterMillis: 50, Msg: "queue full"}
 	out, err := DecodeError(EncodeError(in))
