@@ -7,6 +7,8 @@
 //	go run ./cmd/stochlint -json ./...      # machine-readable findings
 //	go run ./cmd/stochlint -C subdir ./...  # run as if started in subdir
 //	go run ./cmd/stochlint -parallel 1 ./...
+//	go run ./cmd/stochlint -rules list      # print the suite's analyzer names
+//	go run ./cmd/stochlint -rules snapcomplete,wirexhaustive ./...
 //
 // Findings print as file:line:col: [analyzer] message, relative to the
 // working directory when possible; any unsuppressed finding makes the exit
@@ -30,6 +32,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -55,6 +58,12 @@ type options struct {
 	// on stderr — the numbers recorded in BENCH_stochlint.json. Combined
 	// with JSON it wraps the finding array in a {findings, timing} envelope.
 	Timing bool
+	// Rules selects an analyzer subset by comma-separated name; empty runs
+	// the full suite. The special value "list" prints the suite's analyzer
+	// names and exits. Subset runs skip the staleignore audit — a partial
+	// run cannot tell whether a directive for an unselected analyzer is
+	// stale.
+	Rules string
 }
 
 func main() {
@@ -64,6 +73,7 @@ func main() {
 	fs.StringVar(&opts.Dir, "C", "", "run as if stochlint were started in `dir`")
 	fs.IntVar(&opts.Parallel, "parallel", runtime.GOMAXPROCS(0), "max packages analyzed concurrently (1 = serial)")
 	fs.BoolVar(&opts.Timing, "timing", false, "report load/analysis wall times and per-analyzer aggregates (with -json: wrap findings in a {findings, timing} envelope)")
+	fs.StringVar(&opts.Rules, "rules", "", "comma-separated `names` of analyzers to run (\"list\" prints the suite and exits; default: all)")
 	_ = fs.Parse(os.Args[1:])
 	code, err := run(opts, fs.Args(), os.Stdout, os.Stderr)
 	if err != nil {
@@ -114,6 +124,16 @@ type jsonReport struct {
 // 1 when any unsuppressed finding (including staleignore audit findings)
 // remains. Infrastructure failures return a non-nil error (exit 2 in main).
 func run(opts options, patterns []string, stdout, stderr io.Writer) (int, error) {
+	rules, fullSuite, err := selectRules(opts.Rules)
+	if err != nil {
+		return 0, err
+	}
+	if rules == nil { // -rules list
+		for _, r := range lintrules.Rules() {
+			fmt.Fprintln(stdout, r.Analyzer.Name)
+		}
+		return 0, nil
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -128,7 +148,7 @@ func run(opts options, patterns []string, stdout, stderr io.Writer) (int, error)
 		}
 		workdir = wd
 	}
-	workdir, err := filepath.Abs(workdir)
+	workdir, err = filepath.Abs(workdir)
 	if err != nil {
 		return 0, err
 	}
@@ -177,7 +197,6 @@ func run(opts options, patterns []string, stdout, stderr io.Writer) (int, error)
 	// structures are safe here: the suppression table and the fact solver
 	// lock internally, CFGs build under sync.Once, and everything else is
 	// read-only after load.
-	rules := lintrules.Rules()
 	analyzeStart := time.Now()
 	perFindings := make([][]analysis.Finding, len(pkgs))
 	perErr := make([]error, len(pkgs))
@@ -233,18 +252,22 @@ func run(opts options, patterns []string, stdout, stderr io.Writer) (int, error)
 
 	// Suppression audit, scoped to the files actually analyzed: a directive
 	// in a package outside the requested patterns may legitimately be
-	// unused this run.
-	known := map[string]bool{}
-	for _, a := range lintrules.Analyzers() {
-		known[a.Name] = true
-	}
-	analyzed := map[string]bool{}
-	for _, pkg := range pkgs {
-		for _, f := range pkg.Files {
-			analyzed[pkg.Fset.Position(f.Pos()).Filename] = true
+	// unused this run. Subset runs (-rules) skip it entirely — a directive
+	// for an unselected analyzer had no chance to match, so its staleness
+	// is unknowable.
+	if fullSuite {
+		known := map[string]bool{}
+		for _, a := range lintrules.Analyzers() {
+			known[a.Name] = true
 		}
+		analyzed := map[string]bool{}
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				analyzed[pkg.Fset.Position(f.Pos()).Filename] = true
+			}
+		}
+		findings = append(findings, table.Audit(func(n string) bool { return known[n] }, analyzed)...)
 	}
-	findings = append(findings, table.Audit(func(n string) bool { return known[n] }, analyzed)...)
 
 	for i := range findings {
 		findings[i].Pos.Filename = relativize(workdir, findings[i].Pos.Filename)
@@ -318,6 +341,50 @@ func run(opts options, patterns []string, stdout, stderr io.Writer) (int, error)
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// selectRules resolves the -rules value against the suite: "" keeps every
+// rule (fullSuite true), "list" returns a nil slice (the caller prints the
+// names and exits), and a comma-separated list picks that subset in suite
+// order, rejecting names the suite does not have. Duplicate and empty
+// segments are tolerated.
+func selectRules(spec string) (rules []lintrules.Rule, fullSuite bool, err error) {
+	all := lintrules.Rules()
+	if spec == "" {
+		return all, true, nil
+	}
+	if spec == "list" {
+		return nil, false, nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		want[name] = true
+	}
+	names := make([]string, 0, len(all))
+	for _, r := range all {
+		names = append(names, r.Analyzer.Name)
+		if want[r.Analyzer.Name] {
+			rules = append(rules, r)
+			delete(want, r.Analyzer.Name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for name := range want {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		return nil, false, fmt.Errorf("-rules names unknown analyzer(s) %s (the suite has: %s)",
+			strings.Join(unknown, ", "), strings.Join(names, ", "))
+	}
+	if len(rules) == 0 {
+		return nil, false, fmt.Errorf("-rules %q selects no analyzers", spec)
+	}
+	return rules, len(rules) == len(all), nil
 }
 
 // relativize rewrites an absolute filename relative to base when the result

@@ -6,6 +6,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
 	"testing"
 
 	"stochstream/internal/lintrules"
@@ -124,6 +127,90 @@ func TestTimingJSONSchema(t *testing.T) {
 	var arr []jsonFinding
 	if err := json.Unmarshal(plain.Bytes(), &arr); err != nil {
 		t.Fatalf("plain -json output is not a bare finding array: %v", err)
+	}
+}
+
+// TestRulesList pins -rules list: every suite analyzer, one per line, in
+// suite order, without loading any packages (no patterns are resolved).
+func TestRulesList(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(options{Rules: "list"}, nil, &buf, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+	lines := strings.Fields(buf.String())
+	rules := lintrules.Rules()
+	if len(lines) != len(rules) {
+		t.Fatalf("-rules list printed %d names, suite has %d:\n%s", len(lines), len(rules), buf.String())
+	}
+	for i, r := range rules {
+		if lines[i] != r.Analyzer.Name {
+			t.Errorf("line %d = %q, want %q (suite order)", i, lines[i], r.Analyzer.Name)
+		}
+	}
+	for _, name := range []string{"snapcomplete", "fingerprintcover", "wirexhaustive"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("-rules list missing %s", name)
+		}
+	}
+}
+
+// TestRulesSubset pins -rules subsetting over the seeded corpus: only the
+// selected analyzer reports, the staleignore audit is skipped (a subset run
+// cannot judge directives for unselected analyzers), and the -json record
+// schema is byte-identical to the full run's — exactly the keys file, line,
+// col, analyzer, message, suppressed.
+func TestRulesSubset(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(options{JSON: true, Rules: "dettaint", Dir: "testdata/mod", Parallel: 2}, []string{"./..."}, &buf, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (the corpus seeds dettaint findings)", code)
+	}
+	var raw []map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("subset -json output is not a bare finding array: %v", err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("subset run found nothing (the corpus seeds dettaint findings)")
+	}
+	wantKeys := []string{"analyzer", "col", "file", "line", "message", "suppressed"}
+	for _, rec := range raw {
+		keys := make([]string, 0, len(rec))
+		for k := range rec {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if !reflect.DeepEqual(keys, wantKeys) {
+			t.Fatalf("-json record keys = %v, want %v", keys, wantKeys)
+		}
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &findings); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "dettaint" {
+			t.Errorf("subset run leaked %s finding at %s:%d (staleignore must be skipped too)", f.Analyzer, f.File, f.Line)
+		}
+	}
+}
+
+// TestRulesUnknown pins the error contract: a typo'd analyzer name is an
+// infrastructure error (exit 2 in main), naming both the unknown analyzer
+// and the valid suite.
+func TestRulesUnknown(t *testing.T) {
+	_, err := run(options{Rules: "snapcompete", Dir: "testdata/mod"}, []string{"./..."}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("unknown -rules name must error")
+	}
+	if !strings.Contains(err.Error(), "snapcompete") || !strings.Contains(err.Error(), "snapcomplete") {
+		t.Errorf("error must name the unknown analyzer and the suite, got: %v", err)
 	}
 }
 

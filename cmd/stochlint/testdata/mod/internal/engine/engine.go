@@ -36,3 +36,42 @@ func (j *Join) StepBatch(batch []TuplePair) []Pair {
 	}
 	return j.out
 }
+
+// Config mirrors the real engine's construction-time identity; the corpus
+// fingerprint below forgets Window.
+type Config struct {
+	CacheSize int
+	Window    int
+}
+
+// Op seeds the golden corpus's state-contract findings: Window is read on
+// the decision path but missing from the fingerprint, and hi is written a
+// call below the exported method but dropped by the codec — the latter only
+// visible to the interprocedural field summaries.
+type Op struct {
+	cfg Config
+	lo  int
+	hi  int
+}
+
+// fingerprint forgets cfg.Window.
+func (o *Op) fingerprint() int { return o.cfg.CacheSize }
+
+// inWindow reads cfg.Window on the runtime path.
+func (o *Op) inWindow(age int) bool { return age <= o.cfg.Window }
+
+// Bump writes both counters during operation; advance hides the hi write.
+func (o *Op) Bump(age int) {
+	if o.inWindow(age) {
+		o.lo++
+	}
+	advance(o)
+}
+
+func advance(o *Op) { o.hi++ }
+
+// SnapshotState captures lo but drops hi.
+func (o *Op) SnapshotState() ([]byte, error) { return []byte{byte(o.lo)}, nil }
+
+// RestoreState restores lo.
+func (o *Op) RestoreState(b []byte) error { o.lo = int(b[0]); return nil }

@@ -1,0 +1,17 @@
+// Dispatch seeds the golden corpus's wirexhaustive endpoint findings: the
+// switch never handles TypeBye and routes one frame type as a raw literal
+// instead of the named constant.
+package streamd
+
+import "stochstream/internal/streamd/wire"
+
+// Dispatch routes one inbound frame.
+func Dispatch(typ uint8) string {
+	switch typ {
+	case wire.TypeHello:
+		return "hello"
+	case 0x02:
+		return "data"
+	}
+	return "unknown"
+}

@@ -1,0 +1,11 @@
+// Package wire seeds the protocol-constant table for the golden corpus's
+// wirexhaustive findings: streamd's Dispatch never handles TypeBye and
+// routes one frame type as a raw literal.
+package wire
+
+// Frame types of the corpus protocol.
+const (
+	TypeHello = 0x01
+	TypeData  = 0x02
+	TypeBye   = 0x03
+)

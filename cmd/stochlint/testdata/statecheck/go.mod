@@ -1,0 +1,3 @@
+module stochstream
+
+go 1.23

@@ -1,0 +1,9 @@
+// Package wire is the statecheck mutation corpus's protocol-constant table.
+package wire
+
+// Frame types; every endpoint must handle all three.
+const (
+	TypeHello = 0x01
+	TypeData  = 0x02
+	TypeBye   = 0x03
+)

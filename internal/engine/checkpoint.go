@@ -30,6 +30,7 @@ type checkpointWire struct {
 	CacheSize, Window, Band int
 	Seed                    uint64
 	PolicyName              string
+	ProcSig                 string
 
 	Time    int
 	NextID  int
@@ -61,8 +62,12 @@ func init() {
 }
 
 // fingerprint returns the configuration identity a checkpoint is bound to.
-func (j *Join) fingerprint() (int, int, int, uint64, string) {
-	return j.cfg.CacheSize, j.cfg.Window, j.cfg.Band, j.cfg.Seed, unwrapPolicy(j.policy).Name()
+// The process pair is part of it: two operators with different arrival
+// processes share no replayable state even when the cache geometry, seed
+// and policy all match, so a checkpoint must not cross that boundary.
+func (j *Join) fingerprint() (int, int, int, uint64, string, string) {
+	procSig := fmt.Sprintf("%T/%T", j.cfg.Procs[0], j.cfg.Procs[1])
+	return j.cfg.CacheSize, j.cfg.Window, j.cfg.Band, j.cfg.Seed, unwrapPolicy(j.policy).Name(), procSig
 }
 
 // Checkpoint serializes the operator's full state to w. The operator is
@@ -89,13 +94,14 @@ func (j *Join) Checkpoint(w io.Writer) error {
 }
 
 func (j *Join) writeCheckpoint(w io.Writer) error {
-	size, window, band, seed, polName := j.fingerprint()
+	size, window, band, seed, polName, procSig := j.fingerprint()
 	wire := checkpointWire{
 		CacheSize:  size,
 		Window:     window,
 		Band:       band,
 		Seed:       seed,
 		PolicyName: polName,
+		ProcSig:    procSig,
 		Time:       j.time,
 		NextID:     j.nextID,
 		Metrics:    j.m,
@@ -145,7 +151,7 @@ func (j *Join) Restore(r io.Reader) error {
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wire); err != nil {
 		return fmt.Errorf("engine: decoding checkpoint payload: %w", err)
 	}
-	size, window, band, seed, polName := j.fingerprint()
+	size, window, band, seed, polName, procSig := j.fingerprint()
 	if wire.CacheSize != size || wire.Window != window || wire.Band != band {
 		return fmt.Errorf("%w: checkpoint (cache=%d, window=%d, band=%d), operator (cache=%d, window=%d, band=%d)",
 			ErrConfigMismatch, wire.CacheSize, wire.Window, wire.Band, size, window, band)
@@ -155,6 +161,9 @@ func (j *Join) Restore(r io.Reader) error {
 	}
 	if wire.PolicyName != polName {
 		return fmt.Errorf("%w: checkpoint policy %q, operator policy %q", ErrConfigMismatch, wire.PolicyName, polName)
+	}
+	if wire.ProcSig != procSig {
+		return fmt.Errorf("%w: checkpoint processes %q, operator processes %q", ErrConfigMismatch, wire.ProcSig, procSig)
 	}
 	if err := validateWire(&wire); err != nil {
 		return err

@@ -63,6 +63,7 @@ type Config struct {
 	Procs [2]process.Process
 	// Policy decides replacements; nil defaults to HEEB with the models (or
 	// RAND when no models are given).
+	//lint:ignore fingerprintcover the checkpoint fingerprints the policy by name (PolicyName); the value is construction wiring, and a name mismatch already fails restore
 	Policy join.Policy
 	// Seed drives the policy's randomness.
 	Seed uint64
@@ -126,21 +127,23 @@ type Join struct {
 	// equi indexes the cache for Band == 0: per stream, join key → IDs of
 	// cached entries with that key, ascending. Empty buckets are deleted so
 	// a drifting key domain (the trend models) cannot leak memory.
+	//lint:ignore snapcomplete pure function of the cache; Restore re-admits every entry through admit, which rebuilds the index
 	equi [2]map[int][]int
 	// ord indexes the cache for Band > 0: per stream, (value, ID) ascending,
 	// probed by binary search over the band interval.
+	//lint:ignore snapcomplete pure function of the cache; Restore re-admits every entry through admit, which rebuilds the index
 	ord [2][]valID
 
 	// Step-scoped scratch, reused across steps. out backs Step results,
 	// batchOut StepBatch results; they are distinct so an interleaved
 	// Step/StepBatch sequence cannot alias a still-visible result slice
 	// sooner than the documented "valid until the next call" contract.
-	out      []Pair
-	batchOut []Pair
-	tuples   []join.Tuple
-	drop     []bool
-	probeR   []int
-	probeS   []int
+	out      []Pair       //lint:ignore snapcomplete step-scoped scratch, dead between calls
+	batchOut []Pair       //lint:ignore snapcomplete step-scoped scratch, dead between calls
+	tuples   []join.Tuple //lint:ignore snapcomplete step-scoped scratch, dead between calls
+	drop     []bool       //lint:ignore snapcomplete step-scoped scratch, dead between calls
+	probeR   []int        //lint:ignore snapcomplete step-scoped scratch, dead between calls
+	probeS   []int        //lint:ignore snapcomplete step-scoped scratch, dead between calls
 
 	// Telemetry handles, resolved once in NewJoin so Step pays only clock
 	// reads and atomic writes; all nil when Config.Telemetry is nil.
@@ -154,8 +157,9 @@ type Join struct {
 	// the hot path bare); now is the resolved clock — the recorder's when one
 	// is attached, the wall seam otherwise; pendingBundle carries a mid-step
 	// fault reason to closeStep, which dumps once the state is consistent.
-	rec           *flightrec.Recorder
-	now           func() int64
+	rec *flightrec.Recorder
+	now func() int64
+	//lint:ignore snapcomplete mid-step fault note consumed by closeStep; checkpoints run between steps, where it is always empty
 	pendingBundle string
 }
 

@@ -68,6 +68,9 @@ type Func struct {
 
 	concOnce sync.Once
 	conc     *Conc
+
+	fieldOnce sync.Once
+	fieldSum  *FieldSummary
 }
 
 // Name returns a compact package-qualified name for messages, e.g.

@@ -1,0 +1,45 @@
+// Package fieldsum is the FieldFacts corpus: one struct with every access
+// shape the collector classifies, plus helpers exercising transitive
+// summaries across calls.
+package fieldsum
+
+type tracker struct {
+	n int
+}
+
+func (t *tracker) Bump()    { t.n++ }
+func (t tracker) Peek() int { return t.n }
+
+type box struct {
+	a, b, c int
+	items   []int
+	m       map[int]int
+	tr      *tracker
+	agg     tracker
+}
+
+func (x *box) plainWrite(v int)  { x.a = v }
+func (x *box) compound(v int)    { x.b += v }
+func (x *box) incdec()           { x.c++ }
+func (x *box) indexMutate(v int) { x.items[0] = v }
+func (x *box) mapMutate(v int)   { x.m[1] = v }
+func (x *box) addrMutate() *int  { return &x.a }
+func (x *box) copyMutate(src []int) {
+	copy(x.items, src)
+}
+func (x *box) ptrRecvCall()     { x.tr.Bump() }
+func (x *box) valRecvCall() int { return x.agg.Peek() }
+func (x *box) chainWrite(v int) { x.agg.n = v }
+func (x *box) readOnly() int    { return x.a + x.b }
+
+func keyedLit() box          { return box{a: 1, c: 2} }
+func positionalLit() tracker { return tracker{7} }
+
+func wholeStore(dst *tracker, src tracker) { *dst = src }
+
+// helper layers: writeViaHelper's own body touches nothing; the summary
+// must pick the write up from two calls down.
+func writeViaHelper(x *box, v int) { writeHelper(x, v) }
+func writeHelper(x *box, v int)    { writeInner(x, v) }
+func writeInner(x *box, v int)     { x.b = v }
+func readViaHelper(x *box) int     { return x.readOnly() }

@@ -1,18 +1,21 @@
-// Package lintrules is stochlint's analyzer suite: twelve custom static
+// Package lintrules is stochlint's analyzer suite: fifteen custom static
 // checks that mechanically enforce the determinism and correctness
 // contracts the paper's guarantees rest on (Theorem 3 dominance optimality
 // and the Corollary 3–5 incremental updates require every replacement
 // decision to be a pure, deterministic function of stream state).
 //
-// Eight of the analyzers are interprocedural, running on per-function
+// Eleven of the analyzers are interprocedural, running on per-function
 // summaries computed over the whole module by internal/lintrules/dataflow
-// (call graph, fixed-point solver, CFG def-use chains), so a contract
-// violation hidden behind any chain of helper calls still surfaces. Four of
-// those — dettaint, stepescape, scorepure, errdiscipline — track value and
-// purity contracts; the other four — goleak, chandiscipline, atomicfield,
-// mergedet — are the concurrency-safety suite over the sharded runtime
-// (goroutine termination, channel discipline, atomic-vs-plain field access,
-// and merge-order determinism). The rest are syntactic or type-based
+// (call graph, fixed-point solver, CFG def-use chains, field-access
+// summaries), so a contract violation hidden behind any chain of helper
+// calls still surfaces. Four of those — dettaint, stepescape, scorepure,
+// errdiscipline — track value and purity contracts; four — goleak,
+// chandiscipline, atomicfield, mergedet — are the concurrency-safety suite
+// over the sharded runtime (goroutine termination, channel discipline,
+// atomic-vs-plain field access, and merge-order determinism); and three —
+// snapcomplete, fingerprintcover, wirexhaustive — are the state-contract
+// suite (serialization completeness, config-fingerprint coverage, and wire
+// protocol exhaustiveness). The rest are syntactic or type-based
 // per-package checks.
 //
 // The analyzers are built on internal/lintrules/analysis, an offline mirror
@@ -101,6 +104,32 @@ var mergedetPkgs = []string{
 	"stochstream/internal/streamd",
 }
 
+// statePkgs scope serialization completeness to the packages that own
+// snapshot/restore pairs: the engine and sharded runtime checkpoints, the
+// policies' SnapshotState/RestoreState, the stats trackers and RNG, and the
+// core sketches' binary codecs.
+var statePkgs = []string{
+	"stochstream/internal/core",
+	"stochstream/internal/policy",
+	"stochstream/internal/cachepolicy",
+	"stochstream/internal/engine",
+	"stochstream/internal/shardrt",
+	"stochstream/internal/stats",
+}
+
+// fingerprintPkgs scope config-fingerprint coverage to the packages whose
+// checkpoints carry a config fingerprint compared on restore.
+var fingerprintPkgs = []string{
+	"stochstream/internal/engine",
+	"stochstream/internal/shardrt",
+}
+
+// wirePkgs scope protocol exhaustiveness to the daemon tree (the wire
+// package itself, the daemon, and the client, via the prefix match).
+var wirePkgs = []string{
+	"stochstream/internal/streamd",
+}
+
 // Rules returns the stochlint suite with its package scoping.
 func Rules() []Rule {
 	return []Rule{
@@ -116,13 +145,17 @@ func Rules() []Rule {
 		{Chandiscipline, func(p string) bool { return inAny(p, decisionPkgs) }},
 		{Atomicfield, func(p string) bool { return inAny(p, emissionPkgs) }},
 		{Mergedet, func(p string) bool { return inAny(p, mergedetPkgs) }},
+		{Snapcomplete, func(p string) bool { return inAny(p, statePkgs) }},
+		{Fingerprintcover, func(p string) bool { return inAny(p, fingerprintPkgs) }},
+		{Wirexhaustive, func(p string) bool { return inAny(p, wirePkgs) }},
 	}
 }
 
-// Analyzers returns the twelve analyzers without scoping, for tests and docs.
+// Analyzers returns the fifteen analyzers without scoping, for tests and docs.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Dettaint, Maprange, Floateq, Stepretain, Stepescape, Locksafe, Scorepure, Errdiscipline,
 		Goleak, Chandiscipline, Atomicfield, Mergedet,
+		Snapcomplete, Fingerprintcover, Wirexhaustive,
 	}
 }

@@ -74,15 +74,16 @@ func TestStaleignore(t *testing.T) {
 
 // TestScoping pins the suite's package scoping: dettaint and errdiscipline
 // cover exactly the decision packages, maprange additionally the
-// emission/export packages, scorepure only the policy package, and the
-// remaining analyzers everything.
+// emission/export packages, scorepure only the policy package, the state
+// contracts (snapcomplete, fingerprintcover, wirexhaustive) their own
+// serialization/protocol packages, and the remaining analyzers everything.
 func TestScoping(t *testing.T) {
 	byName := map[string]lintrules.Rule{}
 	for _, r := range lintrules.Rules() {
 		byName[r.Analyzer.Name] = r
 	}
-	if len(byName) != 12 {
-		t.Fatalf("expected 12 rules, got %d", len(byName))
+	if len(byName) != 15 {
+		t.Fatalf("expected 15 rules, got %d", len(byName))
 	}
 	cases := []struct {
 		analyzer string
@@ -128,6 +129,17 @@ func TestScoping(t *testing.T) {
 		{"atomicfield", "stochstream/internal/stats", false},
 		{"mergedet", "stochstream/internal/shardrt", true},
 		{"mergedet", "stochstream/internal/engine", false},
+		{"snapcomplete", "stochstream/internal/engine", true},
+		{"snapcomplete", "stochstream/internal/shardrt", true},
+		{"snapcomplete", "stochstream/internal/stats", true},
+		{"snapcomplete", "stochstream/internal/telemetry", false},
+		{"fingerprintcover", "stochstream/internal/engine", true},
+		{"fingerprintcover", "stochstream/internal/shardrt", true},
+		{"fingerprintcover", "stochstream/internal/policy", false},
+		{"wirexhaustive", "stochstream/internal/streamd", true},
+		{"wirexhaustive", "stochstream/internal/streamd/wire", true},
+		{"wirexhaustive", "stochstream/internal/streamd/client", true},
+		{"wirexhaustive", "stochstream/internal/engine", false},
 	}
 	for _, c := range cases {
 		if got := byName[c.analyzer].Applies(c.pkg); got != c.want {

@@ -1,0 +1,457 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"stochstream/internal/lintrules/analysis"
+	"stochstream/internal/lintrules/dataflow"
+)
+
+// Snapcomplete proves serialization completeness for every type that
+// participates in the checkpoint protocol: a struct with a snapshot-encoder
+// method (SnapshotState / Checkpoint / MarshalBinary / State) and a
+// matching decoder (RestoreState / Restore / UnmarshalBinary) must keep its
+// persistent state and its snapshot in agreement. The canonical way the
+// byte-identical-replay guarantee rots is someone adding a struct field,
+// wiring it into normal operation, and forgetting the snapshot write or the
+// restore read — a bug the differential tests only catch if the field
+// happens to be exercised on the tested path. This analyzer catches it at
+// lint time, before the state even exists.
+//
+// For each checked type the analyzer computes, over the whole program:
+//
+//   - the persistent set: fields written or mutated by operational code —
+//     any function except the codec pair itself, the type's constructors
+//     and Reset methods, and helpers reachable only from the codec pair
+//     (a restore-only helper's writes are decode plumbing, not operation);
+//   - the encoded set: the encoder's transitive field reads;
+//   - the decoder's touched set: its transitive reads, writes and mutates
+//     (a decoder may legitimately read a field only to validate identity).
+//
+// It reports, at the field declaration: persistent fields never captured by
+// the encoder, encoded fields the decoder never touches, and fields the
+// decoder restores that the encoder never captured. Derived or rebuildable
+// fields (memo tables, scratch buffers, rebuilt indexes) are the expected
+// //lint:ignore snapcomplete story — the directive on the field line must
+// say how the field is rebuilt.
+//
+// Two further contracts ride along. For ordered (encoding/binary-style)
+// codecs — never for gob/json, whose wire format is self-describing — the
+// decoder must touch the common fields in the encoder's order. And any
+// struct whose name marks it as a wire/snapshot schema (…Wire…) must have
+// every field both populated somewhere and read back somewhere: a write-only
+// or read-only wire field is a set-level encode/decode asymmetry.
+const snapcompleteName = "snapcomplete"
+
+var Snapcomplete = &analysis.Analyzer{
+	Name: snapcompleteName,
+	Doc:  "persistent fields must be captured by the snapshot encoder and restored by its decoder",
+	Run:  runSnapcomplete,
+}
+
+// snapEncoderNames and snapDecoderNames pair a type's codec methods, in
+// priority order (a type with both Checkpoint and MarshalBinary is checked
+// against Checkpoint).
+var snapEncoderNames = []string{"SnapshotState", "Checkpoint", "MarshalBinary", "State"}
+var snapDecoderNames = []string{"RestoreState", "Restore", "UnmarshalBinary"}
+
+// snapObsExempt reports whether fld is an observability handle (telemetry /
+// flightrec types): out-of-band instrumentation that is never replay state.
+func snapObsExempt(fld *types.Var) bool {
+	t := types.Unalias(fld.Type())
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	name := n.Obj().Pkg().Name()
+	return name == "telemetry" || name == "flightrec"
+}
+
+// snapFuncField reports whether fld holds a function value (directly or
+// behind a pointer). Function values have no serialized form — they are
+// wiring, re-established by the constructor — so a codec can never capture
+// them and snapcomplete must not demand it.
+func snapFuncField(fld *types.Var) bool {
+	t := fld.Type().Underlying()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem().Underlying()
+	}
+	_, ok := t.(*types.Signature)
+	return ok
+}
+
+// recvNamed resolves a method's receiver to its named type; nil for
+// package-level functions.
+func recvNamed(f *dataflow.Func) *types.Named {
+	recv := f.Obj.Signature().Recv()
+	if recv == nil {
+		return nil
+	}
+	t := types.Unalias(recv.Type())
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isTypeConstructor reports whether fn is a package-level function returning
+// T or *T — construction-time writes are initialization, not operation.
+func isTypeConstructor(f *dataflow.Func, named *types.Named) bool {
+	if f.Obj.Signature().Recv() != nil {
+		return false
+	}
+	results := f.Obj.Signature().Results()
+	for i := 0; i < results.Len(); i++ {
+		t := types.Unalias(results.At(i).Type())
+		if p, ok := t.(*types.Pointer); ok {
+			t = types.Unalias(p.Elem())
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj() == named.Obj() {
+			return true
+		}
+	}
+	return false
+}
+
+// structFieldsOf returns the declared fields of named's underlying struct.
+func structFieldsOf(named *types.Named) []*types.Var {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	fields := make([]*types.Var, 0, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields = append(fields, st.Field(i))
+	}
+	return fields
+}
+
+// codecHelpersOf returns the codec pair plus every function reachable only
+// through it: a helper whose every caller chain passes through the encoder
+// or decoder is codec plumbing, and its writes must not count as operation.
+// Shared helpers (called from operational code too, like the engine's admit)
+// stay operational.
+func codecHelpersOf(prog *dataflow.Program, enc, dec *dataflow.Func) map[*dataflow.Func]bool {
+	callers := map[*dataflow.Func][]*dataflow.Func{}
+	for _, f := range prog.Funcs() {
+		for _, c := range f.Calls {
+			if c.Callee != nil && c.Callee != f {
+				callers[c.Callee] = append(callers[c.Callee], f)
+			}
+		}
+	}
+	helper := map[*dataflow.Func]bool{enc: true, dec: true}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range prog.Funcs() {
+			if helper[f] || len(callers[f]) == 0 {
+				continue
+			}
+			all := true
+			for _, caller := range callers[f] {
+				if !helper[caller] {
+					all = false
+					break
+				}
+			}
+			if all {
+				helper[f] = true
+				changed = true
+			}
+		}
+	}
+	return helper
+}
+
+// snapCodecFact marks which serialization families a function transitively
+// uses; it decides whether the field-order contract applies.
+type snapCodecFact struct{ selfDescribing, ordered bool }
+
+func snapCodecEq(a, b interface{}) bool {
+	x, _ := a.(*snapCodecFact)
+	y, _ := b.(*snapCodecFact)
+	if x == nil || y == nil {
+		return x == y
+	}
+	return *x == *y
+}
+
+func snapCodecFacts(prog *dataflow.Program) *dataflow.FactStore {
+	transfer := func(f *dataflow.Func, store *dataflow.FactStore) interface{} {
+		fact := &snapCodecFact{}
+		for _, c := range f.Calls {
+			if c.StaticObj == nil || c.StaticObj.Pkg() == nil {
+				continue
+			}
+			switch c.StaticObj.Pkg().Path() {
+			case "encoding/gob", "encoding/json":
+				fact.selfDescribing = true
+			case "encoding/binary":
+				fact.ordered = true
+			}
+			if sub, _ := store.Get(c.StaticObj).(*snapCodecFact); sub != nil {
+				fact.selfDescribing = fact.selfDescribing || sub.selfDescribing
+				fact.ordered = fact.ordered || sub.ordered
+			}
+		}
+		return fact
+	}
+	return prog.Facts("snapcodec", transfer, snapCodecEq)
+}
+
+// fieldSeq returns the first-occurrence source order in which f's own body
+// accesses the given fields — assignment targets when writes is set, plain
+// selector reads otherwise.
+func fieldSeq(f *dataflow.Func, fields map[*types.Var]bool, writes bool) []*types.Var {
+	info := f.Pkg.Info
+	var seq []*types.Var
+	seen := map[*types.Var]bool{}
+	add := func(fld *types.Var) {
+		if fld != nil && fields[fld] && !seen[fld] {
+			seen[fld] = true
+			seq = append(seq, fld)
+		}
+	}
+	fieldOfSel := func(e ast.Expr) *types.Var {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		if s := info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+			v, _ := s.Obj().(*types.Var)
+			return v
+		}
+		return nil
+	}
+	writeTargets := map[ast.Expr]bool{}
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		if a, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range a.Lhs {
+				writeTargets[lhs] = true
+				if writes {
+					add(fieldOfSel(lhs))
+				}
+			}
+			return true
+		}
+		if !writes {
+			if sel, ok := n.(*ast.SelectorExpr); ok && !writeTargets[sel] {
+				add(fieldOfSel(sel))
+			}
+		}
+		return true
+	})
+	return seq
+}
+
+func runSnapcomplete(pass *analysis.Pass) (interface{}, error) {
+	prog, _ := pass.Facts.(*dataflow.Program)
+	if prog == nil {
+		return nil, nil // interprocedural-only: nothing without whole-program context
+	}
+	store := dataflow.FieldFacts(prog)
+	codecs := snapCodecFacts(prog)
+
+	// Index this package's methods by receiver type, preserving source order
+	// of first appearance for deterministic reporting.
+	var typesInOrder []*types.Named
+	methods := map[*types.Named]map[string]*dataflow.Func{}
+	for _, f := range prog.FuncsOf(pass.Pkg.Path()) {
+		named := recvNamed(f)
+		if named == nil || named.Obj().Pkg() != pass.Pkg {
+			continue
+		}
+		if methods[named] == nil {
+			methods[named] = map[string]*dataflow.Func{}
+			typesInOrder = append(typesInOrder, named)
+		}
+		methods[named][f.Obj.Name()] = f
+	}
+
+	for _, named := range typesInOrder {
+		var enc, dec *dataflow.Func
+		for _, n := range snapEncoderNames {
+			if m := methods[named][n]; m != nil {
+				enc = m
+				break
+			}
+		}
+		for _, n := range snapDecoderNames {
+			if m := methods[named][n]; m != nil {
+				dec = m
+				break
+			}
+		}
+		if enc == nil || dec == nil {
+			continue
+		}
+		checkSnapshotPair(pass, prog, store, codecs, named, enc, dec)
+	}
+
+	checkWireStructs(pass, prog)
+	return nil, nil
+}
+
+func checkSnapshotPair(pass *analysis.Pass, prog *dataflow.Program, store, codecs *dataflow.FactStore, named *types.Named, enc, dec *dataflow.Func) {
+	fields := structFieldsOf(named)
+	if len(fields) == 0 {
+		return
+	}
+	fieldSet := map[*types.Var]bool{}
+	for _, fld := range fields {
+		fieldSet[fld] = true
+	}
+	encSum := dataflow.FieldSummaryOf(store, enc.Obj)
+	decSum := dataflow.FieldSummaryOf(store, dec.Obj)
+	helpers := codecHelpersOf(prog, enc, dec)
+
+	// witness[fld] is the first operational writer in program order.
+	witness := map[*types.Var]*dataflow.Func{}
+	for _, f := range prog.Funcs() {
+		if helpers[f] || isTypeConstructor(f, named) {
+			continue
+		}
+		if n := recvNamed(f); n != nil && n.Obj() == named.Obj() && f.Obj.Name() == "Reset" {
+			continue
+		}
+		d := f.DirectFieldAccesses()
+		for _, fld := range fields {
+			if witness[fld] == nil && (d.Writes[fld] || d.Mutates[fld]) {
+				witness[fld] = f
+			}
+		}
+	}
+
+	tName := named.Obj().Name()
+	for _, fld := range fields {
+		if snapObsExempt(fld) || snapFuncField(fld) {
+			continue
+		}
+		encoded := encSum != nil && encSum.Reads[fld]
+		touched := decSum.Touches(fld)
+		restored := decSum.WritesOrMutates(fld)
+		switch {
+		case witness[fld] != nil && !encoded:
+			pass.Reportf(fld.Pos(),
+				"persistent field %s of %s is written by %s but never captured by %s: a checkpoint drops it and replay diverges; encode it, or //lint:ignore snapcomplete with the story for how it is rebuilt on restore",
+				fld.Name(), tName, witness[fld].Name(), enc.Name())
+		case encoded && !touched:
+			pass.Reportf(fld.Pos(),
+				"field %s of %s is captured by %s but never touched by %s: the snapshot carries bytes the restore ignores; restore the field or drop it from the encoder",
+				fld.Name(), tName, enc.Name(), dec.Name())
+		case restored && !encoded:
+			pass.Reportf(fld.Pos(),
+				"field %s of %s is restored by %s but never captured by %s: the decode fills it from data the snapshot never wrote",
+				fld.Name(), tName, dec.Name(), enc.Name())
+		}
+	}
+
+	// Field-order agreement for ordered codecs. Gob/json codecs are
+	// self-describing (field order on the wire is keyed), so only a codec
+	// pair that uses encoding/binary and never gob/json is held to it.
+	encCodec, _ := codecs.Get(enc.Obj).(*snapCodecFact)
+	decCodec, _ := codecs.Get(dec.Obj).(*snapCodecFact)
+	if encCodec == nil || decCodec == nil ||
+		!encCodec.ordered || encCodec.selfDescribing || decCodec.selfDescribing {
+		return
+	}
+	encSeq := fieldSeq(enc, fieldSet, false)
+	decSeq := fieldSeq(dec, fieldSet, true)
+	common := map[*types.Var]bool{}
+	for _, fld := range encSeq {
+		common[fld] = true
+	}
+	var want []*types.Var
+	for _, fld := range encSeq {
+		for _, d := range decSeq {
+			if d == fld {
+				want = append(want, fld)
+				break
+			}
+		}
+	}
+	got := make([]*types.Var, 0, len(want))
+	for _, fld := range decSeq {
+		if common[fld] {
+			got = append(got, fld)
+		}
+	}
+	for i := range want {
+		if i < len(got) && got[i] != want[i] {
+			pass.Reportf(dec.Decl.Pos(),
+				"field %s of %s is decoded out of order relative to %s (encoder order %s): an ordered codec must read fields back in the order they were written",
+				got[i].Name(), tName, enc.Name(), fieldNameList(want))
+			return
+		}
+	}
+}
+
+func fieldNameList(fields []*types.Var) string {
+	names := make([]string, len(fields))
+	for i, fld := range fields {
+		names[i] = fld.Name()
+	}
+	return strings.Join(names, ", ")
+}
+
+// checkWireStructs enforces set-level encode/decode agreement on wire-schema
+// structs (name contains "wire"): every field must be populated somewhere
+// and read back somewhere in the program, or one side of the codec is
+// silently dropping data.
+func checkWireStructs(pass *analysis.Pass, prog *dataflow.Program) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.Contains(strings.ToLower(name), "wire") {
+			continue
+		}
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := types.Unalias(tn.Type()).(*types.Named)
+		if !ok {
+			continue
+		}
+		fields := structFieldsOf(named)
+		if len(fields) == 0 {
+			continue
+		}
+		written := map[*types.Var]bool{}
+		read := map[*types.Var]bool{}
+		anyUse := false
+		for _, f := range prog.Funcs() {
+			d := f.DirectFieldAccesses()
+			for _, fld := range fields {
+				if d.Writes[fld] || d.Mutates[fld] {
+					written[fld] = true
+					anyUse = true
+				}
+				if d.Reads[fld] {
+					read[fld] = true
+					anyUse = true
+				}
+			}
+		}
+		if !anyUse {
+			continue // declared but unused schema: not this analyzer's business
+		}
+		for _, fld := range fields {
+			switch {
+			case written[fld] && !read[fld]:
+				pass.Reportf(fld.Pos(),
+					"field %s of wire struct %s is populated on encode but never read back: the decoder silently drops it",
+					fld.Name(), name)
+			case read[fld] && !written[fld]:
+				pass.Reportf(fld.Pos(),
+					"field %s of wire struct %s is read on decode but never populated on encode: it only ever carries the zero value",
+					fld.Name(), name)
+			}
+		}
+	}
+}

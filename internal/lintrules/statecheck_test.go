@@ -1,0 +1,28 @@
+package lintrules_test
+
+import (
+	"testing"
+
+	"stochstream/internal/lintrules"
+	"stochstream/internal/lintrules/analysistest"
+)
+
+func TestSnapcomplete(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Snapcomplete, "snapcomplete")
+}
+
+func TestFingerprintcover(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Fingerprintcover, "fingerprintcover")
+}
+
+func TestFingerprintcoverMissingFingerprint(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Fingerprintcover, "fingerprintcover/nofp")
+}
+
+func TestWirexhaustiveEndpoints(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Wirexhaustive, "wirexhaustive")
+}
+
+func TestWirexhaustiveBijectivity(t *testing.T) {
+	analysistest.Run(t, testdata(t), lintrules.Wirexhaustive, "wirexhaustive/wire")
+}

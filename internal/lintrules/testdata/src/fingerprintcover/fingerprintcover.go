@@ -1,0 +1,33 @@
+// Package fingerprintcover is the config-fingerprint coverage corpus. The
+// fingerprint covers Seed only through a helper, and the runtime reads Band
+// only through a two-hop helper chain — a syntactic look at any single
+// function would either flag Seed falsely or miss Band entirely; only the
+// transitive closure separates them.
+package fingerprintcover
+
+type Config struct {
+	CacheSize  int
+	Window     int
+	Seed       uint64
+	Band       int // want "config field Band is read on the runtime path .fingerprintcover.bandOf. but never folded"
+	QueueDepth int //lint:ignore fingerprintcover capacity knob: affects throughput, never which tuple is evicted
+	unused     int
+}
+
+type Runtime struct {
+	cfg Config
+}
+
+func New(cfg Config) *Runtime { return &Runtime{cfg: cfg} }
+
+func (r *Runtime) fingerprint() (int, int, uint64) {
+	return r.cfg.CacheSize, r.cfg.Window, mixSeed(&r.cfg)
+}
+
+func mixSeed(c *Config) uint64 { return c.Seed * 0x9e3779b9 }
+
+func (r *Runtime) Step(k int) int  { return r.place(k) }
+func (r *Runtime) place(k int) int { return bandOf(&r.cfg, k) }
+func bandOf(c *Config, k int) int  { return k % c.Band }
+
+func (r *Runtime) lanes() int { return r.cfg.QueueDepth }

@@ -1,0 +1,10 @@
+// Package nofp declares a Config the runtime reads but provides no
+// fingerprint function at all: checkpoints taken here can never detect a
+// config mismatch.
+package nofp
+
+type Config struct { // want "declares a Config but no fingerprint function"
+	Size int
+}
+
+func Use(c Config) int { return c.Size }

@@ -1,0 +1,69 @@
+// Package wirexhaustive is the endpoint side of the protocol corpus: its
+// dispatch never handles TypeBye, it reaches the error codes only through
+// the wire package's decoder (so the CodeGone coverage gap is visible only
+// interprocedurally), and it commits every raw-literal sin the analyzer
+// flags.
+package wirexhaustive
+
+import "wirexhaustive/wire"
+
+func dispatch(typ uint8, payload []byte) error { // want "can never reach TypeBye"
+	switch typ {
+	case wire.TypeHello:
+		return nil
+	case wire.TypeData:
+		return handleData(payload)
+	default:
+		return nil
+	}
+}
+
+func handleData(b []byte) error {
+	if len(b) == 0 {
+		return wire.ErrBad
+	}
+	return nil
+}
+
+// decodeErr is this package's only path to the code constants: the mention
+// set comes entirely from wire.CodeToErr's body, one package away.
+func decodeErr(code uint16) error { // want "can never reach CodeGone"
+	return wire.CodeToErr(code)
+}
+
+func rawDispatch(typ uint8) bool {
+	switch typ {
+	case wire.TypeHello:
+		return true
+	case 0x03: // want "raw frame type literal 0x03"
+		return true
+	}
+	return false
+}
+
+func buildRaw() []byte {
+	return wire.Frame(0x05, nil) // want "raw frame type literal 0x05"
+}
+
+func rejectFull() error {
+	return wire.CodeToErr(1) // want "raw error code literal 1"
+}
+
+func isFull(f wire.ErrorFrame) bool {
+	return f.Code == 1 // want "raw code field comparison literal 1"
+}
+
+func mkErr() wire.ErrorFrame {
+	return wire.ErrorFrame{Code: 2} // want "raw code field literal 2"
+}
+
+func legacyDispatch(typ uint8) bool {
+	switch typ {
+	//lint:ignore wirexhaustive legacy v0 probe byte, predates the constant table
+	case 0x7F:
+		return true
+	case wire.TypeHello:
+		return true
+	}
+	return false
+}

@@ -125,17 +125,17 @@ type HEEB struct {
 	offsetH [2]map[int]float64
 	// precomputed forms, indexed by the stream whose model they tabulate
 	// (a tuple is scored against its partner's model).
-	h1 [2]*core.H1
-	h2 [2]*core.H2
+	h1 [2]*core.H1 //lint:ignore snapcomplete derived from the stream models, built lazily on first score; identical after restore because the models are config
+	h2 [2]*core.H2 //lint:ignore snapcomplete derived from the stream models, built lazily on first score; identical after restore because the models are config
 	// fc is the per-decision forecast memo shared by all candidates of one
 	// Evict/ScoreCandidates call; nil when Opts.NoMemo.
-	fc *core.ForecastCache
+	fc *core.ForecastCache //lint:ignore snapcomplete per-decision memo, rebuilt for every Evict/ScoreCandidates call
 	// ltab caches Lexp's e^{−Δt/α} values for the current α; ltabAlpha
 	// tracks which α the table was built for (adaptive runs re-derive α).
-	ltab      core.LTable
-	ltabAlpha float64
+	ltab      core.LTable //lint:ignore snapcomplete lookup table re-derived from α on demand by ensureLTab
+	ltabAlpha float64     //lint:ignore snapcomplete lookup table re-derived from α on demand by ensureLTab
 	// scoreBuf is the reused per-decision score slice.
-	scoreBuf []float64
+	scoreBuf []float64 //lint:ignore snapcomplete per-decision score scratch, overwritten by every evict
 }
 
 type heebEntry struct {

@@ -79,8 +79,8 @@ type Ladder struct {
 
 	fallbacks []uint64
 	lastRung  int
-	lfixed    Lfixed
-	seen      []bool
+	lfixed    Lfixed //lint:ignore snapcomplete terminal rung, reset from config; it carries no cross-decision state of its own
+	seen      []bool //lint:ignore snapcomplete per-decision validation scratch, rebuilt by checkEviction each call
 }
 
 // NewDefaultLadder returns the canonical FlowExpect → HEEB → Lfixed ladder.

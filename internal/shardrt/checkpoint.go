@@ -25,16 +25,24 @@ func init() {
 }
 
 // manifestVersion guards the gob schema inside the manifest envelope.
-const manifestVersion = 1
+// Version 2 added the rebalancer knobs (MinBudget, RebalanceEvery,
+// RebalanceStep) to the fingerprint; version-1 manifests predate them and
+// are rejected rather than restored with unchecked rebalancer state.
+const manifestVersion = 2
 
 type manifestWire struct {
 	Version int
 	// Fingerprint: a manifest only restores into a runtime built with the
-	// same partitioning configuration.
-	Shards     int
-	TotalCache int
-	Window     int
-	Seed       uint64
+	// same partitioning configuration. The rebalancer knobs are part of it
+	// because they decide how budgets move after restore: replaying under a
+	// different cadence or step diverges from the uninterrupted run.
+	Shards         int
+	TotalCache     int
+	Window         int
+	Seed           uint64
+	MinBudget      int
+	RebalanceEvery int
+	RebalanceStep  int
 	// Coordinator state.
 	Seq      uint64
 	Ingested int
@@ -50,6 +58,22 @@ type manifestWire struct {
 	Envelopes [][]byte
 }
 
+// fingerprint returns the partitioning identity a manifest is bound to.
+// MinBudget and RebalanceStep are normalized (0 means 1, matching the
+// rebalancer) so a zero-valued and an explicit-1 config fingerprint
+// identically.
+func (rt *Runtime) fingerprint() (shards, totalCache, window int, seed uint64, minBudget, rebalanceEvery, rebalanceStep int) {
+	minBudget = rt.cfg.MinBudget
+	if minBudget == 0 {
+		minBudget = 1
+	}
+	rebalanceStep = rt.cfg.RebalanceStep
+	if rebalanceStep == 0 {
+		rebalanceStep = 1
+	}
+	return rt.cfg.Shards, rt.cfg.TotalCache, rt.cfg.Window, rt.cfg.Seed, minBudget, rt.cfg.RebalanceEvery, rebalanceStep
+}
+
 // Checkpoint writes the full sharded state. Call it between IngestBatch
 // calls (the workers are quiescent then); the lanes are captured too, so a
 // checkpoint does not require a Flush first.
@@ -57,21 +81,25 @@ func (rt *Runtime) Checkpoint(w io.Writer) error {
 	if rt.closed {
 		return ErrClosed
 	}
+	shards, totalCache, window, seed, minBudget, rebEvery, rebStep := rt.fingerprint()
 	wire := manifestWire{
-		Version:    manifestVersion,
-		Shards:     rt.cfg.Shards,
-		TotalCache: rt.cfg.TotalCache,
-		Window:     rt.cfg.Window,
-		Seed:       rt.cfg.Seed,
-		Seq:        rt.seq,
-		Ingested:   rt.ingested,
-		Batches:    rt.batches,
-		Merged:     rt.merged,
-		Lanes:      rt.lanes,
-		Budgets:    make([]int, len(rt.shards)),
-		LastPairs:  append([]int(nil), rt.reb.lastPairs...),
-		Moves:      rt.reb.moves,
-		Envelopes:  make([][]byte, len(rt.shards)),
+		Version:        manifestVersion,
+		Shards:         shards,
+		TotalCache:     totalCache,
+		Window:         window,
+		Seed:           seed,
+		MinBudget:      minBudget,
+		RebalanceEvery: rebEvery,
+		RebalanceStep:  rebStep,
+		Seq:            rt.seq,
+		Ingested:       rt.ingested,
+		Batches:        rt.batches,
+		Merged:         rt.merged,
+		Lanes:          rt.lanes,
+		Budgets:        make([]int, len(rt.shards)),
+		LastPairs:      append([]int(nil), rt.reb.lastPairs...),
+		Moves:          rt.reb.moves,
+		Envelopes:      make([][]byte, len(rt.shards)),
 	}
 	for i, sh := range rt.shards {
 		wire.Budgets[i] = sh.budget
@@ -136,11 +164,17 @@ func (rt *Runtime) validateManifest(wire *manifestWire) error {
 	if wire.Version != manifestVersion {
 		return fmt.Errorf("shardrt: manifest version %d, want %d", wire.Version, manifestVersion)
 	}
-	if wire.Shards != rt.cfg.Shards || wire.TotalCache != rt.cfg.TotalCache ||
-		wire.Window != rt.cfg.Window || wire.Seed != rt.cfg.Seed {
+	shards, totalCache, window, seed, minBudget, rebEvery, rebStep := rt.fingerprint()
+	if wire.Shards != shards || wire.TotalCache != totalCache ||
+		wire.Window != window || wire.Seed != seed {
 		return fmt.Errorf("shardrt: manifest fingerprint (shards %d, cache %d, window %d, seed %d) does not match runtime (shards %d, cache %d, window %d, seed %d): %w",
 			wire.Shards, wire.TotalCache, wire.Window, wire.Seed,
-			rt.cfg.Shards, rt.cfg.TotalCache, rt.cfg.Window, rt.cfg.Seed, engine.ErrConfigMismatch)
+			shards, totalCache, window, seed, engine.ErrConfigMismatch)
+	}
+	if wire.MinBudget != minBudget || wire.RebalanceEvery != rebEvery || wire.RebalanceStep != rebStep {
+		return fmt.Errorf("shardrt: manifest rebalancer config (floor %d, every %d, step %d) does not match runtime (floor %d, every %d, step %d): %w",
+			wire.MinBudget, wire.RebalanceEvery, wire.RebalanceStep,
+			minBudget, rebEvery, rebStep, engine.ErrConfigMismatch)
 	}
 	if len(wire.Budgets) != rt.cfg.Shards || len(wire.Envelopes) != rt.cfg.Shards ||
 		len(wire.Lanes) != rt.cfg.Shards || len(wire.LastPairs) != rt.cfg.Shards {
@@ -148,10 +182,6 @@ func (rt *Runtime) validateManifest(wire *manifestWire) error {
 			len(wire.Budgets), len(wire.Envelopes), len(wire.Lanes), len(wire.LastPairs), rt.cfg.Shards)
 	}
 	total := 0
-	minBudget := rt.cfg.MinBudget
-	if minBudget == 0 {
-		minBudget = 1
-	}
 	for i, b := range wire.Budgets {
 		if b < minBudget {
 			return fmt.Errorf("shardrt: manifest budget %d for shard %d below floor %d", b, i, minBudget)

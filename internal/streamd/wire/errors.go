@@ -37,6 +37,10 @@ var (
 	// ErrFlowControl rejects an ingest that exceeds the session's granted
 	// credit window — a protocol violation, not an overload.
 	ErrFlowControl = errors.New("streamd: credit window exceeded")
+	// ErrInternal is the catch-all for daemon-side failures with no more
+	// specific code (CodeInternal on the wire); clients match it with
+	// errors.Is like every other sentinel.
+	ErrInternal = errors.New("streamd: internal server error")
 )
 
 // OverloadError carries the daemon's retry-after hint alongside

@@ -88,6 +88,8 @@ func CodeToErr(code uint16) error {
 		return ErrSeqGap
 	case CodeFlowControl:
 		return ErrFlowControl
+	case CodeInternal:
+		return ErrInternal
 	default:
 		return fmt.Errorf("streamd: server error (code %d)", code)
 	}

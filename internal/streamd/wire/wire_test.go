@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -268,26 +269,67 @@ func TestReadFrameTruncated(t *testing.T) {
 	}
 }
 
+// TestCodeErrMapping pins the full code↔sentinel table in both directions:
+// every defined code decodes to exactly one sentinel, every sentinel encodes
+// back to its code, and no two codes share a sentinel. The wirexhaustive
+// analyzer proves the same contract statically; this test is the runtime
+// witness that the table in the analyzer's view and the table the protocol
+// actually executes are one and the same.
 func TestCodeErrMapping(t *testing.T) {
-	sentinels := []error{
-		ErrOverloaded, ErrDraining, ErrBadFrame, ErrBadStep,
-		ErrSessionBusy, ErrSeqGap, ErrFlowControl,
+	table := []struct {
+		code     uint16
+		sentinel error
+	}{
+		{CodeOverloaded, ErrOverloaded},
+		{CodeDraining, ErrDraining},
+		{CodeBadFrame, ErrBadFrame},
+		{CodeBadStep, ErrBadStep},
+		{CodeSessionBusy, ErrSessionBusy},
+		{CodeSeqGap, ErrSeqGap},
+		{CodeFlowControl, ErrFlowControl},
+		{CodeInternal, ErrInternal},
 	}
-	for _, s := range sentinels {
-		code := ErrToCode(s)
-		if back := CodeToErr(code); !errors.Is(back, s) {
-			t.Errorf("sentinel %v -> code %d -> %v: not a round trip", s, code, back)
+	seen := map[error]uint16{}
+	for _, tc := range table {
+		// Decode direction: the code rebuilds exactly its sentinel.
+		got := CodeToErr(tc.code)
+		if !errors.Is(got, tc.sentinel) {
+			t.Errorf("CodeToErr(%d) = %v, want sentinel %v", tc.code, got, tc.sentinel)
 		}
+		// Injectivity: the decoded error matches no other sentinel.
+		for _, other := range table {
+			if other.code != tc.code && errors.Is(got, other.sentinel) {
+				t.Errorf("CodeToErr(%d) also matches %v: mapping not injective", tc.code, other.sentinel)
+			}
+		}
+		// Encode direction: the sentinel maps back to the same code.
+		if back := ErrToCode(tc.sentinel); back != tc.code {
+			t.Errorf("ErrToCode(%v) = %d, want %d", tc.sentinel, back, tc.code)
+		}
+		if prev, dup := seen[tc.sentinel]; dup {
+			t.Errorf("codes %d and %d share sentinel %v", prev, tc.code, tc.sentinel)
+		}
+		seen[tc.sentinel] = tc.code
 	}
 	// Wrapped overloads keep their code and hint semantics.
 	if got := ErrToCode(&OverloadError{Reason: "queue"}); got != CodeOverloaded {
 		t.Errorf("OverloadError code = %d, want %d", got, CodeOverloaded)
 	}
-	// Unknown errors and codes collapse to internal.
+	// Unknown errors collapse to CodeInternal on encode; unknown codes decode
+	// to an anonymous error that names the code and matches no sentinel.
 	if got := ErrToCode(errors.New("surprise")); got != CodeInternal {
 		t.Errorf("unknown error code = %d, want %d", got, CodeInternal)
 	}
-	if err := CodeToErr(200); err == nil {
-		t.Error("unknown code decoded to nil error")
+	unknown := CodeToErr(999)
+	if unknown == nil {
+		t.Fatal("unknown code decoded to nil error")
+	}
+	if !strings.Contains(unknown.Error(), "999") {
+		t.Errorf("unknown-code error %q does not name the code", unknown)
+	}
+	for _, tc := range table {
+		if errors.Is(unknown, tc.sentinel) {
+			t.Errorf("unknown code 999 decodes to sentinel %v", tc.sentinel)
+		}
 	}
 }

@@ -15,25 +15,32 @@
 #                         (scripts/regen-golden.sh --check), and an exit-1
 #                         self-test proving all four concurrency analyzers
 #                         still fire on the seeded shardrt corpus
-#   6. govulncheck      — known-vuln scan, soft-skipped offline
-#   7. build
-#   8. go test -race    — the full suite under the race detector
-#   9. chaos smoke      — seeded fault-injection campaign against the full
+#   6. state contracts  — the snapcomplete/fingerprintcover/wirexhaustive
+#                         corpora, the clean statecheck corpus, a mutation
+#                         self-test (deleting a marked snapshot field-capture,
+#                         and separately a marked wire frame case, must make
+#                         stochlint exit 1 naming the field/constant), and an
+#                         exit-1 check that all three fire on the seeded mod
+#                         corpus (docs/static-analysis.md, "State contracts")
+#   7. govulncheck      — known-vuln scan, soft-skipped offline
+#   8. build
+#   9. go test -race    — the full suite under the race detector
+#  10. chaos smoke      — seeded fault-injection campaign against the full
 #                         degradation ladder (docs/fault-tolerance.md)
-#  10. flight recorder  — race-detected flightrec suite plus the seeded
+#  11. flight recorder  — race-detected flightrec suite plus the seeded
 #                         bundle-on-fault chaos run as a named, grep-able gate
 #                         (docs/observability.md)
-#  11. shard runtime    — race-detected shardrt suite plus the recorded
+#  12. shard runtime    — race-detected shardrt suite plus the recorded
 #                         sharded-speedup gate (BENCH_shard.json, ≥3x at 8
 #                         shards; docs/performance.md)
-#  12. streamd service  — race-detected daemon/wire/client suites, the seeded
+#  13. streamd service  — race-detected daemon/wire/client suites, the seeded
 #                         network-chaos campaign as a named gate, and the
 #                         race-enabled stress smoke (scripts/stress.sh --smoke:
 #                         concurrent sessions through a live daemon with
 #                         conservation, heap and p99 bounds; docs/service.md)
-#  13. fuzz smoke       — 10s of FuzzStepEquivalence over the committed corpus
-#  14. gate self-test   — scripts/benchcmp_test.sh proves the perf gate fails
-#  15. bench smoke      — a build that breaks the benchmarks cannot land
+#  14. fuzz smoke       — 10s of FuzzStepEquivalence over the committed corpus
+#  15. gate self-test   — scripts/benchcmp_test.sh proves the perf gate fails
+#  16. bench smoke      — a build that breaks the benchmarks cannot land
 #
 # Run from the repo root:
 #
@@ -102,6 +109,62 @@ fi
 for a in goleak chandiscipline atomicfield mergedet; do
     if ! grep -q "\"analyzer\": \"$a\"" <<<"$conc_json"; then
         echo "concurrency self-test: no $a finding in the seeded shardrt corpus"
+        exit 1
+    fi
+done
+
+echo "==> state contracts (corpora + clean corpus + mutation self-test)"
+# The three state-integrity analyzers' corpora (each with an
+# interprocedural-only case) plus the suite-shape pin.
+go test -run 'TestSnapcomplete|TestFingerprintcover|TestWirexhaustive|TestScoping' -count=1 ./internal/lintrules
+# The statecheck mutation corpus is clean as committed: the full suite must
+# pass it, or the mutation self-test below would be meaningless.
+go run ./cmd/stochlint -C cmd/stochlint/testdata/statecheck ./...
+# Mutation self-test: drop the marked snapshot field-capture and the marked
+# wire frame case in throwaway copies; each mutant must fail the driver with
+# a finding that names exactly what was dropped. An analyzer that stays
+# silent here has gone blind to the one regression it exists to catch.
+statecheck_tmp=$(mktemp -d)
+trap 'rm -rf "$statecheck_tmp"' EXIT
+cp -r cmd/stochlint/testdata/statecheck "$statecheck_tmp/snap"
+sed -i '/ci:mutate-snapshot/d' "$statecheck_tmp/snap/internal/engine/engine.go"
+rc=0
+snap_out=$(go run ./cmd/stochlint -C "$statecheck_tmp/snap" -rules snapcomplete ./... 2>/dev/null) || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "statecheck self-test: expected exit 1 on the snapshot mutant, got $rc"
+    exit 1
+fi
+if ! grep -q 'persistent field Total' <<<"$snap_out"; then
+    echo "statecheck self-test: snapshot mutant finding does not name the dropped field Total:"
+    echo "$snap_out"
+    exit 1
+fi
+cp -r cmd/stochlint/testdata/statecheck "$statecheck_tmp/wire"
+sed -i '/ci:mutate-wire/d' "$statecheck_tmp/wire/internal/streamd/streamd.go"
+rc=0
+wire_out=$(go run ./cmd/stochlint -C "$statecheck_tmp/wire" -rules wirexhaustive ./... 2>/dev/null) || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "statecheck self-test: expected exit 1 on the wire mutant, got $rc"
+    exit 1
+fi
+if ! grep -q 'TypeData' <<<"$wire_out"; then
+    echo "statecheck self-test: wire mutant finding does not name the dropped constant TypeData:"
+    echo "$wire_out"
+    exit 1
+fi
+rm -rf "$statecheck_tmp"
+trap - EXIT
+# Exit-1 check on the seeded mod corpus: all three state analyzers must fire
+# there (the golden pins the exact findings; this names a blind analyzer).
+rc=0
+state_json=$(go run ./cmd/stochlint -C cmd/stochlint/testdata/mod -json -rules snapcomplete,fingerprintcover,wirexhaustive ./... 2>/dev/null) || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "statecheck self-test: expected exit 1 on the seeded mod corpus, got $rc"
+    exit 1
+fi
+for a in snapcomplete fingerprintcover wirexhaustive; do
+    if ! grep -q "\"analyzer\": \"$a\"" <<<"$state_json"; then
+        echo "statecheck self-test: no $a finding in the seeded mod corpus"
         exit 1
     fi
 done

@@ -15,6 +15,16 @@ cd "$(dirname "$0")/.."
 
 golden=cmd/stochlint/testdata/golden.json
 
+# The statecheck mutation corpus (cmd/stochlint/testdata/statecheck) is the
+# other seeded-corpus contract: it must stay CLEAN — the golden pins findings
+# for the mod corpus only, and ci.sh's mutation self-test depends on the
+# committed statecheck tree passing the full suite. Verify it in both modes
+# so a regen cannot silently absorb a dirtied mutation corpus.
+if ! go run ./cmd/stochlint -C cmd/stochlint/testdata/statecheck ./... >/dev/null; then
+    echo "statecheck mutation corpus is no longer clean; fix it before regenerating the golden" >&2
+    exit 1
+fi
+
 if [ "${1:-}" = "--check" ]; then
     saved=$(mktemp)
     cp "$golden" "$saved"
